@@ -1,0 +1,63 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks regenerate every table and figure of the paper at laptop
+scale.  Dataset construction is hoisted into session fixtures so each
+figure's bench times the *experiment*, not the generator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GroupingConfig, build_instance, build_simple_groups
+from repro.datasets import (
+    build_repository,
+    generate,
+    tripadvisor_config,
+    tripadvisor_derive_config,
+    yelp_config,
+    yelp_derive_config,
+)
+
+
+def pytest_collection_modifyitems(items):
+    """Run benchmarks in definition order (figures in paper order)."""
+
+
+@pytest.fixture(scope="session")
+def bench_ta_dataset():
+    """TripAdvisor-like ground truth (scaled-down from the paper's 4,475
+    users; same structural traits)."""
+    return generate(tripadvisor_config(n_users=600), seed=101)
+
+
+@pytest.fixture(scope="session")
+def bench_ta_repository(bench_ta_dataset):
+    return build_repository(bench_ta_dataset, tripadvisor_derive_config())
+
+
+@pytest.fixture(scope="session")
+def bench_yelp_dataset():
+    """Yelp-like ground truth (scaled-down from the paper's 60K users)."""
+    return generate(yelp_config(n_users=1500), seed=102)
+
+
+@pytest.fixture(scope="session")
+def bench_yelp_repository(bench_yelp_dataset):
+    return build_repository(bench_yelp_dataset, yelp_derive_config())
+
+
+@pytest.fixture(scope="session")
+def bench_ta_instance(bench_ta_repository):
+    groups = build_simple_groups(
+        bench_ta_repository, GroupingConfig(min_support=3)
+    )
+    return build_instance(bench_ta_repository, 8, groups=groups)
+
+
+@pytest.fixture(scope="session")
+def bench_yelp_instance(bench_yelp_repository):
+    groups = build_simple_groups(
+        bench_yelp_repository, GroupingConfig(min_support=3)
+    )
+    return build_instance(bench_yelp_repository, 8, groups=groups)

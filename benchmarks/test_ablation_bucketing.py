@@ -1,0 +1,72 @@
+"""Ablation bench — 1-d bucketing strategies (paper §3.2's list).
+
+Compares Jenks, k-means, EM, KDE, quantile and equal-width splitting on
+the same repository: grouping-module runtime plus downstream selection
+quality (total score of the greedy subset on the resulting instance,
+normalized per strategy by its own max score so instances of different
+group counts are comparable).
+
+Asserted shape: every strategy yields a valid instance Podium covers
+well; Jenks (the default) is not dominated on normalized score.
+"""
+
+import time
+
+import pytest
+
+from repro.core import (
+    GroupingConfig,
+    build_instance,
+    build_simple_groups,
+    greedy_select,
+)
+from repro.core.buckets import STRATEGIES
+from repro.datasets.synth import generate_profile_repository
+
+BUDGET = 8
+
+
+@pytest.fixture(scope="module")
+def repo():
+    return generate_profile_repository(
+        n_users=500, n_properties=120, mean_profile_size=30.0, seed=37
+    )
+
+
+def _compare(repo):
+    rows = {}
+    for strategy in sorted(STRATEGIES):
+        start = time.perf_counter()
+        groups = build_simple_groups(
+            repo, GroupingConfig(strategy=strategy, min_support=3)
+        )
+        grouping_seconds = time.perf_counter() - start
+        instance = build_instance(repo, BUDGET, groups=groups)
+        result = greedy_select(repo, instance)
+        rows[strategy] = {
+            "groups": len(groups),
+            "grouping_seconds": grouping_seconds,
+            "score_fraction": float(result.score) / float(instance.max_score()),
+        }
+    return rows
+
+
+def test_ablation_bucketing_strategies(benchmark, repo):
+    rows = benchmark.pedantic(_compare, args=(repo,), rounds=1, iterations=1)
+    print()
+    print("| strategy | groups | grouping s | greedy score / max |")
+    print("|---|---|---|---|")
+    for strategy, row in rows.items():
+        print(
+            f"| {strategy} | {row['groups']} | "
+            f"{row['grouping_seconds']:.3f} | {row['score_fraction']:.3f} |"
+        )
+
+    fractions = {s: r["score_fraction"] for s, r in rows.items()}
+    assert all(0.0 < f <= 1.0 for f in fractions.values())
+    # The default strategy holds its own (within 10% of the best).
+    assert fractions["jenks"] >= 0.9 * max(fractions.values())
+
+    benchmark.extra_info["rows"] = {
+        s: {k: round(v, 4) for k, v in r.items()} for s, r in rows.items()
+    }

@@ -1,0 +1,79 @@
+"""Ablation bench — taxonomy enrichment on vs off (paper §3.1).
+
+Enrichment (generalization + functional rules) grows profiles and the
+group set; the paper argues it makes selection better informed.  This
+bench measures the group count delta and whether the enriched selection
+still covers the *raw* (un-enriched) top groups at least as well.
+
+Asserted shape: enrichment strictly adds properties and groups, and the
+subset selected on enriched profiles loses nothing on raw top-k coverage.
+"""
+
+import pytest
+
+from repro.core import (
+    GroupingConfig,
+    build_instance,
+    build_simple_groups,
+    greedy_select,
+)
+from repro.datasets import (
+    DeriveConfig,
+    build_repository,
+)
+from repro.metrics import top_k_coverage
+
+BUDGET = 8
+
+
+@pytest.fixture(scope="module")
+def repositories(bench_ta_dataset):
+    enriched = build_repository(bench_ta_dataset, DeriveConfig())
+    raw = build_repository(
+        bench_ta_dataset,
+        DeriveConfig(enrich_taxonomy=False, functional_lives_in=False),
+    )
+    return raw, enriched
+
+
+def _compare(raw, enriched):
+    grouping = GroupingConfig(min_support=3)
+    raw_groups = build_simple_groups(raw, grouping)
+    enriched_groups = build_simple_groups(enriched, grouping)
+    raw_instance = build_instance(raw, BUDGET, groups=raw_groups)
+    enriched_instance = build_instance(
+        enriched, BUDGET, groups=enriched_groups
+    )
+    raw_pick = greedy_select(raw, raw_instance).selected
+    enriched_pick = greedy_select(enriched, enriched_instance).selected
+    return {
+        "raw_properties": len(raw.property_labels),
+        "enriched_properties": len(enriched.property_labels),
+        "raw_groups": len(raw_groups),
+        "enriched_groups": len(enriched_groups),
+        "raw_pick_on_raw_topk": top_k_coverage(raw_instance, raw_pick, 100),
+        "enriched_pick_on_raw_topk": top_k_coverage(
+            raw_instance, enriched_pick, 100
+        ),
+    }
+
+
+def test_ablation_taxonomy_enrichment(benchmark, repositories):
+    raw, enriched = repositories
+    stats = benchmark.pedantic(
+        _compare, args=(raw, enriched), rounds=1, iterations=1
+    )
+    print()
+    for key, value in stats.items():
+        print(f"  {key}: {value}")
+
+    assert stats["enriched_properties"] > stats["raw_properties"]
+    assert stats["enriched_groups"] > stats["raw_groups"]
+    # Selecting on enriched profiles does not collapse raw coverage.
+    assert (
+        stats["enriched_pick_on_raw_topk"]
+        >= stats["raw_pick_on_raw_topk"] - 0.25
+    )
+    benchmark.extra_info.update(
+        {k: (round(v, 4) if isinstance(v, float) else v) for k, v in stats.items()}
+    )

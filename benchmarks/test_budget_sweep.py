@@ -1,0 +1,88 @@
+"""§8.4 budget-sweep bench — quality as B grows.
+
+The paper notes: "As B increases, all the quality metric improve and the
+gaps between the baselines slightly decrease, but the general trends are
+preserved."
+
+Asserted shape, for B ∈ {4, 8, 16, 32} on the bench Yelp repository:
+Podium's coverage metrics are non-decreasing in B, Podium leads total
+score at every B, and the normalized Podium-vs-Random gap at B = 32 is
+no larger than at B = 4.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PodiumSelector, RandomSelector
+from repro.core import build_instance
+from repro.metrics import evaluate_intrinsic
+
+BUDGETS = (4, 8, 16, 32)
+
+
+def _sweep(repository, groups):
+    rows = {}
+    for budget in BUDGETS:
+        instance = build_instance(repository, budget, groups=groups)
+        podium = PodiumSelector().select(repository, instance, budget)
+        random_reports = []
+        for rep in range(3):
+            rng = np.random.default_rng((budget, rep))
+            picked = RandomSelector().select(
+                repository, instance, budget, rng=rng
+            )
+            random_reports.append(evaluate_intrinsic(instance, picked))
+        rows[budget] = {
+            "podium": evaluate_intrinsic(instance, podium).as_dict(),
+            "random": {
+                metric: float(
+                    np.mean([r.as_dict()[metric] for r in random_reports])
+                )
+                for metric in random_reports[0].as_dict()
+            },
+        }
+    return rows
+
+
+@pytest.fixture(scope="module")
+def groups(bench_yelp_repository):
+    from repro.core import GroupingConfig, build_simple_groups
+
+    return build_simple_groups(
+        bench_yelp_repository, GroupingConfig(min_support=3)
+    )
+
+
+def test_budget_sweep(benchmark, bench_yelp_repository, groups):
+    rows = benchmark.pedantic(
+        _sweep, args=(bench_yelp_repository, groups), rounds=1, iterations=1
+    )
+    print()
+    print("| B | Podium top-k | Random top-k | Podium score | Random score |")
+    print("|---|---|---|---|---|")
+    for budget in BUDGETS:
+        p, r = rows[budget]["podium"], rows[budget]["random"]
+        print(
+            f"| {budget} | {p['top_k_coverage']:.3f} | "
+            f"{r['top_k_coverage']:.3f} | {p['total_score']:.0f} | "
+            f"{r['total_score']:.0f} |"
+        )
+
+    podium_topk = [rows[b]["podium"]["top_k_coverage"] for b in BUDGETS]
+    assert podium_topk == sorted(podium_topk)  # improves with B
+    for budget in BUDGETS:
+        assert (
+            rows[budget]["podium"]["total_score"]
+            > rows[budget]["random"]["total_score"]
+        )
+
+    def gap(budget):
+        return (
+            rows[budget]["podium"]["total_score"]
+            / rows[budget]["random"]["total_score"]
+        )
+
+    assert gap(BUDGETS[-1]) <= gap(BUDGETS[0]) + 0.02  # gaps shrink
+    benchmark.extra_info["gaps"] = {
+        str(b): round(gap(b), 4) for b in BUDGETS
+    }

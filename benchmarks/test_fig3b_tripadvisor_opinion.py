@@ -1,0 +1,68 @@
+"""Fig. 3b bench — TripAdvisor opinion diversity.
+
+Simulated opinion procurement over held-out destinations: select 8
+reviewers per destination on profiles excluding it, then measure the
+diversity of their ground-truth reviews (topic+sentiment coverage, rating
+distribution similarity, rating variance; TripAdvisor has no useful
+votes).
+
+Paper shape asserted: Podium is at or near the lead on topic+sentiment
+coverage (the representativeness metric it targets), and no baseline
+dominates it across the board.
+"""
+
+import pytest
+
+from repro.core import GroupingConfig
+from repro.datasets import tripadvisor_derive_config
+from repro.experiments import OPINION_METRICS, ComparisonTable, default_selectors
+from repro.procurement import ProcurementConfig, run_procurement
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ProcurementConfig(
+        budget=8,
+        derive=tripadvisor_derive_config(),
+        grouping=GroupingConfig(min_support=2),
+        min_reviews_per_destination=25,
+        max_destinations=25,
+    )
+
+
+def _run(dataset, config):
+    reports = run_procurement(dataset, default_selectors(), config, seed=13)
+    table = ComparisonTable(
+        "Fig. 3b — TripAdvisor opinion diversity", OPINION_METRICS
+    )
+    for name, report in reports.items():
+        table.add_row(name, report.as_dict())
+    return table
+
+
+def test_fig3b_tripadvisor_opinion(benchmark, bench_ta_dataset, config):
+    table = benchmark.pedantic(
+        _run, args=(bench_ta_dataset, config), rounds=1, iterations=1
+    )
+    print()
+    print(table.to_markdown())
+    print(table.normalized().to_markdown())
+
+    rows = table.rows
+    best_tsc = max(r["topic_sentiment_coverage"] for r in rows.values())
+    # Podium within 5% of the best topic+sentiment coverage (it led in
+    # the paper; on synthetic data Distance occasionally edges it).
+    assert rows["Podium"]["topic_sentiment_coverage"] >= 0.95 * best_tsc
+    # No baseline dominates Podium on every metric simultaneously.
+    for name, row in rows.items():
+        if name == "Podium":
+            continue
+        dominated = all(
+            row[m] >= rows["Podium"][m] for m in table.metrics
+        )
+        assert not dominated, f"{name} dominates Podium"
+
+    for metric in table.metrics:
+        benchmark.extra_info[metric] = {
+            name: round(row[metric], 4) for name, row in rows.items()
+        }

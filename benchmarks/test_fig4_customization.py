@@ -1,0 +1,48 @@
+"""Fig. 4 bench — Yelp intrinsic diversity with customization.
+
+Nested random priority-group sets G_20 ⊆ G_40 ⊆ G_60 ⊆ G_80 fed as
+"priority coverage" feedback, 10 repetitions, B = 8.
+
+Paper shape asserted: the intrinsic metrics stay close to the
+no-customization baseline (priority coverage restricts standard coverage
+only "not by a significant gap"), while Feedback Group Coverage drops
+markedly as |G_d| grows.
+"""
+
+import pytest
+
+from repro.experiments import Fig4Setup, fig4
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return Fig4Setup(n_users=600, repetitions=10, seed=11)
+
+
+def test_fig4_customization(benchmark, setup):
+    table = benchmark.pedantic(fig4, args=(setup,), rounds=1, iterations=1)
+    print()
+    print(table.to_markdown())
+
+    base = table.rows["no-customization"]
+    sizes = setup.priority_sizes
+
+    coverages = [
+        table.rows[f"priority-{s}"]["feedback_group_coverage"] for s in sizes
+    ]
+    # Feedback coverage decreases significantly with more priority groups.
+    assert coverages == sorted(coverages, reverse=True) or (
+        coverages[0] > coverages[-1]
+    )
+    assert coverages[-1] < coverages[0]
+
+    # Intrinsic metrics dip only mildly relative to the baseline.
+    for size in sizes:
+        row = table.rows[f"priority-{size}"]
+        assert row["total_score"] >= 0.7 * base["total_score"]
+        assert row["top_k_coverage"] >= base["top_k_coverage"] - 0.35
+
+    for metric in table.metrics:
+        benchmark.extra_info[metric] = {
+            name: round(row[metric], 4) for name, row in table.rows.items()
+        }

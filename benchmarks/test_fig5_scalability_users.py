@@ -1,0 +1,51 @@
+"""Fig. 5 bench — selection runtime versus population size |U|.
+
+Profiles carry ≤200 properties as in the paper's runs.
+
+Paper shape asserted: Podium and Distance scale linearly (R² of a linear
+fit ≥ 0.9) and Podium is substantially faster than Clustering (the paper
+reports ~9×; we demand ≥2× to stay robust across machines).
+"""
+
+import pytest
+
+from repro.experiments import (
+    ScalabilitySetup,
+    linear_fit_r2,
+    scalability_in_users,
+    timing_table,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ScalabilitySetup(
+        user_sizes=(500, 1000, 2000, 4000),
+        n_properties=200,
+        mean_profile_size=40.0,
+        repetitions=3,
+    )
+
+
+def test_fig5_scalability_users(benchmark, setup):
+    rows = benchmark.pedantic(
+        scalability_in_users, args=(setup,), rounds=1, iterations=1
+    )
+    print()
+    print(timing_table(rows))
+
+    for algorithm in ("Podium", "Distance"):
+        r2 = linear_fit_r2(rows, algorithm)
+        print(f"{algorithm} linear-fit R^2 = {r2:.3f}")
+        assert r2 >= 0.9, algorithm
+
+    largest = max(setup.user_sizes)
+    by_algo = {
+        r.algorithm: r.seconds for r in rows if r.x == largest
+    }
+    print(f"at |U|={largest}: {by_algo}")
+    assert by_algo["Clustering"] >= 2.0 * by_algo["Podium"]
+
+    benchmark.extra_info["timings"] = {
+        f"{r.algorithm}@{r.x}": round(r.seconds, 5) for r in rows
+    }

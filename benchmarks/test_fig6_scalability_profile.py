@@ -1,0 +1,48 @@
+"""Fig. 6 bench — selection runtime versus average profile size.
+
+Population fixed (the paper uses 8K users; we default to 2K to keep the
+bench under a minute), average properties-per-user swept.
+
+Paper shape asserted: Podium's runtime grows linearly with profile size
+(R² ≥ 0.85) and stays well below Clustering's at the largest profiles.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ScalabilitySetup,
+    linear_fit_r2,
+    scalability_in_profile_size,
+    timing_table,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ScalabilitySetup(
+        fixed_users=2000,
+        profile_sizes=(10, 20, 40, 80),
+        n_properties=200,
+        repetitions=3,
+    )
+
+
+def test_fig6_scalability_profile(benchmark, setup):
+    rows = benchmark.pedantic(
+        scalability_in_profile_size, args=(setup,), rounds=1, iterations=1
+    )
+    print()
+    print(timing_table(rows))
+
+    r2 = linear_fit_r2(rows, "Podium")
+    print(f"Podium linear-fit R^2 = {r2:.3f}")
+    assert r2 >= 0.85
+
+    largest = max(setup.profile_sizes)
+    by_algo = {r.algorithm: r.seconds for r in rows if r.x == largest}
+    print(f"at profile size {largest}: {by_algo}")
+    assert by_algo["Clustering"] >= by_algo["Podium"]
+
+    benchmark.extra_info["timings"] = {
+        f"{r.algorithm}@{r.x}": round(r.seconds, 5) for r in rows
+    }

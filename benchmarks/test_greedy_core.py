@@ -1,0 +1,41 @@
+"""Micro-benchmark of Algorithm 1 itself (multiple timed rounds).
+
+Unlike the figure benches (single pedantic rounds around whole
+experiments), this one lets pytest-benchmark sample the core greedy
+repeatedly, giving a stable ops/sec figure for the selection hot path on
+a mid-size instance (2,000 users, ~200 properties, B = 8).
+"""
+
+import pytest
+
+from repro.core import (
+    GroupingConfig,
+    build_instance,
+    build_simple_groups,
+    greedy_select,
+)
+from repro.datasets.synth import generate_profile_repository
+
+
+@pytest.fixture(scope="module")
+def setup():
+    repo = generate_profile_repository(
+        n_users=2000, n_properties=200, mean_profile_size=40.0, seed=71
+    )
+    groups = build_simple_groups(repo, GroupingConfig(min_support=3))
+    instance = build_instance(repo, 8, groups=groups)
+    return repo, instance
+
+
+def test_greedy_lazy_hot_path(benchmark, setup):
+    repo, instance = setup
+    result = benchmark(greedy_select, repo, instance, method="lazy")
+    assert len(result.selected) == 8
+    assert result.score > 0
+
+
+def test_greedy_eager_hot_path(benchmark, setup):
+    repo, instance = setup
+    result = benchmark(greedy_select, repo, instance, method="eager")
+    assert len(result.selected) == 8
+    assert result.score > 0

@@ -1,0 +1,103 @@
+"""Drive the Podium prototype service end to end (paper §7, Fig. 1).
+
+Starts the WSGI service in-process, loads a synthetic Yelp-like profile
+document over HTTP, registers a "Summer Pavilion"-style configuration
+restricted to cuisine properties, and runs selection requests with and
+without customization feedback — the same flow the AngularJS UI drives.
+
+    python examples/service_demo.py
+"""
+
+import json
+import threading
+import urllib.request
+from wsgiref.simple_server import make_server
+
+from repro.datasets import (
+    build_repository,
+    generate,
+    profiles_to_dict,
+    yelp_config,
+    yelp_derive_config,
+)
+from repro.service import (
+    DiversificationConfiguration,
+    PodiumService,
+    make_wsgi_app,
+)
+
+PORT = 8808
+
+
+def _request(method: str, path: str, body: dict | None = None) -> dict:
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{PORT}{path}",
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+def main() -> None:
+    service = PodiumService()
+    server = make_server("127.0.0.1", PORT, make_wsgi_app(service))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    print(f"Service up on :{PORT}")
+
+    try:
+        # 1. Load profiles over HTTP (the JSON input format of §7).
+        dataset = generate(yelp_config(n_users=250), seed=21)
+        repository = build_repository(dataset, yelp_derive_config())
+        loaded = _request("POST", "/profiles", profiles_to_dict(repository))
+        print(f"Loaded profiles: {loaded}")
+
+        # 2. Register a configuration restricted to cuisine ratings.
+        config = DiversificationConfiguration(
+            name="summer-pavilion",
+            description="Cuisine-rating properties only",
+            property_prefixes=("avgRating",),
+            budget=6,
+        ).to_dict()
+        print(f"Registered: {_request('POST', '/configurations', config)['name']}")
+
+        # 3. Plain selection with explanations.
+        selection = _request(
+            "POST",
+            "/select",
+            {"configuration": "summer-pavilion"},
+        )
+        middle = selection["explanation"]["middle_pane"]
+        print(
+            f"Selected {selection['selected']} — top-weight group coverage "
+            f"{middle['top_coverage_percent']}%"
+        )
+
+        # 4. Customized re-selection: exclude the heaviest group.
+        groups = _request("GET", "/groups?configuration=summer-pavilion")
+        heaviest = groups[0]
+        feedback = {"must_not": [[heaviest["property"], heaviest["bucket"]]]}
+        refined = _request(
+            "POST",
+            "/select",
+            {
+                "configuration": "summer-pavilion",
+                "feedback": feedback,
+                "explain": False,
+            },
+        )
+        print(
+            f"After excluding '{heaviest['label']}': {refined['selected']} "
+            f"(pool shrank to {refined['refined_pool_size']})"
+        )
+    finally:
+        server.shutdown()
+        thread.join(timeout=5)
+        print("Service stopped.")
+
+
+if __name__ == "__main__":
+    main()

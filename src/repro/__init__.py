@@ -1,0 +1,90 @@
+"""Podium: diverse user selection for opinion procurement.
+
+Reproduction of Amsterdamer & Goldreich, EDBT 2020.  The public API
+re-exports the pieces a downstream user needs:
+
+* profiles and repositories (:class:`UserProfile`, :class:`UserRepository`),
+* the grouping module (:func:`build_simple_groups`, :class:`GroupingConfig`),
+* diversification instances and schemes (:func:`build_instance`,
+  Iden/LBS/EBS weights, Single/Prop coverage),
+* selection (:func:`greedy_select`, :func:`optimal_select`,
+  :func:`custom_select`) and explanations (:func:`explain_selection`),
+* datasets, baselines, metrics, the procurement simulation, the service
+  prototype and the experiment harness as subpackages.
+
+Quickstart::
+
+    from repro import UserRepository, UserProfile, build_instance, greedy_select
+
+    repo = UserRepository([UserProfile("u1", {"livesIn Tokyo": 1.0}), ...])
+    instance = build_instance(repo, budget=8)
+    result = greedy_select(repo, instance)
+    print(result.selected, result.score)
+"""
+
+from .core import (
+    Bucket,
+    CoverageState,
+    CustomizationFeedback,
+    CustomSelectionResult,
+    DiversificationInstance,
+    EBSWeights,
+    Group,
+    GroupingConfig,
+    GroupKey,
+    GroupSet,
+    IdenWeights,
+    LBSWeights,
+    PodiumError,
+    PropCoverage,
+    SelectionExplanation,
+    SelectionResult,
+    SingleCoverage,
+    UserProfile,
+    UserRepository,
+    approximation_ratio,
+    build_instance,
+    build_simple_groups,
+    covered_groups,
+    custom_select,
+    explain_selection,
+    greedy_select,
+    optimal_select,
+    refine_users,
+    subset_score,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bucket",
+    "CoverageState",
+    "CustomizationFeedback",
+    "CustomSelectionResult",
+    "DiversificationInstance",
+    "EBSWeights",
+    "Group",
+    "GroupingConfig",
+    "GroupKey",
+    "GroupSet",
+    "IdenWeights",
+    "LBSWeights",
+    "PodiumError",
+    "PropCoverage",
+    "SelectionExplanation",
+    "SelectionResult",
+    "SingleCoverage",
+    "UserProfile",
+    "UserRepository",
+    "approximation_ratio",
+    "build_instance",
+    "build_simple_groups",
+    "covered_groups",
+    "custom_select",
+    "explain_selection",
+    "greedy_select",
+    "optimal_select",
+    "refine_users",
+    "subset_score",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Selection baselines: Random, Clustering, Distance-based, Optimal."""
+
+from .base import OptimalSelector, PodiumSelector, Selector
+from .clustering import ClusteringSelector, KMeansResult, kmeans
+from .distance import DistanceSelector, jaccard_distance, mean_pairwise_intersection
+from .random_sel import RandomSelector
+from .stratified import StratifiedSelector, proportional_apportionment
+
+#: Baselines in the order the paper's figures list them.
+DEFAULT_SELECTORS = (
+    PodiumSelector,
+    RandomSelector,
+    ClusteringSelector,
+    DistanceSelector,
+)
+
+__all__ = [
+    "OptimalSelector",
+    "PodiumSelector",
+    "Selector",
+    "ClusteringSelector",
+    "KMeansResult",
+    "kmeans",
+    "DistanceSelector",
+    "jaccard_distance",
+    "mean_pairwise_intersection",
+    "RandomSelector",
+    "StratifiedSelector",
+    "proportional_apportionment",
+    "DEFAULT_SELECTORS",
+]

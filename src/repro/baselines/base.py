@@ -1,0 +1,74 @@
+"""Common interface for all user-selection algorithms (paper §8.3).
+
+The experiment harness runs Podium and each baseline through the same
+:class:`Selector` interface: given the repository, the diversification
+instance (which only Podium and Optimal actually consult) and a budget,
+return an ordered list of selected user ids.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..core.greedy import greedy_select
+from ..core.instance import DiversificationInstance
+from ..core.optimal import optimal_select
+from ..core.profiles import UserRepository
+
+
+class Selector(ABC):
+    """A user-selection strategy under a fixed budget."""
+
+    #: Display name used in experiment tables and figures.
+    name: str = ""
+
+    @abstractmethod
+    def select(
+        self,
+        repository: UserRepository,
+        instance: DiversificationInstance,
+        budget: int,
+        rng: np.random.Generator | None = None,
+    ) -> list[str]:
+        """Return up to ``budget`` selected user ids."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class PodiumSelector(Selector):
+    """The paper's algorithm: greedy coverage maximization (Algorithm 1)."""
+
+    name = "Podium"
+
+    def __init__(self, method: str = "lazy") -> None:
+        self._method = method
+
+    def select(
+        self,
+        repository: UserRepository,
+        instance: DiversificationInstance,
+        budget: int,
+        rng: np.random.Generator | None = None,
+    ) -> list[str]:
+        result = greedy_select(
+            repository, instance, budget, method=self._method, rng=rng
+        )
+        return list(result.selected)
+
+
+class OptimalSelector(Selector):
+    """Exhaustive optimal selection — tiny populations only (§8.3)."""
+
+    name = "Optimal"
+
+    def select(
+        self,
+        repository: UserRepository,
+        instance: DiversificationInstance,
+        budget: int,
+        rng: np.random.Generator | None = None,
+    ) -> list[str]:
+        return list(optimal_select(repository, instance, budget).selected)

@@ -1,0 +1,37 @@
+"""Uniform random selection baseline (paper §8.3).
+
+Random sampling is the common practice in survey-style opinion
+procurement; under some conditions it tends to yield diverse subsets, but
+the paper (and [Wu et al. 2015]) show explicit diversity management beats
+it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import InvalidBudgetError
+from ..core.instance import DiversificationInstance
+from ..core.profiles import UserRepository
+from .base import Selector
+
+
+class RandomSelector(Selector):
+    """Select ``budget`` users uniformly at random, without replacement."""
+
+    name = "Random"
+
+    def select(
+        self,
+        repository: UserRepository,
+        instance: DiversificationInstance,
+        budget: int,
+        rng: np.random.Generator | None = None,
+    ) -> list[str]:
+        if budget < 1:
+            raise InvalidBudgetError(f"budget must be >= 1, got {budget}")
+        rng = rng or np.random.default_rng()
+        pool = repository.user_ids
+        size = min(budget, len(pool))
+        picked = rng.choice(len(pool), size=size, replace=False)
+        return [pool[int(i)] for i in picked]

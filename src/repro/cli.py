@@ -1,0 +1,220 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the Fig. 1 pipeline:
+
+* ``generate`` — synthesize a review dataset (ground truth) to JSON;
+* ``derive``   — derive user profiles from a dataset (grouping-module input);
+* ``select``   — run diverse user selection over a profile document,
+  optionally with customization feedback, printing a JSON response;
+* ``serve``    — start the prototype HTTP service on a profile document;
+* ``report``   — regenerate EXPERIMENTS.md.
+
+Group keys on the command line use the ``property::bucket`` form, e.g.
+``--must-have "avgRating Mexican::high"``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .core.customization import CustomizationFeedback
+from .core.errors import PodiumError
+from .core.groups import GroupKey
+from .service.app import PodiumService, serve
+from .service.config import DiversificationConfiguration
+
+
+def _parse_group_key(text: str) -> GroupKey:
+    prop, sep, bucket = text.rpartition("::")
+    if not sep or not prop or not bucket:
+        raise PodiumError(
+            f"group key must look like 'property::bucket', got {text!r}"
+        )
+    return GroupKey(prop, bucket)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .datasets.io import save_dataset
+    from .datasets.synth import generate, tripadvisor_config, yelp_config
+
+    presets = {"tripadvisor": tripadvisor_config, "yelp": yelp_config}
+    config = presets[args.preset](n_users=args.users)
+    dataset = generate(config, seed=args.seed)
+    save_dataset(dataset, args.out)
+    print(
+        f"wrote {args.out}: {len(dataset.user_ids)} users, "
+        f"{len(dataset.business_ids)} businesses, {len(dataset)} reviews"
+    )
+    return 0
+
+
+def _cmd_derive(args: argparse.Namespace) -> int:
+    from .datasets.derive import (
+        build_repository,
+        tripadvisor_derive_config,
+        yelp_derive_config,
+    )
+    from .datasets.io import load_dataset, save_profiles
+
+    presets = {
+        "tripadvisor": tripadvisor_derive_config,
+        "yelp": yelp_derive_config,
+    }
+    dataset = load_dataset(args.dataset)
+    repository = build_repository(dataset, presets[args.preset]())
+    save_profiles(repository, args.out)
+    print(
+        f"wrote {args.out}: {len(repository)} profiles, "
+        f"{len(repository.property_labels)} properties, mean size "
+        f"{repository.mean_profile_size():.1f}"
+    )
+    return 0
+
+
+def _load_service(profiles_path: str, args: argparse.Namespace) -> PodiumService:
+    from .datasets.io import load_profiles
+
+    service = PodiumService(load_profiles(profiles_path))
+    service.configurations.put(
+        DiversificationConfiguration(
+            name="cli",
+            description="configuration assembled from CLI flags",
+            budget=args.budget,
+            weight_scheme=args.weights,
+            coverage_scheme=args.coverage,
+            bucketing_strategy=args.strategy,
+            min_support=args.min_support,
+        )
+    )
+    return service
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    service = _load_service(args.profiles, args)
+    feedback = CustomizationFeedback(
+        must_have=frozenset(_parse_group_key(t) for t in args.must_have),
+        must_not=frozenset(_parse_group_key(t) for t in args.must_not),
+        priority=frozenset(_parse_group_key(t) for t in args.priority),
+    )
+    if feedback == CustomizationFeedback.none():
+        feedback = None
+    response = service.select(
+        "cli",
+        feedback=feedback,
+        explain=args.explain,
+        distribution_properties=tuple(args.distribution or ()),
+    )
+    if args.html:
+        Path(args.html).write_text(service.explanation_page("cli"))
+        print(f"wrote explanation page to {args.html}", file=sys.stderr)
+    json.dump(response, sys.stdout, indent=1)
+    print()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    service = _load_service(args.profiles, args)
+    serve(service, host=args.host, port=args.port)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import build_report
+
+    report = build_report(fast=args.fast)
+    Path(args.out).write_text(report)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _add_selection_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profiles", required=True, help="profile JSON path")
+    parser.add_argument("--budget", type=int, default=8)
+    parser.add_argument(
+        "--weights", default="LBS", choices=("Iden", "LBS", "EBS")
+    )
+    parser.add_argument(
+        "--coverage", default="Single", choices=("Single", "Prop")
+    )
+    parser.add_argument("--strategy", default="jenks")
+    parser.add_argument("--min-support", type=int, default=1)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Assemble the argparse tree for every CLI command."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="synthesize a review dataset"
+    )
+    generate.add_argument(
+        "--preset", default="tripadvisor", choices=("tripadvisor", "yelp")
+    )
+    generate.add_argument("--users", type=int, default=500)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(handler=_cmd_generate)
+
+    derive = commands.add_parser(
+        "derive", help="derive profiles from a dataset"
+    )
+    derive.add_argument("--dataset", required=True)
+    derive.add_argument(
+        "--preset", default="tripadvisor", choices=("tripadvisor", "yelp")
+    )
+    derive.add_argument("--out", required=True)
+    derive.set_defaults(handler=_cmd_derive)
+
+    select = commands.add_parser("select", help="run diverse user selection")
+    _add_selection_flags(select)
+    select.add_argument(
+        "--must-have", action="append", default=[], metavar="PROP::BUCKET"
+    )
+    select.add_argument(
+        "--must-not", action="append", default=[], metavar="PROP::BUCKET"
+    )
+    select.add_argument(
+        "--priority", action="append", default=[], metavar="PROP::BUCKET"
+    )
+    select.add_argument(
+        "--distribution", action="append", metavar="PROPERTY",
+        help="include a population-vs-subset distribution for PROPERTY",
+    )
+    select.add_argument("--explain", action="store_true")
+    select.add_argument(
+        "--html", metavar="PATH",
+        help="also write the Fig. 2 explanation page as HTML to PATH",
+    )
+    select.set_defaults(handler=_cmd_select)
+
+    server = commands.add_parser("serve", help="start the HTTP service")
+    _add_selection_flags(server)
+    server.add_argument("--host", default="127.0.0.1")
+    server.add_argument("--port", type=int, default=8808)
+    server.set_defaults(handler=_cmd_serve)
+
+    report = commands.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report.add_argument("--fast", action="store_true")
+    report.add_argument("--out", default="EXPERIMENTS.md")
+    report.set_defaults(handler=_cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except PodiumError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,125 @@
+"""Proportionate allocation (paper Def. 2.1) and its infeasibility.
+
+A user subset ``U`` is a *proportionate allocation* of the groups ``G``
+when ``|g ∩ U| / |U| = |g| / |U_all|`` for every group — the stratified-
+sampling ideal.  The paper's §2 argument is that in high-dimensional
+repositories with many overlapping groups such subsets essentially never
+exist, which motivates the relaxed coverage objective.  This module
+makes both the definition and the argument executable: an exact checker,
+a per-group deviation report, and a search helper that demonstrates the
+infeasibility on real group sets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from itertools import combinations
+
+from .errors import InvalidInstanceError
+from .groups import GroupKey, GroupSet
+
+
+@dataclass(frozen=True)
+class AllocationReport:
+    """Per-group proportionality diagnostics for one subset."""
+
+    subset_size: int
+    population_size: int
+    #: group key -> (subset share, population share)
+    shares: dict[GroupKey, tuple[float, float]]
+    tolerance: float
+
+    @property
+    def is_proportionate(self) -> bool:
+        return all(
+            abs(sub - pop) <= self.tolerance
+            for sub, pop in self.shares.values()
+        )
+
+    def worst_gap(self) -> float:
+        """Largest absolute share deviation across groups."""
+        return max(
+            (abs(sub - pop) for sub, pop in self.shares.values()),
+            default=0.0,
+        )
+
+    def under_represented(self) -> list[GroupKey]:
+        """Groups whose subset share falls short beyond the tolerance."""
+        return [
+            key
+            for key, (sub, pop) in self.shares.items()
+            if pop - sub > self.tolerance
+        ]
+
+
+def allocation_report(
+    groups: GroupSet,
+    subset: Iterable[str],
+    population_size: int,
+    tolerance: float = 1e-9,
+) -> AllocationReport:
+    """Compute every group's subset vs population share (Def. 2.1)."""
+    if population_size < 1:
+        raise InvalidInstanceError(
+            f"population size must be >= 1, got {population_size}"
+        )
+    selected = set(subset)
+    if not selected:
+        raise InvalidInstanceError("subset must be non-empty")
+    shares = {
+        group.key: (
+            len(group.members & selected) / len(selected),
+            group.size / population_size,
+        )
+        for group in groups
+    }
+    return AllocationReport(
+        subset_size=len(selected),
+        population_size=population_size,
+        shares=shares,
+        tolerance=tolerance,
+    )
+
+
+def is_proportionate_allocation(
+    groups: GroupSet,
+    subset: Iterable[str],
+    population_size: int,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Exact Def. 2.1 check (with a float tolerance on the shares)."""
+    return allocation_report(
+        groups, subset, population_size, tolerance
+    ).is_proportionate
+
+
+def proportionate_subset_exists(
+    groups: GroupSet,
+    population: Iterable[str],
+    subset_size: int,
+    tolerance: float = 1e-9,
+    max_candidates: int = 200_000,
+) -> bool:
+    """Exhaustively search for a proportionate subset of the given size.
+
+    Intended for the §2 infeasibility demonstration on small populations;
+    raises when the search space exceeds ``max_candidates`` (at which
+    point exhaustive certification is off the table — the paper's point).
+    """
+    users = sorted(set(population))
+    if subset_size < 1 or subset_size > len(users):
+        return False
+    from math import comb
+
+    if comb(len(users), subset_size) > max_candidates:
+        raise InvalidInstanceError(
+            f"search space C({len(users)}, {subset_size}) exceeds "
+            f"{max_candidates}; exhaustive certification is infeasible"
+        )
+    for candidate in combinations(users, subset_size):
+        if is_proportionate_allocation(
+            groups, candidate, len(users), tolerance
+        ):
+            return True
+    return False

@@ -1,0 +1,235 @@
+"""Customization of diversification results (paper §6).
+
+A :class:`CustomizationFeedback` carries the four group subsets of
+Def. 6.1: must-have (``G₊``), must-not (``G₋``), priority coverage
+(``G_d``) and standard coverage (``G_d?``).  Groups in none of the latter
+two are ignored for coverage.
+
+Solving CUSTOM-DIVERSITY (Def. 6.3) follows the paper's Prop. 6.5 proof:
+
+1. filter the repository down to the refined user set ``U'``;
+2. rescale weights so priority groups lexicographically dominate:
+   ``score~(U) = score_{G_d}(U) · MAX_SCORE + score_{G_d?}(U)`` with
+   ``MAX_SCORE`` exceeding any achievable standard score — computed as an
+   exact Python integer scale, so the lexicographic order is never broken
+   by floating-point rounding;
+3. run the unchanged greedy algorithm on the rescaled instance.
+
+The rescaled score remains submodular, monotone and non-negative
+(Lemma 6.6), so the (1 − 1/e) guarantee carries over.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import InfeasibleSelectionError, InvalidFeedbackError
+from .greedy import SelectionResult, greedy_select
+from .groups import GroupKey, GroupSet
+from .instance import DiversificationInstance
+from .profiles import UserRepository
+from .scoring import subset_score
+from .weights import Weight
+
+
+@dataclass(frozen=True)
+class CustomizationFeedback:
+    """Def. 6.1 feedback: four group subsets steering the selection.
+
+    ``priority`` and ``standard`` default to the paper defaults
+    (``G_d = ∅``, ``G_d? = G``) when instantiated via
+    :meth:`resolve_defaults`; a raw instance keeps ``standard=None`` to
+    mean "everything not in priority".
+    """
+
+    must_have: frozenset[GroupKey] = frozenset()
+    must_not: frozenset[GroupKey] = frozenset()
+    priority: frozenset[GroupKey] = frozenset()
+    standard: frozenset[GroupKey] | None = None
+
+    @classmethod
+    def none(cls) -> "CustomizationFeedback":
+        """The empty feedback — CUSTOM-DIVERSITY degrades to BASE-DIVERSITY."""
+        return cls()
+
+    def validate(self, groups: GroupSet) -> None:
+        """Ensure every referenced group exists in ``groups``."""
+        known = set(groups.keys)
+        for name, keys in (
+            ("must_have", self.must_have),
+            ("must_not", self.must_not),
+            ("priority", self.priority),
+            ("standard", self.standard or frozenset()),
+        ):
+            unknown = [k for k in keys if k not in known]
+            if unknown:
+                raise InvalidFeedbackError(
+                    f"{name} references unknown groups: "
+                    f"{[str(k) for k in unknown[:3]]}"
+                )
+
+    def resolve_standard(self, groups: GroupSet) -> frozenset[GroupKey]:
+        """Concrete ``G_d?``: the stored set, or ``G − G_d`` by default."""
+        if self.standard is not None:
+            return self.standard
+        return frozenset(groups.keys) - self.priority
+
+
+def refine_users(
+    repository: UserRepository,
+    groups: GroupSet,
+    feedback: CustomizationFeedback,
+) -> list[str]:
+    """Compute the refined user set ``U'`` of Def. 6.3.
+
+    For every property with at least one must-have bucket, a user must
+    belong to *some* must-have bucket of that property (the paper's
+    contradiction-avoidance rule); and a user must belong to no must-not
+    group.
+    """
+    feedback.validate(groups)
+    must_have_by_property: dict[str, set[GroupKey]] = {}
+    for key in feedback.must_have:
+        must_have_by_property.setdefault(key.property_label, set()).add(key)
+
+    eligible: list[str] = []
+    for user_id in repository.user_ids:
+        memberships = groups.groups_of(user_id)
+        if memberships & feedback.must_not:
+            continue
+        satisfied = all(
+            memberships & bucket_keys
+            for bucket_keys in must_have_by_property.values()
+        )
+        if satisfied:
+            eligible.append(user_id)
+    return eligible
+
+
+def _integer_weight_scale(standard_max: Weight) -> int:
+    """An exact integer strictly greater than the max standard score."""
+    if isinstance(standard_max, int):
+        return standard_max + 1
+    return math.floor(standard_max) + 1
+
+
+def customized_instance(
+    instance: DiversificationInstance,
+    feedback: CustomizationFeedback,
+) -> DiversificationInstance:
+    """Rescale ``instance`` so priority groups dominate lexicographically.
+
+    Groups outside ``G_d ∪ G_d?`` are dropped entirely (their coverage is
+    ignored per Def. 6.1); priority groups get their weight multiplied by
+    ``MAX_SCORE``, an integer exceeding the best achievable standard
+    score ``Σ_{G in G_d?} wei(G)·cov(G)``.
+    """
+    feedback.validate(instance.groups)
+    standard = feedback.resolve_standard(instance.groups)
+    active = feedback.priority | standard
+    restricted = instance.restricted_to_groups(active)
+
+    standard_max: Weight = sum(
+        instance.wei[k] * instance.cov[k] for k in standard
+    )
+    scale = _integer_weight_scale(standard_max)
+    wei = {
+        key: (
+            instance.wei[key] * scale
+            if key in feedback.priority
+            else instance.wei[key]
+        )
+        for key in restricted.groups.keys
+    }
+    return DiversificationInstance(
+        groups=restricted.groups,
+        wei=wei,
+        cov=dict(restricted.cov),
+        budget=instance.budget,
+        population_size=instance.population_size,
+    )
+
+
+@dataclass(frozen=True)
+class CustomSelectionResult:
+    """Outcome of a CUSTOM-DIVERSITY run with per-tier scores.
+
+    ``priority_score`` and ``standard_score`` report ``score_{G_d}`` and
+    ``score_{G_d?}`` separately (the lexicographic components), alongside
+    the underlying :class:`SelectionResult` on the rescaled instance.
+    """
+
+    result: SelectionResult
+    feedback: CustomizationFeedback
+    refined_pool_size: int
+    priority_score: Weight
+    standard_score: Weight
+
+    @property
+    def selected(self) -> tuple[str, ...]:
+        return self.result.selected
+
+
+def custom_select(
+    repository: UserRepository,
+    instance: DiversificationInstance,
+    feedback: CustomizationFeedback,
+    budget: int | None = None,
+    method: str = "eager",
+    rng: np.random.Generator | None = None,
+) -> CustomSelectionResult:
+    """Solve CUSTOM-DIVERSITY greedily (Prop. 6.5).
+
+    Raises :class:`InfeasibleSelectionError` when the must-have/must-not
+    filters eliminate every candidate.
+    """
+    pool = refine_users(repository, instance.groups, feedback)
+    if not pool:
+        raise InfeasibleSelectionError(
+            "customization feedback filtered out every user"
+        )
+    rescaled = customized_instance(instance, feedback)
+    result = greedy_select(
+        repository,
+        rescaled,
+        budget=budget,
+        candidates=pool,
+        method=method,
+        rng=rng,
+    )
+    standard = feedback.resolve_standard(instance.groups)
+    priority_score = subset_score(
+        instance.restricted_to_groups(feedback.priority), result.selected
+    ) if feedback.priority else 0
+    standard_score = subset_score(
+        instance.restricted_to_groups(standard), result.selected
+    ) if standard else 0
+    return CustomSelectionResult(
+        result=result,
+        feedback=feedback,
+        refined_pool_size=len(pool),
+        priority_score=priority_score,
+        standard_score=standard_score,
+    )
+
+
+def feedback_group_coverage(
+    instance: DiversificationInstance,
+    feedback: CustomizationFeedback,
+    selected: Iterable[str],
+) -> float:
+    """Fraction of priority groups covered by ``selected`` (Fig. 4 metric)."""
+    if not feedback.priority:
+        return 1.0
+    selected_set = set(selected)
+    covered = sum(
+        1
+        for key in feedback.priority
+        if len(instance.groups.group(key).members & selected_set)
+        >= instance.cov[key]
+    )
+    return covered / len(feedback.priority)

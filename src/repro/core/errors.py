@@ -1,0 +1,76 @@
+"""Exception hierarchy for the Podium reproduction.
+
+Every error raised by the library derives from :class:`PodiumError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class PodiumError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class InvalidScoreError(PodiumError, ValueError):
+    """A property score fell outside the normalized ``[0, 1]`` range."""
+
+
+class DuplicateUserError(PodiumError, ValueError):
+    """A user id was inserted twice into a repository."""
+
+
+class UnknownUserError(PodiumError, KeyError):
+    """A user id was requested that is not present in the repository."""
+
+    def __str__(self) -> str:  # KeyError quotes its message; keep it readable
+        return Exception.__str__(self)
+
+
+class UnknownPropertyError(PodiumError, KeyError):
+    """A property label was requested that no user in scope possesses."""
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+
+class UnknownGroupError(PodiumError, KeyError):
+    """A group key was requested that is not part of the group set."""
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+
+class EmptyRepositoryError(PodiumError, ValueError):
+    """An operation that needs at least one user ran on an empty repository."""
+
+
+class InvalidBudgetError(PodiumError, ValueError):
+    """The selection budget ``B`` must be a positive integer."""
+
+
+class InvalidBucketError(PodiumError, ValueError):
+    """A bucket definition is malformed (empty, reversed, or out of range)."""
+
+
+class InvalidInstanceError(PodiumError, ValueError):
+    """A diversification instance is inconsistent (e.g. non-positive weight)."""
+
+
+class InvalidFeedbackError(PodiumError, ValueError):
+    """A customization feedback references groups outside the instance."""
+
+
+class InfeasibleSelectionError(PodiumError, ValueError):
+    """Customization filters left no eligible user to select from."""
+
+
+class DatasetError(PodiumError, ValueError):
+    """A dataset file or generator configuration is invalid."""
+
+
+class TaxonomyError(PodiumError, ValueError):
+    """A taxonomy is malformed (cycle, unknown node, duplicate edge)."""
+
+
+class ServiceError(PodiumError):
+    """The prototype service received an invalid request."""

@@ -1,0 +1,226 @@
+"""Explanations of diversification results (paper §5, Def. 5.1).
+
+Three complementary explanation types are produced:
+
+* **Group explanation** — ``⟨label, wei(G), cov(G)⟩``: what the group is
+  and how important it was to the selection.
+* **User explanation** — the groups a selected user represents (why the
+  user was picked).
+* **Subset-group explanation** — ``⟨cov(G), |U ∩ G|⟩``: required versus
+  actual coverage of a group by the whole subset.
+
+:func:`explain_selection` assembles these into the payload behind the
+prototype's explanation page (Fig. 2): per-user top-weight groups, the
+fraction of top-weight groups covered, the full weighted group list with
+covered flags, and per-property score distributions of population versus
+subset.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from .greedy import SelectionResult
+from .groups import GroupKey
+from .instance import DiversificationInstance
+from .weights import Weight
+
+
+@dataclass(frozen=True)
+class GroupExplanation:
+    """Def. 5.1 group explanation: ``⟨l_G, wei(G), cov(G)⟩``."""
+
+    key: GroupKey
+    label: str
+    weight: Weight
+    coverage: int
+
+    def as_tuple(self) -> tuple[str, Weight, int]:
+        return (self.label, self.weight, self.coverage)
+
+
+@dataclass(frozen=True)
+class UserExplanation:
+    """Def. 5.1 user explanation: the groups ``u`` represents."""
+
+    user_id: str
+    groups: tuple[GroupExplanation, ...]
+
+    def top(self, k: int) -> tuple[GroupExplanation, ...]:
+        """The user's ``k`` heaviest groups (what the UI's left pane shows)."""
+        return tuple(
+            sorted(self.groups, key=lambda g: (-g.weight, str(g.key)))[:k]
+        )
+
+
+@dataclass(frozen=True)
+class SubsetGroupExplanation:
+    """Def. 5.1 subset-group explanation: ``⟨cov(G), |U ∩ G|⟩``."""
+
+    key: GroupKey
+    label: str
+    required: int
+    actual: int
+
+    @property
+    def covered(self) -> bool:
+        return self.actual >= self.required
+
+    def as_tuple(self) -> tuple[int, int]:
+        return (self.required, self.actual)
+
+
+@dataclass(frozen=True)
+class DistributionComparison:
+    """Population-vs-subset score distribution for one property.
+
+    This backs the right pane of Fig. 2: for each bucket of the property,
+    the fraction of the population weight versus the subset weight that
+    falls in it.
+    """
+
+    property_label: str
+    bucket_labels: tuple[str, ...]
+    population: tuple[float, ...]
+    subset: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class SelectionExplanation:
+    """Full explanation payload for a selection result."""
+
+    group_explanations: tuple[GroupExplanation, ...]
+    user_explanations: tuple[UserExplanation, ...]
+    subset_group_explanations: tuple[SubsetGroupExplanation, ...]
+    top_coverage_fraction: float
+    distributions: tuple[DistributionComparison, ...] = field(default=())
+
+    def for_user(self, user_id: str) -> UserExplanation:
+        for ue in self.user_explanations:
+            if ue.user_id == user_id:
+                return ue
+        raise KeyError(f"user {user_id!r} is not part of the selection")
+
+    def covered(self) -> tuple[SubsetGroupExplanation, ...]:
+        return tuple(e for e in self.subset_group_explanations if e.covered)
+
+    def uncovered(self) -> tuple[SubsetGroupExplanation, ...]:
+        return tuple(
+            e for e in self.subset_group_explanations if not e.covered
+        )
+
+
+def explain_group(
+    instance: DiversificationInstance, key: GroupKey
+) -> GroupExplanation:
+    """Build the Def. 5.1 explanation of a single group."""
+    group = instance.groups.group(key)
+    return GroupExplanation(
+        key=key,
+        label=group.label,
+        weight=instance.wei[key],
+        coverage=instance.cov[key],
+    )
+
+
+def explain_user(
+    instance: DiversificationInstance, user_id: str
+) -> UserExplanation:
+    """Build the Def. 5.1 explanation of one selected user."""
+    keys = sorted(instance.groups.groups_of(user_id), key=str)
+    return UserExplanation(
+        user_id=user_id,
+        groups=tuple(explain_group(instance, k) for k in keys),
+    )
+
+
+def explain_subset_group(
+    instance: DiversificationInstance,
+    selected: Iterable[str],
+    key: GroupKey,
+) -> SubsetGroupExplanation:
+    """Build the Def. 5.1 subset-group explanation ``⟨cov, |U ∩ G|⟩``."""
+    group = instance.groups.group(key)
+    selected_set = set(selected)
+    return SubsetGroupExplanation(
+        key=key,
+        label=group.label,
+        required=instance.cov[key],
+        actual=len(group.members & selected_set),
+    )
+
+
+def compare_distributions(
+    instance: DiversificationInstance,
+    selected: Iterable[str],
+    property_label: str,
+) -> DistributionComparison:
+    """Weight-share per bucket for population vs selected subset.
+
+    Follows §8.2's group-bucket distribution construction:
+    ``f_all(b) = wei(G_{p,b}) / Σ_b' wei(G_{p,b'})`` and the analogue for
+    the subset restricted to each bucket's members.
+    """
+    selected_set = set(selected)
+    buckets = instance.groups.buckets_of_property(property_label)
+    buckets = sorted(
+        buckets, key=lambda g: (g.bucket.lo if g.bucket else 0.0, g.label)
+    )
+    pop_weights = [float(instance.wei[g.key]) for g in buckets]
+    sub_weights = [float(len(g.members & selected_set)) for g in buckets]
+    pop_total = sum(pop_weights) or 1.0
+    sub_total = sum(sub_weights) or 1.0
+    return DistributionComparison(
+        property_label=property_label,
+        bucket_labels=tuple(
+            g.bucket.label if g.bucket else g.label for g in buckets
+        ),
+        population=tuple(w / pop_total for w in pop_weights),
+        subset=tuple(w / sub_total for w in sub_weights),
+    )
+
+
+def explain_selection(
+    result: SelectionResult,
+    top_k: int = 200,
+    distribution_properties: Iterable[str] = (),
+) -> SelectionExplanation:
+    """Assemble the full explanation payload for ``result``.
+
+    ``top_k`` bounds the "top-weight relevant groups" the coverage
+    percentage is computed over, mirroring the middle pane of Fig. 2.
+    """
+    instance = result.instance
+    selected = list(result.selected)
+
+    by_weight = sorted(
+        instance.groups.keys,
+        key=lambda k: (-instance.wei[k], str(k)),
+    )
+    top_keys = by_weight[:top_k]
+
+    subset_groups = tuple(
+        explain_subset_group(instance, selected, key) for key in by_weight
+    )
+    covered_top = sum(
+        1
+        for key in top_keys
+        if explain_subset_group(instance, selected, key).covered
+    )
+    top_fraction = covered_top / len(top_keys) if top_keys else 1.0
+
+    return SelectionExplanation(
+        group_explanations=tuple(
+            explain_group(instance, key) for key in by_weight
+        ),
+        user_explanations=tuple(
+            explain_user(instance, user_id) for user_id in selected
+        ),
+        subset_group_explanations=subset_groups,
+        top_coverage_fraction=top_fraction,
+        distributions=tuple(
+            compare_distributions(instance, selected, p)
+            for p in distribution_properties
+        ),
+    )

@@ -1,0 +1,219 @@
+"""Greedy user selection — Algorithm 1 of the paper (§4).
+
+Two interchangeable implementations are provided:
+
+* :func:`greedy_select` with ``method="eager"`` follows the paper line by
+  line: it maintains every candidate's marginal contribution
+  ``marg_{u,U}`` and, whenever a group's remaining coverage hits zero,
+  subtracts the group's weight from the contribution of its other members
+  (Algorithm 1, line 10).  Complexity
+  ``O(B · max_G |G| · max_u degree(u))`` per Prop. 4.4.
+* ``method="lazy"`` is the standard lazy-greedy accelerant for monotone
+  submodular objectives: stale upper bounds sit in a max-heap and are only
+  refreshed when popped.  It returns a subset with the same score
+  guarantee and is typically much faster on large, overlapping group sets.
+
+Both achieve the (1 − 1/e) approximation of Prop. 4.4 because the score
+function is monotone submodular for every weight/coverage choice.
+
+Ties between candidates with equal marginal gain are broken
+deterministically by user id unless an ``rng`` is supplied, in which case
+they are broken uniformly at random — the controlled randomness the paper
+mentions in §10.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import InvalidBudgetError, PodiumError
+from .instance import DiversificationInstance
+from .profiles import UserRepository
+from .scoring import CoverageState
+from .weights import Weight
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of a selection run.
+
+    Attributes
+    ----------
+    selected:
+        User ids in the order they were picked.
+    score:
+        Final ``score_G`` of the subset.
+    gains:
+        Realized marginal gain of each pick, parallel to ``selected``.
+    instance:
+        The diversification instance the selection ran against (used by
+        explanations and metrics downstream).
+    """
+
+    selected: tuple[str, ...]
+    score: Weight
+    gains: tuple[Weight, ...]
+    instance: DiversificationInstance
+
+    def __post_init__(self) -> None:
+        if len(self.selected) != len(self.gains):
+            raise PodiumError("selected and gains must be parallel")
+
+    def __len__(self) -> int:
+        return len(self.selected)
+
+    def __contains__(self, user_id: object) -> bool:
+        return user_id in self.selected
+
+
+def _resolve_candidates(
+    repository: UserRepository, candidates: list[str] | None
+) -> list[str]:
+    if candidates is None:
+        return repository.user_ids
+    return [u for u in candidates if u in repository]
+
+
+def _pick_tie(
+    tied: list[str], rng: np.random.Generator | None
+) -> str:
+    if rng is None or len(tied) == 1:
+        return min(tied)
+    return tied[int(rng.integers(len(tied)))]
+
+
+def greedy_select(
+    repository: UserRepository,
+    instance: DiversificationInstance,
+    budget: int | None = None,
+    candidates: list[str] | None = None,
+    method: str = "eager",
+    rng: np.random.Generator | None = None,
+) -> SelectionResult:
+    """Select up to ``budget`` users maximizing ``score_G`` greedily.
+
+    Parameters
+    ----------
+    repository:
+        The population ``U`` to select from.
+    instance:
+        The diversification instance ``(G, wei, cov)``.
+    budget:
+        Bound ``B`` on the subset size; defaults to ``instance.budget``.
+    candidates:
+        Optional pre-filtered candidate pool (CUSTOM-DIVERSITY passes the
+        refined user set ``U'`` here); ids absent from the repository are
+        ignored.
+    method:
+        ``"eager"`` (paper Algorithm 1) or ``"lazy"`` (heap accelerant).
+    rng:
+        Optional generator for random tie-breaking.
+    """
+    budget = instance.budget if budget is None else budget
+    if budget < 1:
+        raise InvalidBudgetError(f"budget must be >= 1, got {budget}")
+    pool = _resolve_candidates(repository, candidates)
+    if method == "eager":
+        return _greedy_eager(pool, instance, budget, rng)
+    if method == "lazy":
+        return _greedy_lazy(pool, instance, budget, rng)
+    raise PodiumError(f"unknown greedy method {method!r}; use 'eager' or 'lazy'")
+
+
+def _greedy_eager(
+    pool: list[str],
+    instance: DiversificationInstance,
+    budget: int,
+    rng: np.random.Generator | None,
+) -> SelectionResult:
+    """Paper-faithful Algorithm 1 with explicit marg_{u,U} updates."""
+    groups = instance.groups
+    state = CoverageState(instance)
+    # Line 2: initial marginal contribution of every candidate.
+    marg: dict[str, Weight] = {u: state.marginal_gain(u) for u in pool}
+    remaining = set(pool)
+    gains: list[Weight] = []
+
+    for _ in range(budget):
+        if not remaining:  # Line 4: pool exhausted before the budget.
+            break
+        best = max(marg[u] for u in remaining)
+        tied = [u for u in remaining if marg[u] == best]
+        chosen = _pick_tie(tied, rng)  # Line 5 (+ tie policy).
+        remaining.discard(chosen)  # Line 6.
+        gains.append(state.add(chosen))
+        # Lines 7-10: for every group the pick exhausted, its weight no
+        # longer counts toward co-members' marginal contributions.
+        for key in state.last_exhausted():
+            weight = instance.wei[key]
+            for member in groups.group(key).members:
+                if member in remaining:
+                    marg[member] -= weight
+
+    return SelectionResult(
+        selected=tuple(state.selected),
+        score=state.score,
+        gains=tuple(gains),
+        instance=instance,
+    )
+
+
+def _greedy_lazy(
+    pool: list[str],
+    instance: DiversificationInstance,
+    budget: int,
+    rng: np.random.Generator | None,
+) -> SelectionResult:
+    """Lazy-greedy: heap of stale upper bounds, refreshed on pop.
+
+    Heap priorities are exact ``(-gain, user_id)`` tuples (Python ints
+    for EBS weights never pass through float, which would overflow for
+    ``(B+1)^rank``).  Because marginal gains only shrink as the subset
+    grows (submodularity), a stored priority is a lower bound of the true
+    one; a popped entry whose refreshed priority equals its stored
+    priority is therefore the global maximum — with ties resolved by
+    user id, *exactly* like the eager implementation, so both methods
+    select identical sequences when ``rng`` is None.
+    """
+    state = CoverageState(instance)
+    heap: list[tuple[Weight, str]] = [
+        (-state.marginal_gain(user_id), user_id) for user_id in pool
+    ]
+    heapq.heapify(heap)
+
+    gains: list[Weight] = []
+    while heap and len(state.selected) < budget:
+        stored, user_id = heapq.heappop(heap)
+        fresh = state.marginal_gain(user_id)
+        if -fresh != stored:
+            # Stale: re-insert with the exact current priority.
+            heapq.heappush(heap, (-fresh, user_id))
+            continue
+        if rng is not None:
+            # Randomized tie-breaking: gather every fresh candidate tied
+            # on gain, pick uniformly, push the rest back.
+            tied = [user_id]
+            while heap and heap[0][0] == stored:
+                other_priority, other = heapq.heappop(heap)
+                other_fresh = state.marginal_gain(other)
+                if -other_fresh == stored:
+                    tied.append(other)
+                else:
+                    heapq.heappush(heap, (-other_fresh, other))
+            chosen = tied[int(rng.integers(len(tied)))]
+            for loser in tied:
+                if loser != chosen:
+                    heapq.heappush(heap, (stored, loser))
+            gains.append(state.add(chosen))
+            continue
+        gains.append(state.add(user_id))
+
+    return SelectionResult(
+        selected=tuple(state.selected),
+        score=state.score,
+        gains=tuple(gains),
+        instance=instance,
+    )

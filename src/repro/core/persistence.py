@@ -1,0 +1,139 @@
+"""Checkpointing the grouping module's output (paper §7, Fig. 1).
+
+The grouping module runs "in an offline process"; for large repositories
+its output — the group set and the materialized instance — is worth
+persisting so the selection module can restart without re-bucketing.
+These functions serialize both to plain JSON.  EBS weights are exact
+(arbitrary-precision) Python integers and JSON round-trips them
+losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .buckets import Bucket
+from .errors import DatasetError
+from .groups import Group, GroupKey, GroupSet
+from .instance import DiversificationInstance
+
+_GROUPS_FORMAT = "podium-groups-v1"
+_INSTANCE_FORMAT = "podium-instance-v1"
+
+
+def _bucket_to_dict(bucket: Bucket | None) -> dict[str, Any] | None:
+    if bucket is None:
+        return None
+    return {
+        "lo": bucket.lo,
+        "hi": bucket.hi,
+        "label": bucket.label,
+        "closed_hi": bucket.closed_hi,
+    }
+
+
+def _bucket_from_dict(data: dict[str, Any] | None) -> Bucket | None:
+    if data is None:
+        return None
+    return Bucket(
+        lo=float(data["lo"]),
+        hi=float(data["hi"]),
+        label=str(data["label"]),
+        closed_hi=bool(data["closed_hi"]),
+    )
+
+
+def group_set_to_dict(groups: GroupSet) -> dict[str, Any]:
+    """Serialize a group set (keys, members, buckets, labels)."""
+    return {
+        "format": _GROUPS_FORMAT,
+        "groups": [
+            {
+                "property": g.key.property_label,
+                "bucket_label": g.key.bucket_label,
+                "members": sorted(g.members),
+                "bucket": _bucket_to_dict(g.bucket),
+                "label": g.label,
+            }
+            for g in groups
+        ],
+    }
+
+
+def group_set_from_dict(document: dict[str, Any]) -> GroupSet:
+    """Rebuild a group set serialized by :func:`group_set_to_dict`."""
+    if document.get("format") != _GROUPS_FORMAT:
+        raise DatasetError(
+            f"expected format {_GROUPS_FORMAT!r}, got {document.get('format')!r}"
+        )
+    try:
+        return GroupSet(
+            Group(
+                GroupKey(str(g["property"]), str(g["bucket_label"])),
+                frozenset(g["members"]),
+                _bucket_from_dict(g.get("bucket")),
+                str(g.get("label", "")),
+            )
+            for g in document["groups"]
+        )
+    except (KeyError, TypeError) as exc:
+        raise DatasetError(f"malformed group document: {exc}") from exc
+
+
+def _key_token(key: GroupKey) -> str:
+    return f"{key.property_label}::{key.bucket_label}"
+
+
+def _key_from_token(token: str) -> GroupKey:
+    prop, _, bucket = token.rpartition("::")
+    return GroupKey(prop, bucket)
+
+
+def instance_to_dict(instance: DiversificationInstance) -> dict[str, Any]:
+    """Serialize a full diversification instance."""
+    return {
+        "format": _INSTANCE_FORMAT,
+        "budget": instance.budget,
+        "population_size": instance.population_size,
+        "groups": group_set_to_dict(instance.groups),
+        "wei": {_key_token(k): w for k, w in instance.wei.items()},
+        "cov": {_key_token(k): c for k, c in instance.cov.items()},
+    }
+
+
+def instance_from_dict(document: dict[str, Any]) -> DiversificationInstance:
+    """Rebuild an instance serialized by :func:`instance_to_dict`."""
+    if document.get("format") != _INSTANCE_FORMAT:
+        raise DatasetError(
+            f"expected format {_INSTANCE_FORMAT!r}, "
+            f"got {document.get('format')!r}"
+        )
+    try:
+        return DiversificationInstance(
+            groups=group_set_from_dict(document["groups"]),
+            wei={
+                _key_from_token(t): w for t, w in document["wei"].items()
+            },
+            cov={
+                _key_from_token(t): int(c)
+                for t, c in document["cov"].items()
+            },
+            budget=int(document["budget"]),
+            population_size=int(document["population_size"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DatasetError(f"malformed instance document: {exc}") from exc
+
+
+def save_instance(
+    instance: DiversificationInstance, path: str | Path
+) -> None:
+    """Write an instance checkpoint to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(instance_to_dict(instance)))
+
+
+def load_instance(path: str | Path) -> DiversificationInstance:
+    """Read an instance checkpoint written by :func:`save_instance`."""
+    return instance_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,94 @@
+"""Randomized diversification via noisy group weights (paper §10).
+
+The paper's framework is deterministic up to tie-breaking; its future
+work proposes "adding noise to group weights" so repeated selections
+yield different (still high-quality) panels — useful when the same
+client procures opinions week after week and should not poll the same
+eight users every time.
+
+:func:`noisy_instance` perturbs each weight multiplicatively with
+log-normal noise (positive by construction, so instance validation and
+the greedy guarantee on the *perturbed* objective are preserved);
+:func:`randomized_select` wraps perturb-then-greedy, and
+:func:`selection_pool` aggregates the users appearing across seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .greedy import SelectionResult, greedy_select
+from .errors import InvalidInstanceError
+from .instance import DiversificationInstance
+from .profiles import UserRepository
+
+
+def noisy_instance(
+    instance: DiversificationInstance,
+    sigma: float,
+    rng: np.random.Generator,
+) -> DiversificationInstance:
+    """Multiplicative log-normal noise (``exp(N(0, σ))``) on every weight.
+
+    ``σ = 0`` returns an equivalent instance; larger values trade score
+    retention for output diversity (the ablation bench quantifies this).
+    """
+    if sigma < 0:
+        raise InvalidInstanceError(f"sigma must be >= 0, got {sigma}")
+    keys = sorted(instance.groups.keys, key=str)
+    factors = np.exp(rng.normal(0.0, sigma, size=len(keys)))
+    return DiversificationInstance(
+        groups=instance.groups,
+        wei={
+            key: float(instance.wei[key]) * float(factor)
+            for key, factor in zip(keys, factors)
+        },
+        cov=dict(instance.cov),
+        budget=instance.budget,
+        population_size=instance.population_size,
+    )
+
+
+def randomized_select(
+    repository: UserRepository,
+    instance: DiversificationInstance,
+    sigma: float = 0.3,
+    seed: int = 0,
+    budget: int | None = None,
+    method: str = "lazy",
+) -> SelectionResult:
+    """Perturb weights, then run the greedy selection.
+
+    The returned result's ``score``/``gains`` refer to the *perturbed*
+    objective; evaluate the subset against the original instance with
+    :func:`repro.core.scoring.subset_score` when comparing runs.
+    """
+    rng = np.random.default_rng(seed)
+    perturbed = noisy_instance(instance, sigma, rng)
+    return greedy_select(
+        repository, perturbed, budget=budget, method=method, rng=rng
+    )
+
+
+def selection_pool(
+    repository: UserRepository,
+    instance: DiversificationInstance,
+    sigma: float = 0.3,
+    seeds: range | list[int] = range(10),
+    budget: int | None = None,
+) -> dict[str, int]:
+    """How often each user is picked across noisy re-selections.
+
+    Returns ``{user_id: times selected}`` sorted by frequency — the
+    rotation pool a repeated-procurement client would draw panels from.
+    """
+    counts: dict[str, int] = {}
+    for seed in seeds:
+        result = randomized_select(
+            repository, instance, sigma=sigma, seed=seed, budget=budget
+        )
+        for user_id in result.selected:
+            counts[user_id] = counts.get(user_id, 0) + 1
+    return dict(
+        sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    )

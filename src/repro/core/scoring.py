@@ -1,0 +1,115 @@
+"""Subset scoring (paper Def. 3.3) and marginal-gain bookkeeping.
+
+``score_G(U) = Σ_{G in G-set} wei(G) · min(|U ∩ G|, cov(G))``
+
+The score is submodular, monotone and non-negative for any weight and
+coverage choice (Prop. 4.4), which is what grants the greedy algorithm its
+(1 − 1/e) guarantee.  :class:`CoverageState` tracks per-group hit counts
+incrementally so the greedy loop pays O(degree(u)) per candidate instead
+of recomputing the full sum.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .groups import GroupKey
+from .instance import DiversificationInstance
+from .weights import Weight
+
+
+def subset_score(
+    instance: DiversificationInstance, user_ids: Iterable[str]
+) -> Weight:
+    """Compute ``score_G(U)`` from scratch for a user subset."""
+    selected = set(user_ids)
+    total: Weight = 0
+    for group in instance.groups:
+        hits = len(group.members & selected)
+        if hits:
+            total += instance.wei[group.key] * min(hits, instance.cov[group.key])
+    return total
+
+
+def covered_groups(
+    instance: DiversificationInstance, user_ids: Iterable[str]
+) -> set[GroupKey]:
+    """Keys of groups with at least ``cov(G)`` representatives in ``U``."""
+    selected = set(user_ids)
+    return {
+        group.key
+        for group in instance.groups
+        if len(group.members & selected) >= instance.cov[group.key]
+    }
+
+
+class CoverageState:
+    """Incremental view of ``score_G`` while users are added one by one.
+
+    Mirrors the data structures of paper §4: per-group remaining coverage,
+    per-user marginal contribution, and the user ↔ group links from the
+    group set.  Adding a user is O(degree(u)); reading any user's marginal
+    gain is O(1).
+    """
+
+    def __init__(self, instance: DiversificationInstance) -> None:
+        self._instance = instance
+        self._remaining: dict[GroupKey, int] = dict(instance.cov)
+        self._selected: list[str] = []
+        self._score: Weight = 0
+
+    @property
+    def instance(self) -> DiversificationInstance:
+        return self._instance
+
+    @property
+    def selected(self) -> list[str]:
+        """Users added so far, in selection order."""
+        return list(self._selected)
+
+    @property
+    def score(self) -> Weight:
+        """Current ``score_G`` of the selected users."""
+        return self._score
+
+    def remaining_coverage(self, key: GroupKey) -> int:
+        """How many more representatives group ``key`` still needs."""
+        return self._remaining[key]
+
+    def marginal_gain(self, user_id: str) -> Weight:
+        """Score increase if ``user_id`` were added now.
+
+        Each group the user belongs to contributes its weight while its
+        remaining coverage is positive — exactly the ``marg_{u,U}`` value
+        maintained by Algorithm 1.
+        """
+        gain: Weight = 0
+        for key in self._instance.groups.groups_of(user_id):
+            if self._remaining[key] > 0:
+                gain += self._instance.wei[key]
+        return gain
+
+    def add(self, user_id: str) -> Weight:
+        """Add ``user_id`` to the subset; return its realized gain.
+
+        Returns the set of groups whose coverage the addition exhausted via
+        :meth:`last_exhausted`, which the eager greedy uses to propagate
+        weight decrements to co-members.
+        """
+        gain: Weight = 0
+        exhausted: list[GroupKey] = []
+        for key in self._instance.groups.groups_of(user_id):
+            remaining = self._remaining[key]
+            if remaining > 0:
+                gain += self._instance.wei[key]
+                self._remaining[key] = remaining - 1
+                if remaining == 1:
+                    exhausted.append(key)
+        self._selected.append(user_id)
+        self._score += gain
+        self._last_exhausted = exhausted
+        return gain
+
+    def last_exhausted(self) -> list[GroupKey]:
+        """Groups whose required coverage reached 0 on the latest add."""
+        return list(getattr(self, "_last_exhausted", []))

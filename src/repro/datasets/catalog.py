@@ -1,0 +1,140 @@
+"""Built-in domain catalog: cuisines, price tiers, cities, topics, ages.
+
+The synthetic generators draw categories from this catalog and the
+enrichment step (paper §3.1) generalizes along its taxonomies —
+``Mexican → Latin → AnyCuisine`` for cuisines, ``Tokyo → Japan → Asia``
+for residence locations.
+"""
+
+from __future__ import annotations
+
+from ..taxonomy.tree import Taxonomy
+
+#: Leaf cuisine -> parent cuisine family.
+CUISINE_PARENTS: dict[str, str] = {
+    "Mexican": "Latin",
+    "Tex-Mex": "Latin",
+    "Brazilian": "Latin",
+    "Peruvian": "Latin",
+    "Argentinian": "Latin",
+    "Spanish": "European",
+    "Italian": "European",
+    "French": "European",
+    "Greek": "European",
+    "Portuguese": "European",
+    "German": "European",
+    "Chinese": "Asian",
+    "Japanese": "Asian",
+    "Sushi": "Asian",
+    "Korean": "Asian",
+    "Thai": "Asian",
+    "Vietnamese": "Asian",
+    "Indian": "Asian",
+    "Lebanese": "MiddleEastern",
+    "Turkish": "MiddleEastern",
+    "Israeli": "MiddleEastern",
+    "Moroccan": "MiddleEastern",
+    "Burgers": "American",
+    "BBQ": "American",
+    "Steakhouse": "American",
+    "Diner": "American",
+    "Cajun": "American",
+    "Pizza": "FastCasual",
+    "Sandwiches": "FastCasual",
+    "FoodTrucks": "FastCasual",
+    "Vegan": "Health",
+    "Vegetarian": "Health",
+    "GlutenFree": "Health",
+}
+
+#: Cuisine family -> root.
+CUISINE_FAMILY_PARENTS: dict[str, str] = {
+    "Latin": "AnyCuisine",
+    "European": "AnyCuisine",
+    "Asian": "AnyCuisine",
+    "MiddleEastern": "AnyCuisine",
+    "American": "AnyCuisine",
+    "FastCasual": "AnyCuisine",
+    "Health": "AnyCuisine",
+}
+
+#: Price tiers are flat categories (no taxonomy above them).
+PRICE_TIERS: tuple[str, ...] = ("CheapEats", "MidRange", "FineDining")
+
+#: City -> region for the livesIn generalization.
+CITY_REGIONS: dict[str, str] = {
+    "Tokyo": "Asia-Pacific",
+    "Osaka": "Asia-Pacific",
+    "Seoul": "Asia-Pacific",
+    "Singapore": "Asia-Pacific",
+    "Sydney": "Asia-Pacific",
+    "Bali": "Asia-Pacific",
+    "NYC": "North-America",
+    "Chicago": "North-America",
+    "Toronto": "North-America",
+    "Austin": "North-America",
+    "Vancouver": "North-America",
+    "Mexico-City": "North-America",
+    "Paris": "Europe",
+    "London": "Europe",
+    "Berlin": "Europe",
+    "Rome": "Europe",
+    "Barcelona": "Europe",
+    "Lisbon": "Europe",
+    "Tel-Aviv": "Middle-East",
+    "Istanbul": "Middle-East",
+    "Dubai": "Middle-East",
+    "Sao-Paulo": "South-America",
+    "Buenos-Aires": "South-America",
+    "Lima": "South-America",
+}
+
+#: Age-group buckets users may self-report.
+AGE_GROUPS: tuple[str, ...] = ("18-24", "25-34", "35-49", "50-64", "65+")
+
+#: Review topics TripAdvisor-style extraction would surface.
+REVIEW_TOPICS: tuple[str, ...] = (
+    "service",
+    "food-quality",
+    "ambiance",
+    "price",
+    "wait-time",
+    "cleanliness",
+    "portion-size",
+    "location",
+    "drinks",
+    "dessert",
+    "staff",
+    "parking",
+    "noise-level",
+    "seating",
+    "menu-variety",
+)
+
+
+def cuisine_taxonomy() -> Taxonomy:
+    """The three-level cuisine taxonomy (leaf → family → AnyCuisine)."""
+    taxonomy = Taxonomy()
+    for leaf, family in CUISINE_PARENTS.items():
+        taxonomy.add_edge(leaf, family)
+    for family, root in CUISINE_FAMILY_PARENTS.items():
+        taxonomy.add_edge(family, root)
+    return taxonomy
+
+
+def city_taxonomy() -> Taxonomy:
+    """The two-level residence taxonomy (city → region)."""
+    taxonomy = Taxonomy()
+    for city, region in CITY_REGIONS.items():
+        taxonomy.add_edge(city, region)
+    return taxonomy
+
+
+def leaf_cuisines() -> tuple[str, ...]:
+    """All leaf cuisine categories, in stable order."""
+    return tuple(CUISINE_PARENTS)
+
+
+def cities() -> tuple[str, ...]:
+    """All catalog cities, in stable order."""
+    return tuple(CITY_REGIONS)

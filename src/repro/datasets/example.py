@@ -1,0 +1,81 @@
+"""The paper's running example (Table 2: Alice, Bob, Carol, David, Eve).
+
+Six properties over five users of a travel website.  ``livesIn <city>``
+and ``ageGroup <X-Y>`` are Boolean; the four restaurant properties carry
+normalized scores.  Examples 3.5, 3.8, 4.3, 5.2, 6.2 and 6.4 of the paper
+all run over this repository, and the unit tests in
+``tests/core/test_running_example.py`` replay them step by step.
+
+Note: Example 4.3 lists David's initial marginal contribution as 6, but
+its own update arithmetic (7 − 2 − 3 = 2 after Alice is picked) shows the
+intended value is 7 — the "6" is a typo in the paper; this module and the
+tests use 7.
+"""
+
+from __future__ import annotations
+
+from ..core.groups import GroupingConfig
+from ..core.profiles import UserProfile, UserRepository
+
+#: Interior split points of Example 3.8: low [0, 0.4), medium [0.4, 0.65),
+#: high [0.65, 1].
+EXAMPLE_SPLITS: tuple[float, float] = (0.4, 0.65)
+
+#: Property labels of Table 2.
+LIVES_IN_TOKYO = "livesIn Tokyo"
+LIVES_IN_NYC = "livesIn NYC"
+LIVES_IN_BALI = "livesIn Bali"
+LIVES_IN_PARIS = "livesIn Paris"
+AGE_50_64 = "ageGroup 50-64"
+AVG_MEXICAN = "avgRating Mexican"
+FREQ_MEXICAN = "visitFreq Mexican"
+AVG_CHEAP = "avgRating CheapEats"
+FREQ_CHEAP = "visitFreq CheapEats"
+
+_TABLE_2: dict[str, dict[str, float]] = {
+    "Alice": {
+        LIVES_IN_TOKYO: 1.0,
+        AGE_50_64: 1.0,
+        AVG_MEXICAN: 0.95,
+        FREQ_MEXICAN: 0.8,
+        AVG_CHEAP: 0.1,
+        FREQ_CHEAP: 0.6,
+    },
+    "Bob": {
+        LIVES_IN_NYC: 1.0,
+        AVG_MEXICAN: 0.3,
+        FREQ_MEXICAN: 0.25,
+        AVG_CHEAP: 0.9,
+        FREQ_CHEAP: 0.85,
+    },
+    "Carol": {
+        LIVES_IN_BALI: 1.0,
+        AGE_50_64: 1.0,
+        AVG_CHEAP: 0.45,
+        FREQ_CHEAP: 0.2,
+    },
+    "David": {
+        LIVES_IN_TOKYO: 1.0,
+        AVG_MEXICAN: 0.75,
+        FREQ_MEXICAN: 0.6,
+    },
+    "Eve": {
+        LIVES_IN_PARIS: 1.0,
+        AVG_MEXICAN: 0.8,
+        FREQ_MEXICAN: 0.45,
+        AVG_CHEAP: 0.6,
+        FREQ_CHEAP: 0.3,
+    },
+}
+
+
+def example_repository() -> UserRepository:
+    """Build the Table 2 repository."""
+    return UserRepository(
+        UserProfile(user_id, scores) for user_id, scores in _TABLE_2.items()
+    )
+
+
+def example_grouping_config() -> GroupingConfig:
+    """Grouping configuration reproducing Example 3.8's buckets."""
+    return GroupingConfig(fixed_splits=EXAMPLE_SPLITS)

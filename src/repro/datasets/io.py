@@ -1,0 +1,136 @@
+"""JSON input/output for profiles and review datasets (paper §7).
+
+"The input to Podium is a set of user profiles ... in JSON format" —
+:func:`save_profiles` / :func:`load_profiles` implement that interchange
+format.  Review datasets get their own format so generated ground truth
+can be checkpointed and replayed across experiment runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..core.errors import DatasetError
+from ..core.profiles import UserProfile, UserRepository
+from .schema import Business, RawUser, Review, ReviewDataset, TopicMention
+
+_PROFILE_FORMAT = "podium-profiles-v1"
+_DATASET_FORMAT = "podium-reviews-v1"
+
+
+def profiles_to_dict(repository: UserRepository) -> dict[str, Any]:
+    """Serialize a repository to the JSON-ready profile document."""
+    return {
+        "format": _PROFILE_FORMAT,
+        "users": [
+            {"id": profile.user_id, "properties": dict(profile.scores)}
+            for profile in repository
+        ],
+    }
+
+
+def profiles_from_dict(document: dict[str, Any]) -> UserRepository:
+    """Parse a profile document back into a repository."""
+    if document.get("format") != _PROFILE_FORMAT:
+        raise DatasetError(
+            f"expected format {_PROFILE_FORMAT!r}, got {document.get('format')!r}"
+        )
+    try:
+        return UserRepository(
+            UserProfile(str(entry["id"]), entry.get("properties", {}))
+            for entry in document["users"]
+        )
+    except (KeyError, TypeError) as exc:
+        raise DatasetError(f"malformed profile document: {exc}") from exc
+
+
+def save_profiles(repository: UserRepository, path: str | Path) -> None:
+    """Write a repository to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(profiles_to_dict(repository), indent=1))
+
+
+def load_profiles(path: str | Path) -> UserRepository:
+    """Read a repository previously saved with :func:`save_profiles`."""
+    return profiles_from_dict(json.loads(Path(path).read_text()))
+
+
+def dataset_to_dict(dataset: ReviewDataset) -> dict[str, Any]:
+    """Serialize a review dataset (ground truth) to a JSON document."""
+    return {
+        "format": _DATASET_FORMAT,
+        "users": [
+            {"id": u.user_id, "city": u.city, "age_group": u.age_group}
+            for u in (dataset.user(uid) for uid in dataset.user_ids)
+        ],
+        "businesses": [
+            {
+                "id": b.business_id,
+                "city": b.city,
+                "categories": list(b.categories),
+                "topics": list(b.topics),
+                "quality": b.quality,
+            }
+            for b in (dataset.business(bid) for bid in dataset.business_ids)
+        ],
+        "reviews": [
+            {
+                "user": r.user_id,
+                "business": r.business_id,
+                "rating": r.rating,
+                "mentions": [[m.topic, m.sentiment] for m in r.mentions],
+                "useful_votes": r.useful_votes,
+            }
+            for r in dataset.reviews
+        ],
+    }
+
+
+def dataset_from_dict(document: dict[str, Any]) -> ReviewDataset:
+    """Parse a dataset document produced by :func:`dataset_to_dict`."""
+    if document.get("format") != _DATASET_FORMAT:
+        raise DatasetError(
+            f"expected format {_DATASET_FORMAT!r}, got {document.get('format')!r}"
+        )
+    try:
+        users = [
+            RawUser(str(u["id"]), u.get("city"), u.get("age_group"))
+            for u in document["users"]
+        ]
+        businesses = [
+            Business(
+                business_id=str(b["id"]),
+                city=str(b["city"]),
+                categories=tuple(b["categories"]),
+                topics=tuple(b.get("topics", ())),
+                quality=float(b.get("quality", 0.5)),
+            )
+            for b in document["businesses"]
+        ]
+        reviews = [
+            Review(
+                user_id=str(r["user"]),
+                business_id=str(r["business"]),
+                rating=int(r["rating"]),
+                mentions=tuple(
+                    TopicMention(topic, sentiment)
+                    for topic, sentiment in r.get("mentions", ())
+                ),
+                useful_votes=int(r.get("useful_votes", 0)),
+            )
+            for r in document["reviews"]
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DatasetError(f"malformed dataset document: {exc}") from exc
+    return ReviewDataset(users, businesses, reviews)
+
+
+def save_dataset(dataset: ReviewDataset, path: str | Path) -> None:
+    """Write a review dataset to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(dataset_to_dict(dataset)))
+
+
+def load_dataset(path: str | Path) -> ReviewDataset:
+    """Read a dataset previously saved with :func:`save_dataset`."""
+    return dataset_from_dict(json.loads(Path(path).read_text()))

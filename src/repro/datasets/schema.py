@@ -1,0 +1,192 @@
+"""Raw review-platform records backing the synthetic datasets (paper §8.1).
+
+The paper's experiments run over TripAdvisor and Yelp restaurant-review
+data: users, businesses ("destinations") and reviews with ratings, topic
+mentions and — on Yelp — useful-vote counts.  These records are the
+*ground truth* layer: the selection algorithms only ever see the profile
+properties derived from them (:mod:`repro.datasets.derive`), while the
+opinion-diversity metrics read the reviews directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from ..core.errors import DatasetError
+
+#: Review ratings are integer "stars" in this inclusive range.
+RATING_MIN = 1
+RATING_MAX = 5
+
+#: Sentiment poles a topic mention can carry.
+SENTIMENTS = ("positive", "negative")
+
+
+@dataclass(frozen=True)
+class RawUser:
+    """Account-level data a user submitted to the platform."""
+
+    user_id: str
+    city: str | None = None
+    age_group: str | None = None
+
+
+@dataclass(frozen=True)
+class Business:
+    """A reviewable restaurant/destination.
+
+    ``categories`` are leaf taxonomy categories (cuisines and price
+    tiers); ``topics`` are the prevalent review topics extracted for this
+    destination (what the Topic+Sentiment coverage metric enumerates).
+    """
+
+    business_id: str
+    city: str
+    categories: tuple[str, ...]
+    topics: tuple[str, ...] = ()
+    quality: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.categories:
+            raise DatasetError(
+                f"business {self.business_id!r} must have >= 1 category"
+            )
+
+
+@dataclass(frozen=True)
+class TopicMention:
+    """One (topic, sentiment) pair appearing in a review."""
+
+    topic: str
+    sentiment: str
+
+    def __post_init__(self) -> None:
+        if self.sentiment not in SENTIMENTS:
+            raise DatasetError(
+                f"sentiment must be one of {SENTIMENTS}, got {self.sentiment!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Review:
+    """A user's review of a business: rating, topic mentions, usefulness."""
+
+    user_id: str
+    business_id: str
+    rating: int
+    mentions: tuple[TopicMention, ...] = ()
+    useful_votes: int = 0
+
+    def __post_init__(self) -> None:
+        if not RATING_MIN <= self.rating <= RATING_MAX:
+            raise DatasetError(
+                f"rating must be in [{RATING_MIN}, {RATING_MAX}], "
+                f"got {self.rating}"
+            )
+        if self.useful_votes < 0:
+            raise DatasetError("useful_votes cannot be negative")
+
+
+class ReviewDataset:
+    """Users, businesses and reviews with by-user / by-business indexes."""
+
+    def __init__(
+        self,
+        users: Iterable[RawUser],
+        businesses: Iterable[Business],
+        reviews: Iterable[Review],
+    ) -> None:
+        self._users = {u.user_id: u for u in users}
+        self._businesses = {b.business_id: b for b in businesses}
+        self._reviews: list[Review] = []
+        self._by_user: dict[str, list[Review]] = {}
+        self._by_business: dict[str, list[Review]] = {}
+        for review in reviews:
+            self.add_review(review)
+
+    def add_review(self, review: Review) -> None:
+        """Append a review; both endpoints must exist."""
+        if review.user_id not in self._users:
+            raise DatasetError(f"review by unknown user {review.user_id!r}")
+        if review.business_id not in self._businesses:
+            raise DatasetError(
+                f"review of unknown business {review.business_id!r}"
+            )
+        self._reviews.append(review)
+        self._by_user.setdefault(review.user_id, []).append(review)
+        self._by_business.setdefault(review.business_id, []).append(review)
+
+    # -- access --------------------------------------------------------------
+
+    @property
+    def user_ids(self) -> list[str]:
+        return list(self._users)
+
+    @property
+    def business_ids(self) -> list[str]:
+        return list(self._businesses)
+
+    @property
+    def reviews(self) -> list[Review]:
+        return list(self._reviews)
+
+    def user(self, user_id: str) -> RawUser:
+        try:
+            return self._users[user_id]
+        except KeyError:
+            raise DatasetError(f"unknown user {user_id!r}") from None
+
+    def business(self, business_id: str) -> Business:
+        try:
+            return self._businesses[business_id]
+        except KeyError:
+            raise DatasetError(f"unknown business {business_id!r}") from None
+
+    def reviews_by(self, user_id: str) -> list[Review]:
+        """All reviews authored by ``user_id`` (empty when none)."""
+        return list(self._by_user.get(user_id, ()))
+
+    def reviews_of(self, business_id: str) -> list[Review]:
+        """All reviews of ``business_id`` (empty when none)."""
+        return list(self._by_business.get(business_id, ()))
+
+    def __len__(self) -> int:
+        return len(self._reviews)
+
+    def __iter__(self) -> Iterator[Review]:
+        return iter(self._reviews)
+
+    def destinations(self, min_reviews: int = 1) -> list[str]:
+        """Business ids with at least ``min_reviews`` reviews — the
+        candidates for the opinion-procurement experiments (§8.4 uses 50
+        TripAdvisor / 130 Yelp destinations)."""
+        return [
+            business_id
+            for business_id in self._businesses
+            if len(self._by_business.get(business_id, ())) >= min_reviews
+        ]
+
+    def categories(self) -> list[str]:
+        """Every leaf category mentioned by any business."""
+        seen: dict[str, None] = {}
+        for business in self._businesses.values():
+            for category in business.categories:
+                seen.setdefault(category, None)
+        return list(seen)
+
+    def cities(self) -> list[str]:
+        """Every city a user or business declares."""
+        seen: dict[str, None] = {}
+        for user in self._users.values():
+            if user.city:
+                seen.setdefault(user.city, None)
+        for business in self._businesses.values():
+            seen.setdefault(business.city, None)
+        return list(seen)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReviewDataset(users={len(self._users)}, "
+            f"businesses={len(self._businesses)}, reviews={len(self._reviews)})"
+        )

@@ -1,0 +1,59 @@
+"""Experiment harness reproducing every table and figure of the paper."""
+
+from .fig3 import Fig3Setup, default_selectors, fig3a, fig3b, fig3c, fig3d
+from .fig4 import FIG4_METRICS, Fig4Setup, fig4
+from .harness import (
+    INTRINSIC_METRICS,
+    OPINION_METRICS,
+    ComparisonTable,
+    IntrinsicExperimentConfig,
+    TimingRow,
+    build_experiment_instance,
+    run_intrinsic_comparison,
+    time_selector,
+)
+from .optimal_ratio import GREEDY_BOUND, RatioResult, mean_ratio, measure_ratio
+from .scalability import (
+    ScalabilitySetup,
+    linear_fit_r2,
+    scalability_in_profile_size,
+    scalability_in_users,
+    timing_table,
+)
+from .table1 import DesideratumCheck, check_podium_row, podium_row_markdown
+
+__all__ = [
+    "Fig3Setup",
+    "default_selectors",
+    "fig3a",
+    "fig3b",
+    "fig3c",
+    "fig3d",
+    "FIG4_METRICS",
+    "Fig4Setup",
+    "fig4",
+    "INTRINSIC_METRICS",
+    "OPINION_METRICS",
+    "ComparisonTable",
+    "IntrinsicExperimentConfig",
+    "TimingRow",
+    "build_experiment_instance",
+    "run_intrinsic_comparison",
+    "time_selector",
+    "GREEDY_BOUND",
+    "RatioResult",
+    "mean_ratio",
+    "measure_ratio",
+    "ScalabilitySetup",
+    "linear_fit_r2",
+    "scalability_in_profile_size",
+    "scalability_in_users",
+    "timing_table",
+    "DesideratumCheck",
+    "check_podium_row",
+    "podium_row_markdown",
+]
+
+from .report import build_report  # noqa: E402  (kept last: heavy imports)
+
+__all__.append("build_report")

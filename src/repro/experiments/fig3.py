@@ -1,0 +1,156 @@
+"""Figure 3 reproduction: intrinsic and opinion diversity comparisons.
+
+* Fig. 3a — TripAdvisor intrinsic diversity (score / top-200 coverage /
+  intersected coverage / distribution similarity).
+* Fig. 3b — TripAdvisor opinion diversity over ≈50 held-out destinations.
+* Fig. 3c — Yelp intrinsic diversity (larger Podium gap: fewer groups,
+  less "room for maneuver").
+* Fig. 3d — Yelp opinion diversity incl. the Usefulness metric.
+
+Population sizes default to laptop-scale fractions of the paper's
+(4,475 TripAdvisor / 60K Yelp users); the comparisons' *shape* — who
+wins, who trails — is what the reproduction validates, not absolute
+magnitudes (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines import (
+    ClusteringSelector,
+    DistanceSelector,
+    PodiumSelector,
+    RandomSelector,
+    Selector,
+)
+from ..core.groups import GroupingConfig
+from ..datasets.derive import (
+    build_repository,
+    tripadvisor_derive_config,
+    yelp_derive_config,
+)
+from ..datasets.schema import ReviewDataset
+from ..datasets.synth import generate, tripadvisor_config, yelp_config
+from ..procurement.simulate import ProcurementConfig, run_procurement
+from .harness import (
+    OPINION_METRICS,
+    ComparisonTable,
+    IntrinsicExperimentConfig,
+    run_intrinsic_comparison,
+)
+
+
+def default_selectors() -> list[Selector]:
+    """The four algorithms of Fig. 3, in the paper's order."""
+    return [
+        PodiumSelector(),
+        RandomSelector(),
+        ClusteringSelector(),
+        DistanceSelector(),
+    ]
+
+
+@dataclass(frozen=True)
+class Fig3Setup:
+    """Shared knobs for the four Fig. 3 panels."""
+
+    ta_users: int = 500
+    yelp_users: int = 1200
+    budget: int = 8
+    seed: int = 7
+    top_k: int = 200
+    min_support: int = 3
+    ta_destinations: int = 25
+    yelp_destinations: int = 40
+
+
+def _tripadvisor_dataset(setup: Fig3Setup) -> ReviewDataset:
+    return generate(tripadvisor_config(n_users=setup.ta_users), seed=setup.seed)
+
+
+def _yelp_dataset(setup: Fig3Setup) -> ReviewDataset:
+    return generate(yelp_config(n_users=setup.yelp_users), seed=setup.seed + 1)
+
+
+def fig3a(setup: Fig3Setup | None = None) -> ComparisonTable:
+    """TripAdvisor intrinsic diversity (Fig. 3a)."""
+    setup = setup or Fig3Setup()
+    dataset = _tripadvisor_dataset(setup)
+    repository = build_repository(dataset, tripadvisor_derive_config())
+    config = IntrinsicExperimentConfig(
+        budget=setup.budget,
+        grouping=GroupingConfig(min_support=setup.min_support),
+        top_k=setup.top_k,
+    )
+    return run_intrinsic_comparison(
+        "Fig. 3a — TripAdvisor intrinsic diversity",
+        repository,
+        default_selectors(),
+        config,
+        seed=setup.seed,
+    )
+
+
+def fig3c(setup: Fig3Setup | None = None) -> ComparisonTable:
+    """Yelp intrinsic diversity (Fig. 3c)."""
+    setup = setup or Fig3Setup()
+    dataset = _yelp_dataset(setup)
+    repository = build_repository(dataset, yelp_derive_config())
+    config = IntrinsicExperimentConfig(
+        budget=setup.budget,
+        grouping=GroupingConfig(min_support=setup.min_support),
+        top_k=setup.top_k,
+    )
+    return run_intrinsic_comparison(
+        "Fig. 3c — Yelp intrinsic diversity",
+        repository,
+        default_selectors(),
+        config,
+        seed=setup.seed,
+    )
+
+
+def _opinion_table(
+    title: str,
+    dataset: ReviewDataset,
+    config: ProcurementConfig,
+    seed: int,
+) -> ComparisonTable:
+    reports = run_procurement(dataset, default_selectors(), config, seed=seed)
+    table = ComparisonTable(title, OPINION_METRICS)
+    for name, report in reports.items():
+        table.add_row(name, report.as_dict())
+    return table
+
+
+def fig3b(setup: Fig3Setup | None = None) -> ComparisonTable:
+    """TripAdvisor opinion diversity (Fig. 3b)."""
+    setup = setup or Fig3Setup()
+    dataset = _tripadvisor_dataset(setup)
+    config = ProcurementConfig(
+        budget=setup.budget,
+        derive=tripadvisor_derive_config(),
+        grouping=GroupingConfig(min_support=2),
+        min_reviews_per_destination=15,
+        max_destinations=setup.ta_destinations,
+    )
+    return _opinion_table(
+        "Fig. 3b — TripAdvisor opinion diversity", dataset, config, setup.seed
+    )
+
+
+def fig3d(setup: Fig3Setup | None = None) -> ComparisonTable:
+    """Yelp opinion diversity (Fig. 3d), including Usefulness."""
+    setup = setup or Fig3Setup()
+    dataset = _yelp_dataset(setup)
+    config = ProcurementConfig(
+        budget=setup.budget,
+        derive=yelp_derive_config(),
+        grouping=GroupingConfig(min_support=2),
+        min_reviews_per_destination=15,
+        max_destinations=setup.yelp_destinations,
+    )
+    return _opinion_table(
+        "Fig. 3d — Yelp opinion diversity", dataset, config, setup.seed
+    )

@@ -1,0 +1,169 @@
+"""Shared experiment harness: runners, row containers, table rendering.
+
+Every figure-reproduction module returns a :class:`ComparisonTable` whose
+rows are per-algorithm metric dictionaries.  ``normalized()`` rescales
+each metric column relative to the leading algorithm — exactly how the
+paper plots Fig. 3 ("all scores are normalized relative to the leading
+algorithm's score") — and ``to_markdown()`` renders the rows the
+benchmark harness prints and EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.base import Selector
+from ..core.groups import GroupingConfig, build_simple_groups
+from ..core.instance import DiversificationInstance, build_instance
+from ..core.profiles import UserRepository
+from ..core.weights import CoverageScheme, WeightScheme
+from ..metrics.intrinsic import IntrinsicReport, evaluate_intrinsic
+
+
+@dataclass
+class ComparisonTable:
+    """Per-algorithm metric rows for one experiment."""
+
+    title: str
+    metrics: tuple[str, ...]
+    rows: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def add_row(self, name: str, values: dict[str, float]) -> None:
+        self.rows[name] = {m: float(values[m]) for m in self.metrics}
+
+    def leader(self, metric: str) -> str:
+        """Algorithm with the best (highest) value for ``metric``."""
+        return max(self.rows, key=lambda name: self.rows[name][metric])
+
+    def normalized(self) -> "ComparisonTable":
+        """Rescale every metric so the leading algorithm reads 1.0."""
+        table = ComparisonTable(self.title + " (normalized)", self.metrics)
+        peaks = {
+            m: max(row[m] for row in self.rows.values()) or 1.0
+            for m in self.metrics
+        }
+        for name, row in self.rows.items():
+            table.add_row(
+                name, {m: row[m] / peaks[m] for m in self.metrics}
+            )
+        return table
+
+    def to_markdown(self, precision: int = 3) -> str:
+        header = "| algorithm | " + " | ".join(self.metrics) + " |"
+        rule = "|---" * (len(self.metrics) + 1) + "|"
+        lines = [f"### {self.title}", "", header, rule]
+        for name, row in self.rows.items():
+            cells = " | ".join(
+                f"{row[m]:.{precision}f}" for m in self.metrics
+            )
+            lines.append(f"| {name} | {cells} |")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_markdown()
+
+
+@dataclass(frozen=True)
+class IntrinsicExperimentConfig:
+    """Setup of one intrinsic-diversity comparison (Fig. 3a / 3c)."""
+
+    budget: int = 8
+    grouping: GroupingConfig = field(default_factory=GroupingConfig)
+    weight_scheme: WeightScheme | None = None
+    coverage_scheme: CoverageScheme | None = None
+    top_k: int = 200
+    repetitions: int = 3
+
+
+INTRINSIC_METRICS = (
+    "total_score",
+    "top_k_coverage",
+    "intersected_coverage",
+    "distribution_similarity",
+)
+
+OPINION_METRICS = (
+    "topic_sentiment_coverage",
+    "usefulness",
+    "rating_distribution_similarity",
+    "rating_variance",
+)
+
+
+def build_experiment_instance(
+    repository: UserRepository, config: IntrinsicExperimentConfig
+) -> DiversificationInstance:
+    """Group the repository and materialize the instance once."""
+    groups = build_simple_groups(repository, config.grouping)
+    return build_instance(
+        repository,
+        config.budget,
+        groups=groups,
+        weight_scheme=config.weight_scheme,
+        coverage_scheme=config.coverage_scheme,
+    )
+
+
+def _mean_report(reports: Sequence[IntrinsicReport]) -> dict[str, float]:
+    return {
+        metric: float(
+            np.mean([report.as_dict()[metric] for report in reports])
+        )
+        for metric in INTRINSIC_METRICS
+    }
+
+
+def run_intrinsic_comparison(
+    title: str,
+    repository: UserRepository,
+    selectors: Iterable[Selector],
+    config: IntrinsicExperimentConfig,
+    seed: int = 0,
+) -> ComparisonTable:
+    """Evaluate every selector's intrinsic diversity on one repository.
+
+    Stochastic selectors are averaged over ``config.repetitions``
+    independent seeded runs; deterministic ones pay a single run (their
+    repetitions would be identical).
+    """
+    instance = build_experiment_instance(repository, config)
+    table = ComparisonTable(title, INTRINSIC_METRICS)
+    for index, selector in enumerate(selectors):
+        reports = []
+        reps = config.repetitions if selector.name in ("Random", "Clustering") else 1
+        for rep in range(reps):
+            rng = np.random.default_rng((seed, index, rep))
+            selected = selector.select(
+                repository, instance, config.budget, rng=rng
+            )
+            reports.append(
+                evaluate_intrinsic(instance, selected, k=config.top_k)
+            )
+        table.add_row(selector.name, _mean_report(reports))
+    return table
+
+
+@dataclass(frozen=True)
+class TimingRow:
+    """One scalability measurement (Figs. 5–6)."""
+
+    algorithm: str
+    x: int
+    seconds: float
+
+
+def time_selector(
+    selector: Selector,
+    repository: UserRepository,
+    instance: DiversificationInstance,
+    budget: int,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Wall-clock one selection run (the quantity Figs. 5–6 plot)."""
+    start = time.perf_counter()
+    selector.select(repository, instance, budget, rng=rng)
+    return time.perf_counter() - start

@@ -1,0 +1,139 @@
+"""Figures 5–6 reproduction: execution-time scalability.
+
+* Fig. 5 — runtime versus population size ``|U|`` (profiles capped at
+  200 properties in the paper's runs).
+* Fig. 6 — runtime versus average profile size at a fixed population.
+
+Expected shapes: Podium and the distance baseline scale linearly on both
+axes and run roughly an order of magnitude faster than clustering; the
+Optimal baseline explodes exponentially and is reported separately
+(:mod:`repro.experiments.optimal_ratio`).
+
+Timings cover the *selection* step only, matching the paper: bucketing
+and weight computation happen in the offline grouping module (Fig. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines import (
+    ClusteringSelector,
+    DistanceSelector,
+    PodiumSelector,
+    Selector,
+)
+from ..core.groups import GroupingConfig, build_simple_groups
+from ..core.instance import build_instance
+from ..datasets.synth import generate_profile_repository
+from .harness import TimingRow, time_selector
+
+
+@dataclass(frozen=True)
+class ScalabilitySetup:
+    """Knobs of the scalability sweeps (sizes default laptop-scale)."""
+
+    budget: int = 8
+    user_sizes: tuple[int, ...] = (500, 1000, 2000, 4000)
+    n_properties: int = 200
+    mean_profile_size: float = 40.0
+    profile_sizes: tuple[int, ...] = (10, 20, 40, 80)
+    fixed_users: int = 2000
+    seed: int = 3
+    repetitions: int = 3
+
+
+def scalability_selectors() -> list[Selector]:
+    """Podium, Clustering and Distance (Random is immediate, §8.5)."""
+    return [PodiumSelector(), ClusteringSelector(), DistanceSelector()]
+
+
+def _measure(
+    repository, setup: ScalabilitySetup, x: int
+) -> list[TimingRow]:
+    groups = build_simple_groups(
+        repository, GroupingConfig(min_support=2)
+    )
+    instance = build_instance(repository, setup.budget, groups=groups)
+    rows = []
+    for selector in scalability_selectors():
+        times = []
+        for repetition in range(setup.repetitions):
+            rng = np.random.default_rng((setup.seed, repetition))
+            times.append(
+                time_selector(
+                    selector, repository, instance, setup.budget, rng
+                )
+            )
+        rows.append(TimingRow(selector.name, x, float(np.median(times))))
+    return rows
+
+
+def scalability_in_users(
+    setup: ScalabilitySetup | None = None,
+) -> list[TimingRow]:
+    """Fig. 5: runtime as ``|U|`` grows (≤200 properties per profile)."""
+    setup = setup or ScalabilitySetup()
+    rows: list[TimingRow] = []
+    for n_users in setup.user_sizes:
+        repository = generate_profile_repository(
+            n_users=n_users,
+            n_properties=setup.n_properties,
+            mean_profile_size=setup.mean_profile_size,
+            seed=setup.seed,
+        )
+        rows.extend(_measure(repository, setup, n_users))
+    return rows
+
+
+def scalability_in_profile_size(
+    setup: ScalabilitySetup | None = None,
+) -> list[TimingRow]:
+    """Fig. 6: runtime as the average profile size grows, fixed ``|U|``."""
+    setup = setup or ScalabilitySetup()
+    rows: list[TimingRow] = []
+    for mean_size in setup.profile_sizes:
+        repository = generate_profile_repository(
+            n_users=setup.fixed_users,
+            n_properties=max(setup.n_properties, 2 * mean_size),
+            mean_profile_size=float(mean_size),
+            seed=setup.seed,
+        )
+        rows.extend(_measure(repository, setup, mean_size))
+    return rows
+
+
+def timing_table(rows: list[TimingRow]) -> str:
+    """Markdown rendering of a timing sweep."""
+    algorithms = sorted({r.algorithm for r in rows})
+    xs = sorted({r.x for r in rows})
+    lookup = {(r.algorithm, r.x): r.seconds for r in rows}
+    header = "| x | " + " | ".join(algorithms) + " |"
+    rule = "|---" * (len(algorithms) + 1) + "|"
+    lines = [header, rule]
+    for x in xs:
+        cells = " | ".join(
+            f"{lookup.get((a, x), float('nan')):.4f}" for a in algorithms
+        )
+        lines.append(f"| {x} | {cells} |")
+    return "\n".join(lines)
+
+
+def linear_fit_r2(rows: list[TimingRow], algorithm: str) -> float:
+    """R² of a linear time-vs-x fit — the paper's "scales linearly" claim."""
+    points = sorted(
+        ((r.x, r.seconds) for r in rows if r.algorithm == algorithm)
+    )
+    if len(points) < 3:
+        return 1.0
+    x = np.array([p[0] for p in points], dtype=float)
+    y = np.array([p[1] for p in points], dtype=float)
+    coeffs = np.polyfit(x, y, 1)
+    predicted = np.polyval(coeffs, x)
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    if ss_tot == 0:
+        return 1.0
+    return 1.0 - ss_res / ss_tot

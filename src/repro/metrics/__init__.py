@@ -1,0 +1,43 @@
+"""Diversity metrics: CD-sim, intrinsic profile metrics, opinion metrics."""
+
+from .cdsim import (
+    cd_sim,
+    cd_sim_from_counts,
+    ks_similarity,
+    ks_similarity_from_counts,
+    normalize,
+)
+from .intrinsic import (
+    IntrinsicReport,
+    distribution_similarity,
+    evaluate_intrinsic,
+    intersected_property_coverage,
+    top_k_coverage,
+)
+from .opinion import (
+    OpinionReport,
+    evaluate_opinions,
+    rating_distribution_similarity,
+    rating_variance,
+    topic_sentiment_coverage,
+    usefulness,
+)
+
+__all__ = [
+    "cd_sim",
+    "cd_sim_from_counts",
+    "ks_similarity",
+    "ks_similarity_from_counts",
+    "normalize",
+    "IntrinsicReport",
+    "distribution_similarity",
+    "evaluate_intrinsic",
+    "intersected_property_coverage",
+    "top_k_coverage",
+    "OpinionReport",
+    "evaluate_opinions",
+    "rating_distribution_similarity",
+    "rating_variance",
+    "topic_sentiment_coverage",
+    "usefulness",
+]

@@ -1,0 +1,167 @@
+"""Opinion-diversity metrics over procured reviews (paper §8.2).
+
+These metrics judge the *ground-truth opinions* of the selected users on
+a held-out destination — data the selection algorithms never saw:
+
+* **Topic+Sentiment coverage** — fraction of (topic, sentiment) pairs of
+  the destination covered by the subset's reviews; 100% means every
+  prevalent topic appears in both a positive and a negative review.
+* **Usefulness** — total useful votes of the subset's reviews (Yelp
+  only); rewards representative, relatable opinions.
+* **Rating distribution similarity** — CD-sim between the subset's and
+  the population's star-rating histograms for the destination.
+* **Rating variance** — variance of the subset's star ratings.
+
+Every metric is defined per destination; reports average across the
+destinations examined (50 for TripAdvisor, 130 for Yelp in §8.4).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.schema import RATING_MAX, RATING_MIN, Review, ReviewDataset
+from .cdsim import cd_sim_from_counts
+
+
+def _subset_reviews(
+    dataset: ReviewDataset, destination: str, selected: set[str]
+) -> list[Review]:
+    return [
+        r for r in dataset.reviews_of(destination) if r.user_id in selected
+    ]
+
+
+def _sentiment_pairs(reviews: Iterable[Review]) -> set[tuple[str, str]]:
+    return {
+        (mention.topic, mention.sentiment)
+        for review in reviews
+        for mention in review.mentions
+    }
+
+
+def topic_sentiment_coverage(
+    dataset: ReviewDataset,
+    destination: str,
+    selected: Iterable[str],
+    attainable: bool = True,
+) -> float:
+    """Fraction of (topic, sentiment) pairs covered by the subset.
+
+    With ``attainable=True`` (default) the denominator is the set of
+    pairs appearing in *any* review of the destination — pairs nobody
+    ever wrote cannot be procured from anyone.  ``attainable=False``
+    uses the full ``2 × |topics|`` grid the paper describes.
+    """
+    selected_set = set(selected)
+    sub_pairs = _sentiment_pairs(_subset_reviews(dataset, destination, selected_set))
+    if attainable:
+        all_pairs = _sentiment_pairs(dataset.reviews_of(destination))
+    else:
+        topics = dataset.business(destination).topics
+        all_pairs = {
+            (topic, sentiment)
+            for topic in topics
+            for sentiment in ("positive", "negative")
+        }
+    if not all_pairs:
+        return 1.0
+    return len(sub_pairs & all_pairs) / len(all_pairs)
+
+
+def usefulness(
+    dataset: ReviewDataset, destination: str, selected: Iterable[str]
+) -> float:
+    """Sum of useful votes over the subset's reviews of the destination."""
+    selected_set = set(selected)
+    return float(
+        sum(
+            r.useful_votes
+            for r in _subset_reviews(dataset, destination, selected_set)
+        )
+    )
+
+
+def _rating_counts(reviews: Iterable[Review]) -> list[int]:
+    counts = [0] * (RATING_MAX - RATING_MIN + 1)
+    for review in reviews:
+        counts[review.rating - RATING_MIN] += 1
+    return counts
+
+
+def rating_distribution_similarity(
+    dataset: ReviewDataset, destination: str, selected: Iterable[str]
+) -> float:
+    """CD-sim of subset-vs-population star-rating distributions (§8.2)."""
+    selected_set = set(selected)
+    sub = _rating_counts(_subset_reviews(dataset, destination, selected_set))
+    all_ = _rating_counts(dataset.reviews_of(destination))
+    return cd_sim_from_counts(sub, all_)
+
+
+def rating_variance(
+    dataset: ReviewDataset, destination: str, selected: Iterable[str]
+) -> float:
+    """Variance of the subset's star ratings for the destination."""
+    selected_set = set(selected)
+    ratings = [
+        r.rating for r in _subset_reviews(dataset, destination, selected_set)
+    ]
+    if len(ratings) < 2:
+        return 0.0
+    return float(np.var(ratings))
+
+
+@dataclass(frozen=True)
+class OpinionReport:
+    """Opinion metrics averaged over the examined destinations."""
+
+    topic_sentiment_coverage: float
+    usefulness: float
+    rating_distribution_similarity: float
+    rating_variance: float
+    destinations: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "topic_sentiment_coverage": self.topic_sentiment_coverage,
+            "usefulness": self.usefulness,
+            "rating_distribution_similarity": self.rating_distribution_similarity,
+            "rating_variance": self.rating_variance,
+        }
+
+
+def evaluate_opinions(
+    dataset: ReviewDataset,
+    selections: dict[str, list[str]],
+    attainable_topics: bool = True,
+) -> OpinionReport:
+    """Average every opinion metric over ``{destination: selected users}``.
+
+    The mapping comes from the procurement simulation, which selects a
+    (possibly different) subset per destination from that destination's
+    reviewer pool.
+    """
+    if not selections:
+        return OpinionReport(0.0, 0.0, 0.0, 0.0, 0)
+    tsc, use, rds, var = [], [], [], []
+    for destination, selected in selections.items():
+        tsc.append(
+            topic_sentiment_coverage(
+                dataset, destination, selected, attainable=attainable_topics
+            )
+        )
+        use.append(usefulness(dataset, destination, selected))
+        rds.append(rating_distribution_similarity(dataset, destination, selected))
+        var.append(rating_variance(dataset, destination, selected))
+    n = len(selections)
+    return OpinionReport(
+        topic_sentiment_coverage=sum(tsc) / n,
+        usefulness=sum(use) / n,
+        rating_distribution_similarity=sum(rds) / n,
+        rating_variance=sum(var) / n,
+        destinations=n,
+    )

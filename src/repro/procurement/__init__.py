@@ -1,0 +1,19 @@
+"""Opinion-procurement simulation with held-out ground truth."""
+
+from .simulate import (
+    CUISINE_LOCATION_PREFIXES,
+    ProcurementConfig,
+    holdout_repository,
+    pick_destinations,
+    procure_destination,
+    run_procurement,
+)
+
+__all__ = [
+    "CUISINE_LOCATION_PREFIXES",
+    "ProcurementConfig",
+    "holdout_repository",
+    "pick_destinations",
+    "procure_destination",
+    "run_procurement",
+]

@@ -1,0 +1,22 @@
+"""Prototype service: configurations, selection API, visualization."""
+
+from .app import PodiumService, make_wsgi_app, parse_feedback, serve
+from .config import (
+    ConfigurationStore,
+    DiversificationConfiguration,
+    default_configuration,
+)
+from .viz import explanation_payload, render_html, render_text
+
+__all__ = [
+    "PodiumService",
+    "make_wsgi_app",
+    "parse_feedback",
+    "serve",
+    "ConfigurationStore",
+    "DiversificationConfiguration",
+    "default_configuration",
+    "explanation_payload",
+    "render_html",
+    "render_text",
+]

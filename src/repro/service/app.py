@@ -1,0 +1,371 @@
+"""The Podium prototype service (paper §7, Fig. 1).
+
+The original system is a Flask app; offline we provide the same
+architecture on the standard library: a :class:`PodiumService` facade
+wiring the Grouping Module (offline bucketing + weights per
+configuration), the Selection Module (greedy / customized selection) and
+the Visualization module (explanation payloads), plus a plain WSGI
+adapter exposing it over HTTP.
+
+Routes
+------
+``GET  /health``          — liveness + corpus stats
+``GET  /configurations``  — list stored configurations
+``POST /configurations``  — add a configuration (JSON body)
+``POST /profiles``        — load a profile document (JSON body)
+``GET  /groups``          — group explanations for ``?configuration=``
+``POST /select``          — run a selection request (JSON body)
+``GET  /explain.html``    — the Fig. 2 explanation page as static HTML
+                            (``?configuration=`` and ``&budget=`` optional)
+
+A selection request body::
+
+    {"configuration": "default", "budget": 5,
+     "feedback": {"must_have": [["avgRating Mexican", "high"]],
+                  "must_not": [], "priority": [], "standard": null},
+     "distribution_properties": ["avgRating Mexican"]}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable
+from wsgiref.simple_server import make_server
+
+from ..core.customization import CustomizationFeedback, custom_select
+from ..core.errors import PodiumError, ServiceError
+from ..core.explanations import explain_selection
+from ..core.greedy import greedy_select
+from ..core.groups import GroupKey, GroupSet, build_simple_groups
+from ..core.instance import DiversificationInstance, build_instance
+from ..core.profiles import UserRepository
+from .config import (
+    ConfigurationStore,
+    DiversificationConfiguration,
+    default_configuration,
+)
+from .viz import explanation_payload
+
+
+def _parse_group_keys(pairs: Any, field: str) -> frozenset[GroupKey]:
+    if pairs is None:
+        return frozenset()
+    try:
+        return frozenset(
+            GroupKey(str(prop), str(bucket)) for prop, bucket in pairs
+        )
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(
+            f"feedback field {field!r} must be a list of "
+            f"[property, bucket] pairs: {exc}"
+        ) from exc
+
+
+def parse_feedback(data: dict[str, Any] | None) -> CustomizationFeedback:
+    """Parse the JSON feedback object into a :class:`CustomizationFeedback`."""
+    if not data:
+        return CustomizationFeedback.none()
+    standard = data.get("standard")
+    return CustomizationFeedback(
+        must_have=_parse_group_keys(data.get("must_have"), "must_have"),
+        must_not=_parse_group_keys(data.get("must_not"), "must_not"),
+        priority=_parse_group_keys(data.get("priority"), "priority"),
+        standard=(
+            _parse_group_keys(standard, "standard")
+            if standard is not None
+            else None
+        ),
+    )
+
+
+class PodiumService:
+    """Facade over the grouping, selection and visualization modules."""
+
+    def __init__(
+        self,
+        repository: UserRepository | None = None,
+        configurations: ConfigurationStore | None = None,
+    ) -> None:
+        self._repository = repository
+        self._configurations = configurations or ConfigurationStore(
+            (default_configuration(),)
+        )
+        self._group_cache: dict[str, GroupSet] = {}
+
+    # -- repository management -------------------------------------------
+
+    @property
+    def repository(self) -> UserRepository:
+        if self._repository is None:
+            raise ServiceError("no profiles loaded")
+        return self._repository
+
+    def load_repository(self, repository: UserRepository) -> None:
+        """Swap the user repository; invalidates all cached groupings."""
+        self._repository = repository
+        self._group_cache.clear()
+
+    @property
+    def configurations(self) -> ConfigurationStore:
+        return self._configurations
+
+    # -- grouping module (offline step of Fig. 1) -------------------------
+
+    def groups_for(self, config_name: str) -> GroupSet:
+        """Bucketing + group materialization, cached per configuration."""
+        if config_name not in self._group_cache:
+            config = self._configurations.get(config_name)
+            repository = self.repository
+            if config.property_prefixes is not None:
+                repository = UserRepository(
+                    profile.restricted_to(
+                        label
+                        for label in profile.properties
+                        if config.matches_property(label)
+                    )
+                    for profile in repository
+                )
+            self._group_cache[config_name] = build_simple_groups(
+                repository, config.grouping_config()
+            )
+        return self._group_cache[config_name]
+
+    def instance_for(
+        self, config_name: str, budget: int | None = None
+    ) -> DiversificationInstance:
+        """Resolve a configuration into a diversification instance."""
+        config = self._configurations.get(config_name)
+        weight, coverage = config.schemes()
+        return build_instance(
+            self.repository,
+            budget or config.budget,
+            groups=self.groups_for(config_name),
+            weight_scheme=weight,
+            coverage_scheme=coverage,
+        )
+
+    # -- selection module --------------------------------------------------
+
+    def select(
+        self,
+        config_name: str = "default",
+        budget: int | None = None,
+        feedback: CustomizationFeedback | None = None,
+        distribution_properties: tuple[str, ...] = (),
+        explain: bool = True,
+    ) -> dict[str, Any]:
+        """Run a selection request and return the response document."""
+        instance = self.instance_for(config_name, budget)
+        if feedback is None or feedback == CustomizationFeedback.none():
+            result = greedy_select(self.repository, instance, budget)
+            response: dict[str, Any] = {
+                "configuration": config_name,
+                "selected": list(result.selected),
+                "score": float(result.score),
+            }
+        else:
+            custom = custom_select(
+                self.repository, instance, feedback, budget
+            )
+            result = custom.result
+            response = {
+                "configuration": config_name,
+                "selected": list(custom.selected),
+                "score": float(result.score),
+                "priority_score": float(custom.priority_score),
+                "standard_score": float(custom.standard_score),
+                "refined_pool_size": custom.refined_pool_size,
+            }
+        if explain:
+            explanation = explain_selection(
+                result, distribution_properties=distribution_properties
+            )
+            response["explanation"] = explanation_payload(explanation)
+        return response
+
+    def explanation_page(
+        self, config_name: str = "default", budget: int | None = None
+    ) -> str:
+        """Render the Fig. 2 explanation page for a fresh selection."""
+        from .viz import render_html
+
+        instance = self.instance_for(config_name, budget)
+        result = greedy_select(self.repository, instance, budget)
+        # Show distributions for the three heaviest properties.
+        heaviest: list[str] = []
+        for key in sorted(
+            instance.groups.keys, key=lambda k: (-float(instance.wei[k]), str(k))
+        ):
+            if key.property_label not in heaviest:
+                heaviest.append(key.property_label)
+            if len(heaviest) == 3:
+                break
+        explanation = explain_selection(
+            result, distribution_properties=tuple(heaviest)
+        )
+        return render_html(
+            result,
+            explanation,
+            title=f"Podium — {config_name} selection",
+        )
+
+    def group_listing(self, config_name: str = "default") -> list[dict[str, Any]]:
+        """Group explanations ordered by decreasing weight (Fig. 2 list)."""
+        instance = self.instance_for(config_name)
+        ordered = sorted(
+            instance.groups,
+            key=lambda g: (-float(instance.wei[g.key]), str(g.key)),
+        )
+        return [
+            {
+                "property": g.key.property_label,
+                "bucket": g.key.bucket_label,
+                "label": g.label,
+                "weight": float(instance.wei[g.key]),
+                "coverage": instance.cov[g.key],
+                "size": g.size,
+            }
+            for g in ordered
+        ]
+
+
+# ---------------------------------------------------------------------------
+# WSGI adapter
+# ---------------------------------------------------------------------------
+
+_JSON = "application/json"
+
+
+def _response(
+    start_response: Callable, status: str, payload: dict[str, Any] | list
+) -> list[bytes]:
+    body = json.dumps(payload).encode()
+    start_response(
+        status,
+        [("Content-Type", _JSON), ("Content-Length", str(len(body)))],
+    )
+    return [body]
+
+
+def _read_json(environ: dict[str, Any]) -> dict[str, Any]:
+    try:
+        length = int(environ.get("CONTENT_LENGTH") or 0)
+    except ValueError:
+        length = 0
+    raw = environ["wsgi.input"].read(length) if length else b"{}"
+    try:
+        document = json.loads(raw.decode() or "{}")
+    except json.JSONDecodeError as exc:
+        raise ServiceError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ServiceError("request body must be a JSON object")
+    return document
+
+
+def _query(environ: dict[str, Any]) -> dict[str, str]:
+    from urllib.parse import parse_qsl
+
+    return dict(parse_qsl(environ.get("QUERY_STRING", "")))
+
+
+def make_wsgi_app(service: PodiumService) -> Callable:
+    """Build the WSGI callable exposing ``service`` over HTTP."""
+
+    def app(environ: dict[str, Any], start_response: Callable) -> list[bytes]:
+        method = environ.get("REQUEST_METHOD", "GET")
+        path = environ.get("PATH_INFO", "/")
+        try:
+            if method == "GET" and path == "/health":
+                users = (
+                    len(service.repository)
+                    if service._repository is not None
+                    else 0
+                )
+                return _response(
+                    start_response,
+                    "200 OK",
+                    {
+                        "status": "ok",
+                        "users": users,
+                        "configurations": service.configurations.names(),
+                    },
+                )
+            if method == "GET" and path == "/configurations":
+                return _response(
+                    start_response,
+                    "200 OK",
+                    [
+                        service.configurations.get(name).to_dict()
+                        for name in service.configurations.names()
+                    ],
+                )
+            if method == "POST" and path == "/configurations":
+                config = DiversificationConfiguration.from_dict(
+                    _read_json(environ)
+                )
+                service.configurations.put(config)
+                return _response(
+                    start_response, "201 Created", config.to_dict()
+                )
+            if method == "POST" and path == "/profiles":
+                from ..datasets.io import profiles_from_dict
+
+                service.load_repository(
+                    profiles_from_dict(_read_json(environ))
+                )
+                return _response(
+                    start_response,
+                    "200 OK",
+                    {"loaded_users": len(service.repository)},
+                )
+            if method == "GET" and path == "/explain.html":
+                query = _query(environ)
+                html = service.explanation_page(
+                    query.get("configuration", "default"),
+                    int(query["budget"]) if "budget" in query else None,
+                ).encode()
+                start_response(
+                    "200 OK",
+                    [
+                        ("Content-Type", "text/html; charset=utf-8"),
+                        ("Content-Length", str(len(html))),
+                    ],
+                )
+                return [html]
+            if method == "GET" and path == "/groups":
+                name = _query(environ).get("configuration", "default")
+                return _response(
+                    start_response, "200 OK", service.group_listing(name)
+                )
+            if method == "POST" and path == "/select":
+                body = _read_json(environ)
+                response = service.select(
+                    config_name=str(body.get("configuration", "default")),
+                    budget=(
+                        int(body["budget"]) if "budget" in body else None
+                    ),
+                    feedback=parse_feedback(body.get("feedback")),
+                    distribution_properties=tuple(
+                        body.get("distribution_properties", ())
+                    ),
+                    explain=bool(body.get("explain", True)),
+                )
+                return _response(start_response, "200 OK", response)
+            return _response(
+                start_response,
+                "404 Not Found",
+                {"error": f"no route {method} {path}"},
+            )
+        except PodiumError as exc:
+            return _response(
+                start_response, "400 Bad Request", {"error": str(exc)}
+            )
+
+    return app
+
+
+def serve(service: PodiumService, host: str = "127.0.0.1", port: int = 8808):
+    """Run the service with wsgiref (development server, Fig. 1 demo)."""
+    httpd = make_server(host, port, make_wsgi_app(service))
+    print(f"Podium service listening on http://{host}:{port}")
+    httpd.serve_forever()

@@ -1,0 +1,26 @@
+"""Taxonomies, inference rules and rule mining for profile enrichment."""
+
+from .mining import ImplicationRule, MinedImplication, mine_implications, mine_rule
+from .rules import (
+    FunctionalPropertyRule,
+    GeneralizationRule,
+    InferenceRule,
+    RuleEngine,
+    category_property,
+    parse_category,
+)
+from .tree import Taxonomy
+
+__all__ = [
+    "ImplicationRule",
+    "MinedImplication",
+    "mine_implications",
+    "mine_rule",
+    "FunctionalPropertyRule",
+    "GeneralizationRule",
+    "InferenceRule",
+    "RuleEngine",
+    "category_property",
+    "parse_category",
+    "Taxonomy",
+]

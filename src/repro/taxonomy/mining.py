@@ -1,0 +1,132 @@
+"""Lightweight association-rule mining over Boolean properties.
+
+Paper §3.1 notes inference rules "can be pre-specified as in RDF
+languages or derived via rule mining techniques [AMIE+]".  This module
+implements the derived path: mine high-confidence implications
+``p ⇒ q`` between Boolean properties and convert them into inference
+rules the :class:`~repro.taxonomy.rules.RuleEngine` can apply.
+
+The miner is a deliberately small AMIE-style horn-rule search restricted
+to unary atoms (single-property bodies and heads), which is the shape
+profile enrichment needs — e.g. ``livesIn Brooklyn ⇒ livesIn NYC-area``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from ..core.buckets import is_boolean
+from ..core.profiles import UserProfile, UserRepository
+from .rules import InferenceRule
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MinedImplication:
+    """A mined rule ``antecedent ⇒ consequent`` with its quality stats.
+
+    ``support`` counts users satisfying both sides; ``confidence`` is
+    ``support / |antecedent|`` (PCA-style confidence is unnecessary here
+    because both atoms are observed Booleans).
+    """
+
+    antecedent: str
+    consequent: str
+    support: int
+    confidence: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.antecedent} => {self.consequent} "
+            f"(support={self.support}, confidence={self.confidence:.2f})"
+        )
+
+
+class ImplicationRule(InferenceRule):
+    """Inference rule wrapping a set of mined implications."""
+
+    def __init__(self, implications: list[MinedImplication]) -> None:
+        self._by_antecedent: dict[str, list[MinedImplication]] = {}
+        for imp in implications:
+            self._by_antecedent.setdefault(imp.antecedent, []).append(imp)
+
+    @property
+    def implications(self) -> list[MinedImplication]:
+        return [i for group in self._by_antecedent.values() for i in group]
+
+    def infer(
+        self, profile: UserProfile, support: Mapping[str, int]
+    ) -> dict[str, float]:
+        inferred: dict[str, float] = {}
+        for label, score in profile.scores.items():
+            if score != 1.0:
+                continue
+            for imp in self._by_antecedent.get(label, ()):
+                if imp.consequent not in profile:
+                    inferred[imp.consequent] = 1.0
+        return inferred
+
+
+def _boolean_properties(repository: UserRepository) -> list[str]:
+    booleans = []
+    for label in repository.property_labels:
+        _, scores = repository.scores_for(label)
+        if is_boolean(np.asarray(scores)):
+            booleans.append(label)
+    return booleans
+
+
+def mine_implications(
+    repository: UserRepository,
+    min_support: int = 3,
+    min_confidence: float = 0.95,
+    max_rules: int | None = None,
+) -> list[MinedImplication]:
+    """Mine ``p ⇒ q`` implications between Boolean properties.
+
+    Only users *asserting* a property (score 1) count toward either side;
+    open-world absences are neither positive nor negative evidence.
+    Results are sorted by (confidence, support) descending and truncated
+    to ``max_rules`` when given.
+    """
+    booleans = _boolean_properties(repository)
+    positives: dict[str, frozenset[str]] = {}
+    for label in booleans:
+        holders = frozenset(
+            user_id
+            for user_id, score in repository.users_with(label).items()
+            if score == 1.0
+        )
+        if len(holders) >= min_support:
+            positives[label] = holders
+
+    mined: list[MinedImplication] = []
+    labels = sorted(positives)
+    for p in labels:
+        holders_p = positives[p]
+        for q in labels:
+            if p == q:
+                continue
+            both = len(holders_p & positives[q])
+            if both < min_support:
+                continue
+            confidence = both / len(holders_p)
+            if confidence >= min_confidence:
+                mined.append(MinedImplication(p, q, both, confidence))
+
+    mined.sort(key=lambda m: (-m.confidence, -m.support, m.antecedent, m.consequent))
+    return mined[:max_rules] if max_rules is not None else mined
+
+
+def mine_rule(
+    repository: UserRepository,
+    min_support: int = 3,
+    min_confidence: float = 0.95,
+    max_rules: int | None = None,
+) -> ImplicationRule:
+    """Convenience: mine implications and wrap them as an inference rule."""
+    return ImplicationRule(
+        mine_implications(repository, min_support, min_confidence, max_rules)
+    )

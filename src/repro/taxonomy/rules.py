@@ -1,0 +1,194 @@
+"""Inference rules for profile enrichment (paper §3.1, Example 3.2).
+
+Profiles should be "as complete as possible" before grouping; the paper
+pre-processes them by applying inference rules on Boolean properties or
+the raw data behind derived ones.  Two rule families are implemented:
+
+* :class:`GeneralizationRule` — taxonomy-driven: from ``avgRating
+  Mexican`` derive ``avgRating Latin`` because Mexican ⊑ Latin.  Parent
+  scores are support-weighted means of the child scores present in the
+  profile, so a user who rates many Mexican and few Spanish restaurants
+  gets a Latin score dominated by the Mexican one.
+* :class:`FunctionalPropertyRule` — from ``livesIn Tokyo = 1`` and the
+  knowledge that ``livesIn`` is a function, infer ``livesIn X = 0`` for
+  every other city in the domain.
+
+A :class:`RuleEngine` applies a rule list to a repository; generalization
+rules fire leaves-first so multi-level taxonomies propagate in one pass.
+Everything not inferred stays under the open-world assumption — rules
+only ever *add* properties.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from ..core.profiles import UserProfile, UserRepository
+from .tree import Taxonomy
+
+
+def category_property(template: str, category: str) -> str:
+    """Compose a property label like ``avgRating Mexican``."""
+    return f"{template} {category}"
+
+
+def parse_category(template: str, label: str) -> str | None:
+    """Inverse of :func:`category_property`; ``None`` when not matching."""
+    prefix = template + " "
+    if label.startswith(prefix):
+        return label[len(prefix):]
+    return None
+
+
+class InferenceRule(ABC):
+    """A rule mapping one profile to a set of inferred properties."""
+
+    @abstractmethod
+    def infer(
+        self, profile: UserProfile, support: Mapping[str, int]
+    ) -> dict[str, float]:
+        """Return ``{property: score}`` to add to ``profile``.
+
+        ``support`` maps existing property labels to their population
+        support ``|p|`` (used by weighted aggregation).  Properties the
+        profile already has must not be returned; the engine skips them
+        anyway to keep explicit data authoritative.
+        """
+
+
+@dataclass(frozen=True)
+class GeneralizationRule(InferenceRule):
+    """Derive parent-category scores from child-category scores.
+
+    Parameters
+    ----------
+    template:
+        The property family, e.g. ``"avgRating"`` or ``"visitFreq"``.
+    taxonomy:
+        Category DAG to generalize along.
+    aggregate:
+        ``"support-mean"`` weights each child score by its population
+        support; ``"mean"`` is the plain average; ``"max"`` takes the
+        strongest child signal (useful for Boolean families, where any
+        true child makes the parent true).
+    """
+
+    template: str
+    taxonomy: Taxonomy
+    aggregate: str = "support-mean"
+
+    def infer(
+        self, profile: UserProfile, support: Mapping[str, int]
+    ) -> dict[str, float]:
+        by_category = {
+            category: score
+            for label, score in profile.scores.items()
+            if (category := parse_category(self.template, label)) is not None
+        }
+        inferred: dict[str, float] = {}
+        # Fire leaves-first so grandparents see freshly inferred parents.
+        for level in self.taxonomy.topological_levels():
+            for parent in level:
+                if parent in by_category:
+                    continue
+                children = self.taxonomy.children(parent) & set(by_category)
+                if not children:
+                    continue
+                score = self._aggregate(
+                    {c: by_category[c] for c in sorted(children)}, support
+                )
+                by_category[parent] = score
+                inferred[category_property(self.template, parent)] = score
+        return inferred
+
+    def _aggregate(
+        self, child_scores: dict[str, float], support: Mapping[str, int]
+    ) -> float:
+        if self.aggregate == "max":
+            return max(child_scores.values())
+        if self.aggregate == "mean":
+            return sum(child_scores.values()) / len(child_scores)
+        if self.aggregate == "support-mean":
+            weights = {
+                c: max(
+                    support.get(category_property(self.template, c), 1), 1
+                )
+                for c in child_scores
+            }
+            total = sum(weights.values())
+            return sum(
+                child_scores[c] * weights[c] for c in child_scores
+            ) / total
+        raise ValueError(f"unknown aggregate {self.aggregate!r}")
+
+
+@dataclass(frozen=True)
+class FunctionalPropertyRule(InferenceRule):
+    """Close a functional Boolean family: one true value falsifies the rest.
+
+    ``domain`` lists the possible values (e.g. every city the repository
+    knows about); when the profile asserts one of them with score 1, every
+    other value is inferred false (score 0), as in Example 3.2 for
+    ``livesIn``.
+    """
+
+    template: str
+    domain: tuple[str, ...]
+
+    def infer(
+        self, profile: UserProfile, support: Mapping[str, int]
+    ) -> dict[str, float]:
+        asserted = [
+            value
+            for value in self.domain
+            if profile.scores.get(category_property(self.template, value)) == 1.0
+        ]
+        if len(asserted) != 1:
+            # Zero assertions: open world, nothing to infer.  Multiple
+            # assertions: contradictory input, refuse to guess.
+            return {}
+        (held,) = asserted
+        return {
+            category_property(self.template, value): 0.0
+            for value in self.domain
+            if value != held
+            and category_property(self.template, value) not in profile
+        }
+
+
+class RuleEngine:
+    """Apply inference rules over a whole repository.
+
+    Explicit (raw) properties always win: a rule never overwrites a score
+    already present in the profile.
+    """
+
+    def __init__(self, rules: Iterable[InferenceRule]) -> None:
+        self._rules = list(rules)
+
+    @property
+    def rules(self) -> list[InferenceRule]:
+        return list(self._rules)
+
+    def enrich_profile(
+        self, profile: UserProfile, support: Mapping[str, int]
+    ) -> UserProfile:
+        """Return ``profile`` with every rule's inferences added."""
+        merged = dict(profile.scores)
+        for rule in self._rules:
+            staged = UserProfile(profile.user_id, merged)
+            for label, score in rule.infer(staged, support).items():
+                merged.setdefault(label, score)
+        return UserProfile(profile.user_id, merged)
+
+    def enrich(self, repository: UserRepository) -> UserRepository:
+        """Return a new repository with all profiles enriched."""
+        support = {
+            label: repository.support(label)
+            for label in repository.property_labels
+        }
+        return UserRepository(
+            self.enrich_profile(profile, support) for profile in repository
+        )

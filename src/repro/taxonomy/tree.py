@@ -1,0 +1,114 @@
+"""Category taxonomies used to enrich user profiles (paper §3.1).
+
+A taxonomy is a DAG of categories — e.g. ``Mexican → Latin → AnyCuisine``
+— backed by :mod:`networkx`.  Generalization rules walk it upward to
+derive properties like ``avgRating Latin`` from ``avgRating Mexican``
+(Example 3.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import networkx as nx
+
+from ..core.errors import TaxonomyError
+
+
+class Taxonomy:
+    """A rooted-DAG taxonomy of category names.
+
+    Edges point from child (more specific) to parent (more general); a
+    category may have several parents (multi-inheritance is common in
+    cuisine taxonomies, e.g. Tex-Mex under both Mexican and American).
+    """
+
+    def __init__(self, edges: Iterable[tuple[str, str]] = ()) -> None:
+        self._graph = nx.DiGraph()
+        for child, parent in edges:
+            self.add_edge(child, parent)
+
+    def add_category(self, name: str) -> None:
+        """Register a category with no parents yet."""
+        self._graph.add_node(str(name))
+
+    def add_edge(self, child: str, parent: str) -> None:
+        """Declare ``child`` to be a kind of ``parent``."""
+        child, parent = str(child), str(parent)
+        if child == parent:
+            raise TaxonomyError(f"self-loop on category {child!r}")
+        self._graph.add_edge(child, parent)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(child, parent)
+            raise TaxonomyError(
+                f"edge {child!r} -> {parent!r} would create a cycle"
+            )
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._graph
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._graph.nodes)
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def parents(self, name: str) -> set[str]:
+        """Direct parents of ``name``."""
+        self._require(name)
+        return set(self._graph.successors(name))
+
+    def children(self, name: str) -> set[str]:
+        """Direct children of ``name``."""
+        self._require(name)
+        return set(self._graph.predecessors(name))
+
+    def ancestors(self, name: str) -> set[str]:
+        """Every strictly more general category reachable from ``name``."""
+        self._require(name)
+        return set(nx.descendants(self._graph, name))
+
+    def descendants(self, name: str) -> set[str]:
+        """Every strictly more specific category below ``name``."""
+        self._require(name)
+        return set(nx.ancestors(self._graph, name))
+
+    def roots(self) -> set[str]:
+        """Categories with no parent (the most general ones)."""
+        return {n for n in self._graph.nodes if self._graph.out_degree(n) == 0}
+
+    def leaves(self) -> set[str]:
+        """Categories with no child (the most specific ones)."""
+        return {n for n in self._graph.nodes if self._graph.in_degree(n) == 0}
+
+    def depth(self, name: str) -> int:
+        """Longest child→parent path from ``name`` to a root."""
+        self._require(name)
+        best = 0
+        for root in self.roots():
+            if root == name:
+                continue
+            if nx.has_path(self._graph, name, root):
+                best = max(
+                    best,
+                    max(
+                        len(p) - 1
+                        for p in nx.all_simple_paths(self._graph, name, root)
+                    ),
+                )
+        return best
+
+    def topological_levels(self) -> list[list[str]]:
+        """Categories grouped leaves-first; each level only depends on
+        earlier ones, which is the order generalization rules fire in."""
+        return [sorted(level) for level in nx.topological_generations(self._graph)]
+
+    def _require(self, name: str) -> None:
+        if name not in self._graph:
+            raise TaxonomyError(f"unknown category {name!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Taxonomy(categories={len(self)}, "
+            f"edges={self._graph.number_of_edges()})"
+        )

@@ -1,0 +1,179 @@
+"""Unit tests for the selection baselines (paper §8.3)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ClusteringSelector,
+    DistanceSelector,
+    OptimalSelector,
+    PodiumSelector,
+    RandomSelector,
+    jaccard_distance,
+    kmeans,
+    mean_pairwise_intersection,
+)
+from repro.core import InvalidBudgetError, PodiumError, subset_score
+
+
+class TestPodiumSelector:
+    def test_matches_greedy(self, table2_repo, table2_instance):
+        selected = PodiumSelector().select(table2_repo, table2_instance, 2)
+        assert set(selected) == {"Alice", "Eve"}
+
+    def test_eager_and_lazy_same_score(self, small_profile_repo, small_instance):
+        eager = PodiumSelector(method="eager").select(
+            small_profile_repo, small_instance, 5
+        )
+        lazy = PodiumSelector(method="lazy").select(
+            small_profile_repo, small_instance, 5
+        )
+        assert subset_score(small_instance, eager) == subset_score(
+            small_instance, lazy
+        )
+
+
+class TestOptimalSelector:
+    def test_optimal_on_running_example(self, table2_repo, table2_instance):
+        selected = OptimalSelector().select(table2_repo, table2_instance, 2)
+        assert subset_score(table2_instance, selected) == 17
+
+
+class TestRandomSelector:
+    def test_size_and_uniqueness(self, small_profile_repo, small_instance, rng):
+        picked = RandomSelector().select(
+            small_profile_repo, small_instance, 7, rng=rng
+        )
+        assert len(picked) == 7
+        assert len(set(picked)) == 7
+
+    def test_budget_capped_at_population(self, table2_repo, table2_instance, rng):
+        picked = RandomSelector().select(table2_repo, table2_instance, 99, rng=rng)
+        assert sorted(picked) == sorted(table2_repo.user_ids)
+
+    def test_seeded_reproducibility(self, small_profile_repo, small_instance):
+        a = RandomSelector().select(
+            small_profile_repo, small_instance, 5, rng=np.random.default_rng(4)
+        )
+        b = RandomSelector().select(
+            small_profile_repo, small_instance, 5, rng=np.random.default_rng(4)
+        )
+        assert a == b
+
+    def test_bad_budget(self, table2_repo, table2_instance):
+        with pytest.raises(InvalidBudgetError):
+            RandomSelector().select(table2_repo, table2_instance, 0)
+
+
+class TestKMeans:
+    def test_recovers_two_blobs(self, rng):
+        data = np.vstack(
+            [
+                rng.normal(0.0, 0.05, (30, 2)),
+                rng.normal(1.0, 0.05, (30, 2)),
+            ]
+        )
+        result = kmeans(data, 2, rng=rng)
+        labels_first = set(result.labels[:30])
+        labels_second = set(result.labels[30:])
+        assert len(labels_first) == 1
+        assert len(labels_second) == 1
+        assert labels_first != labels_second
+
+    def test_inertia_decreases_with_k(self, rng):
+        data = rng.random((60, 3))
+        inertia1 = kmeans(data, 1, rng=np.random.default_rng(0)).inertia
+        inertia8 = kmeans(data, 8, rng=np.random.default_rng(0)).inertia
+        assert inertia8 < inertia1
+
+    def test_k_equals_n_zero_inertia(self, rng):
+        data = rng.random((6, 2))
+        result = kmeans(data, 6, rng=rng)
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_duplicate_points_ok(self, rng):
+        data = np.zeros((10, 2))
+        result = kmeans(data, 3, rng=rng)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_bad_k(self, rng):
+        with pytest.raises(InvalidBudgetError):
+            kmeans(np.zeros((3, 2)), 4, rng=rng)
+
+
+class TestClusteringSelector:
+    def test_selects_distinct_representatives(
+        self, small_profile_repo, small_instance, rng
+    ):
+        picked = ClusteringSelector().select(
+            small_profile_repo, small_instance, 6, rng=rng
+        )
+        assert len(picked) == len(set(picked))
+        assert 1 <= len(picked) <= 6
+
+    def test_representative_is_near_mean(self, rng):
+        """On two well-separated blobs, one pick comes from each blob."""
+        from repro.core import UserProfile, UserRepository, build_instance
+
+        profiles = []
+        for i in range(10):
+            profiles.append(UserProfile(f"lo{i}", {"p": 0.05 + 0.001 * i}))
+        for i in range(10):
+            profiles.append(UserProfile(f"hi{i}", {"p": 0.9 + 0.001 * i}))
+        repo = UserRepository(profiles)
+        instance = build_instance(repo, budget=2)
+        picked = ClusteringSelector().select(repo, instance, 2, rng=rng)
+        assert len(picked) == 2
+        kinds = {p[:2] for p in picked}
+        assert kinds == {"lo", "hi"}
+
+
+class TestDistanceSelector:
+    def test_jaccard_distance(self):
+        a = frozenset({"x", "y"})
+        b = frozenset({"y", "z"})
+        assert jaccard_distance(a, b) == pytest.approx(1 - 1 / 3)
+        assert jaccard_distance(a, a) == 0.0
+        assert jaccard_distance(frozenset(), frozenset()) == 0.0
+
+    def test_invalid_objective(self):
+        with pytest.raises(PodiumError):
+            DistanceSelector(objective="avg")
+
+    def test_prefers_non_overlapping_users(self, table2_repo, table2_instance):
+        picked = DistanceSelector().select(table2_repo, table2_instance, 2)
+        props = [table2_repo.profile(u).properties for u in picked]
+        # Bob shares no property values' groups with Alice; the dispersion
+        # greedy must avoid picking the Alice/David pair (overlap 2).
+        overlap = len(props[0] & props[1])
+        assert overlap <= 4
+
+    def test_deterministic_without_rng(self, small_profile_repo, small_instance):
+        a = DistanceSelector().select(small_profile_repo, small_instance, 5)
+        b = DistanceSelector().select(small_profile_repo, small_instance, 5)
+        assert a == b
+
+    def test_min_objective_runs(self, small_profile_repo, small_instance):
+        picked = DistanceSelector(objective="min").select(
+            small_profile_repo, small_instance, 5
+        )
+        assert len(picked) == 5
+
+    def test_lower_intersection_than_podium(self, ta_repository):
+        """§8.4: distance-based pairwise property intersection is far
+        below Podium's."""
+        from repro.core import GroupingConfig, build_instance, build_simple_groups
+
+        groups = build_simple_groups(ta_repository, GroupingConfig(min_support=3))
+        instance = build_instance(ta_repository, 8, groups=groups)
+        podium = PodiumSelector().select(ta_repository, instance, 8)
+        distance = DistanceSelector().select(ta_repository, instance, 8)
+        assert mean_pairwise_intersection(
+            ta_repository, distance
+        ) < mean_pairwise_intersection(ta_repository, podium)
+
+    def test_mean_pairwise_intersection_small_inputs(self, table2_repo):
+        assert mean_pairwise_intersection(table2_repo, []) == 0.0
+        assert mean_pairwise_intersection(table2_repo, ["Alice"]) == 0.0
+        value = mean_pairwise_intersection(table2_repo, ["Alice", "David"])
+        assert value == 3.0  # livesIn Tokyo, avgRating/visitFreq Mexican

@@ -1,0 +1,82 @@
+"""Shared fixtures: the paper's running example and small synthetic data."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GroupingConfig,
+    build_instance,
+    build_simple_groups,
+)
+from repro.datasets import (
+    build_repository,
+    example_grouping_config,
+    example_repository,
+    generate,
+    tripadvisor_config,
+    tripadvisor_derive_config,
+    yelp_config,
+    yelp_derive_config,
+)
+from repro.datasets.synth import generate_profile_repository
+
+
+@pytest.fixture(scope="session")
+def table2_repo():
+    """The five-user Table 2 repository."""
+    return example_repository()
+
+
+@pytest.fixture(scope="session")
+def table2_groups(table2_repo):
+    """Example 3.8's groups over Table 2 (fixed splits at 0.4 / 0.65)."""
+    return build_simple_groups(table2_repo, example_grouping_config())
+
+
+@pytest.fixture()
+def table2_instance(table2_repo, table2_groups):
+    """LBS + Single instance over Table 2 with B = 2 (Example 3.8)."""
+    return build_instance(table2_repo, budget=2, groups=table2_groups)
+
+
+@pytest.fixture(scope="session")
+def small_profile_repo():
+    """A 60-user synthetic profile repository (fast, deterministic)."""
+    return generate_profile_repository(
+        n_users=60, n_properties=40, mean_profile_size=12.0, seed=123
+    )
+
+
+@pytest.fixture(scope="session")
+def small_instance(small_profile_repo):
+    groups = build_simple_groups(small_profile_repo, GroupingConfig())
+    return build_instance(small_profile_repo, budget=5, groups=groups)
+
+
+@pytest.fixture(scope="session")
+def ta_dataset():
+    """A small TripAdvisor-like review dataset."""
+    return generate(tripadvisor_config(n_users=120), seed=77)
+
+
+@pytest.fixture(scope="session")
+def ta_repository(ta_dataset):
+    return build_repository(ta_dataset, tripadvisor_derive_config())
+
+
+@pytest.fixture(scope="session")
+def yelp_dataset():
+    """A small Yelp-like review dataset (with useful votes)."""
+    return generate(yelp_config(n_users=150), seed=78)
+
+
+@pytest.fixture(scope="session")
+def yelp_repository(yelp_dataset):
+    return build_repository(yelp_dataset, yelp_derive_config())
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

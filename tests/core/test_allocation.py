@@ -1,0 +1,100 @@
+"""Unit tests for proportionate allocation (paper Def. 2.1, §2)."""
+
+import pytest
+
+from repro.core import (
+    InvalidInstanceError,
+    allocation_report,
+    is_proportionate_allocation,
+    proportionate_subset_exists,
+)
+from repro.core.buckets import Bucket
+from repro.core.groups import Group, GroupKey, GroupSet
+
+
+def group(prop: str, members) -> Group:
+    return Group(
+        GroupKey(prop, "true"),
+        frozenset(members),
+        Bucket(0.5, 1.0, "true", closed_hi=True),
+    )
+
+
+@pytest.fixture()
+def disjoint_groups():
+    """Stratified-sampling style: two disjoint halves of 8 users."""
+    return GroupSet(
+        [
+            group("left", {f"u{i}" for i in range(4)}),
+            group("right", {f"u{i}" for i in range(4, 8)}),
+        ]
+    )
+
+
+class TestAllocationReport:
+    def test_exact_proportionate_subset(self, disjoint_groups):
+        # 2 of 8 with one user per half: shares 0.5 / 0.5 match.
+        report = allocation_report(disjoint_groups, ["u0", "u5"], 8)
+        assert report.is_proportionate
+        assert report.worst_gap() == pytest.approx(0.0)
+
+    def test_skewed_subset_detected(self, disjoint_groups):
+        report = allocation_report(disjoint_groups, ["u0", "u1"], 8)
+        assert not report.is_proportionate
+        assert report.worst_gap() == pytest.approx(0.5)
+        assert report.under_represented() == [GroupKey("right", "true")]
+
+    def test_empty_subset_rejected(self, disjoint_groups):
+        with pytest.raises(InvalidInstanceError):
+            allocation_report(disjoint_groups, [], 8)
+
+    def test_bad_population_rejected(self, disjoint_groups):
+        with pytest.raises(InvalidInstanceError):
+            allocation_report(disjoint_groups, ["u0"], 0)
+
+    def test_checker_shortcut(self, disjoint_groups):
+        assert is_proportionate_allocation(disjoint_groups, ["u0", "u5"], 8)
+        assert not is_proportionate_allocation(disjoint_groups, ["u0"], 8)
+
+
+class TestExistenceSearch:
+    def test_finds_subset_for_disjoint_strata(self, disjoint_groups):
+        users = [f"u{i}" for i in range(8)]
+        assert proportionate_subset_exists(disjoint_groups, users, 2)
+
+    def test_overlapping_groups_make_it_infeasible(self):
+        """§2's argument: overlapping groups with incompatible share
+        requirements admit no small proportionate subset."""
+        users = [f"u{i}" for i in range(6)]
+        groups = GroupSet(
+            [
+                group("a", {"u0", "u1", "u2"}),      # share 1/2
+                group("b", {"u0"}),                  # share 1/6
+                group("c", {"u1", "u2", "u3", "u4"}),  # share 2/3
+            ]
+        )
+        # With |U|=2 or 3, shares 1/6 (needs a sixth) are unattainable.
+        assert not proportionate_subset_exists(groups, users, 2)
+        assert not proportionate_subset_exists(groups, users, 3)
+
+    def test_search_space_guard(self, disjoint_groups):
+        users = [f"u{i}" for i in range(8)]
+        with pytest.raises(InvalidInstanceError):
+            proportionate_subset_exists(
+                disjoint_groups, users, 4, max_candidates=10
+            )
+
+    def test_running_example_has_no_proportionate_pair(
+        self, table2_repo, table2_groups
+    ):
+        """Even the paper's five-user example admits no proportionate
+        2-subset — groups of size 1 need a 1/5 share, impossible at
+        |U| = 2 (shares are multiples of 1/2)."""
+        assert not proportionate_subset_exists(
+            table2_groups, table2_repo.user_ids, 2
+        )
+
+    def test_degenerate_sizes(self, disjoint_groups):
+        users = [f"u{i}" for i in range(8)]
+        assert not proportionate_subset_exists(disjoint_groups, users, 0)
+        assert not proportionate_subset_exists(disjoint_groups, users, 99)

@@ -1,0 +1,203 @@
+"""Unit tests for 1-d score bucketing (paper §3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Bucket,
+    InvalidBucketError,
+    boolean_partition,
+    is_boolean,
+    partition_from_splits,
+    split_scores,
+)
+from repro.core.buckets import (
+    STRATEGIES,
+    em_splits,
+    equal_width_splits,
+    jenks_splits,
+    kde_splits,
+    kmeans1d_splits,
+    quantile_splits,
+)
+
+
+class TestBucket:
+    def test_half_open_contains(self):
+        bucket = Bucket(0.2, 0.5, "mid")
+        assert bucket.contains(0.2)
+        assert bucket.contains(0.49)
+        assert not bucket.contains(0.5)
+
+    def test_closed_hi_contains_upper(self):
+        bucket = Bucket(0.5, 1.0, "high", closed_hi=True)
+        assert bucket.contains(1.0)
+
+    def test_dunder_contains(self):
+        bucket = Bucket(0.0, 0.5, "low")
+        assert 0.25 in bucket
+        assert "x" not in bucket
+
+    @pytest.mark.parametrize("lo,hi", [(-0.1, 0.5), (0.5, 1.5), (0.7, 0.3)])
+    def test_invalid_bounds(self, lo, hi):
+        with pytest.raises(InvalidBucketError):
+            Bucket(lo, hi, "bad")
+
+    def test_degenerate_half_open_rejected(self):
+        with pytest.raises(InvalidBucketError):
+            Bucket(0.5, 0.5, "point")
+
+    def test_degenerate_closed_allowed(self):
+        assert Bucket(1.0, 1.0, "one", closed_hi=True).contains(1.0)
+
+    def test_str_shows_interval(self):
+        assert str(Bucket(0.0, 0.4, "low")) == "low [0, 0.4)"
+
+
+class TestPartitionFromSplits:
+    def test_three_buckets_default_labels(self):
+        buckets = partition_from_splits((0.4, 0.65))
+        assert [b.label for b in buckets] == ["low", "medium", "high"]
+        assert buckets[0].lo == 0.0
+        assert buckets[-1].hi == 1.0
+        assert buckets[-1].closed_hi
+
+    def test_partition_is_exhaustive_and_disjoint(self):
+        buckets = partition_from_splits((0.3, 0.6, 0.9))
+        for score in np.linspace(0, 1, 101):
+            matches = [b for b in buckets if b.contains(float(score))]
+            assert len(matches) == 1
+
+    def test_custom_labels(self):
+        buckets = partition_from_splits((0.5,), labels=("cold", "hot"))
+        assert [b.label for b in buckets] == ["cold", "hot"]
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(InvalidBucketError):
+            partition_from_splits((0.5,), labels=("only-one",))
+
+    def test_out_of_range_split(self):
+        with pytest.raises(InvalidBucketError):
+            partition_from_splits((0.0,))
+
+    def test_non_increasing_splits(self):
+        with pytest.raises(InvalidBucketError):
+            partition_from_splits((0.6, 0.4))
+
+    def test_many_buckets_generic_labels(self):
+        buckets = partition_from_splits(tuple(i / 10 for i in range(1, 10)))
+        assert buckets[0].label == "bucket-0"
+        assert len(buckets) == 10
+
+
+class TestBooleanDetection:
+    def test_boolean_vector(self):
+        assert is_boolean(np.array([0.0, 1.0, 1.0, 0.0]))
+
+    def test_non_boolean_vector(self):
+        assert not is_boolean(np.array([0.0, 0.5, 1.0]))
+
+    def test_boolean_partition_labels(self):
+        buckets = boolean_partition()
+        assert [b.label for b in buckets] == ["false", "true"]
+        assert buckets[0].contains(0.0)
+        assert buckets[1].contains(1.0)
+
+
+class TestStrategies:
+    def test_equal_width(self):
+        assert equal_width_splits(np.array([0.5]), 4) == [0.25, 0.5, 0.75]
+
+    def test_quantile_on_uniform(self):
+        scores = np.linspace(0.01, 0.99, 99)
+        splits = quantile_splits(scores, 2)
+        assert len(splits) == 1
+        assert splits[0] == pytest.approx(0.5, abs=0.05)
+
+    def test_jenks_recovers_separated_clusters(self, rng):
+        scores = np.concatenate(
+            [rng.normal(0.15, 0.02, 50), rng.normal(0.8, 0.02, 50)]
+        ).clip(0, 1)
+        splits = jenks_splits(scores, 2)
+        assert len(splits) == 1
+        assert 0.3 < splits[0] < 0.7
+
+    def test_jenks_three_clusters(self, rng):
+        scores = np.concatenate(
+            [
+                rng.normal(0.1, 0.02, 40),
+                rng.normal(0.5, 0.02, 40),
+                rng.normal(0.9, 0.02, 40),
+            ]
+        ).clip(0, 1)
+        splits = jenks_splits(scores, 3)
+        assert len(splits) == 2
+        assert 0.2 < splits[0] < 0.4
+        assert 0.6 < splits[1] < 0.8
+
+    def test_jenks_constant_data(self):
+        assert jenks_splits(np.full(20, 0.5), 3) == []
+
+    def test_jenks_subsamples_large_input(self, rng):
+        scores = rng.random(5000)
+        splits = jenks_splits(scores, 3)
+        assert len(splits) == 2
+
+    def test_kmeans_recovers_separated_clusters(self, rng):
+        scores = np.concatenate(
+            [rng.normal(0.2, 0.03, 60), rng.normal(0.85, 0.03, 60)]
+        ).clip(0, 1)
+        splits = kmeans1d_splits(scores, 2)
+        assert len(splits) == 1
+        assert 0.35 < splits[0] < 0.75
+
+    def test_em_recovers_separated_clusters(self, rng):
+        scores = np.concatenate(
+            [rng.normal(0.2, 0.03, 80), rng.normal(0.8, 0.03, 80)]
+        ).clip(0, 1)
+        splits = em_splits(scores, 2)
+        assert len(splits) == 1
+        assert 0.3 < splits[0] < 0.7
+
+    def test_kde_recovers_separated_clusters(self, rng):
+        scores = np.concatenate(
+            [rng.normal(0.2, 0.04, 80), rng.normal(0.8, 0.04, 80)]
+        ).clip(0, 1)
+        splits = kde_splits(scores, 2)
+        assert len(splits) >= 1
+        assert any(0.3 < s < 0.7 for s in splits)
+
+    def test_kde_unimodal_falls_back_to_quantiles(self, rng):
+        scores = rng.normal(0.5, 0.05, 200).clip(0, 1)
+        splits = kde_splits(scores, 3)
+        assert len(splits) == 2  # quantile fallback yields k-1 splits
+
+    @pytest.mark.parametrize("name", sorted(STRATEGIES))
+    def test_every_strategy_yields_valid_partition(self, name, rng):
+        scores = rng.beta(2, 2, 150)
+        buckets = split_scores(scores, k=3, strategy=name)
+        for score in scores:
+            assert sum(b.contains(float(score)) for b in buckets) == 1
+
+
+class TestSplitScores:
+    def test_boolean_input_gets_boolean_partition(self):
+        buckets = split_scores(np.array([0.0, 1.0, 1.0]), k=3)
+        assert [b.label for b in buckets] == ["false", "true"]
+
+    def test_empty_input_raises(self):
+        with pytest.raises(InvalidBucketError):
+            split_scores(np.array([]), k=3)
+
+    def test_bad_k_raises(self):
+        with pytest.raises(InvalidBucketError):
+            split_scores(np.array([0.5]), k=0)
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(InvalidBucketError):
+            split_scores(np.array([0.2, 0.5]), strategy="magic")
+
+    def test_constant_data_single_bucket(self):
+        buckets = split_scores(np.full(10, 0.42), k=3)
+        assert len(buckets) == 1
+        assert buckets[0].contains(0.42)

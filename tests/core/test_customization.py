@@ -1,0 +1,210 @@
+"""Unit tests for customization (paper §6, Examples 6.2 and 6.4)."""
+
+import pytest
+
+from repro.core import (
+    CustomizationFeedback,
+    InfeasibleSelectionError,
+    InvalidFeedbackError,
+    custom_select,
+    refine_users,
+    subset_score,
+)
+from repro.core.customization import customized_instance, feedback_group_coverage
+from repro.core.groups import GroupKey
+
+
+@pytest.fixture()
+def example_62_feedback(table2_groups):
+    """Example 6.2: must have rated Mexican; prioritize livesIn <city>."""
+    mexican = frozenset(
+        g.key for g in table2_groups.buckets_of_property("avgRating Mexican")
+    )
+    lives_in = frozenset(
+        g.key
+        for g in table2_groups
+        if g.key.property_label.startswith("livesIn ")
+    )
+    return CustomizationFeedback(must_have=mexican, priority=lives_in)
+
+
+class TestFeedbackDefaults:
+    def test_none_is_empty(self):
+        feedback = CustomizationFeedback.none()
+        assert feedback.must_have == frozenset()
+        assert feedback.must_not == frozenset()
+        assert feedback.priority == frozenset()
+        assert feedback.standard is None
+
+    def test_default_standard_is_complement(self, table2_groups):
+        feedback = CustomizationFeedback(
+            priority=frozenset({GroupKey("livesIn Tokyo", "true")})
+        )
+        standard = feedback.resolve_standard(table2_groups)
+        assert GroupKey("livesIn Tokyo", "true") not in standard
+        assert len(standard) == len(table2_groups) - 1
+
+    def test_explicit_standard_respected(self, table2_groups):
+        only = frozenset({GroupKey("livesIn NYC", "true")})
+        feedback = CustomizationFeedback(standard=only)
+        assert feedback.resolve_standard(table2_groups) == only
+
+    def test_validate_rejects_unknown_groups(self, table2_groups):
+        feedback = CustomizationFeedback(
+            must_have=frozenset({GroupKey("noSuch", "high")})
+        )
+        with pytest.raises(InvalidFeedbackError):
+            feedback.validate(table2_groups)
+
+
+class TestRefineUsers:
+    def test_example_6_4_excludes_carol(
+        self, table2_repo, table2_groups, example_62_feedback
+    ):
+        pool = refine_users(table2_repo, table2_groups, example_62_feedback)
+        assert "Carol" not in pool
+        assert set(pool) == {"Alice", "Bob", "David", "Eve"}
+
+    def test_must_have_buckets_of_one_property_are_disjunctive(
+        self, table2_repo, table2_groups
+    ):
+        """Def. 6.1: multiple buckets of one property need only one hit."""
+        feedback = CustomizationFeedback(
+            must_have=frozenset(
+                {
+                    GroupKey("avgRating Mexican", "high"),
+                    GroupKey("avgRating Mexican", "low"),
+                }
+            )
+        )
+        pool = refine_users(table2_repo, table2_groups, feedback)
+        # Bob is 'low', Alice/David/Eve are 'high'; Carol has no rating.
+        assert set(pool) == {"Alice", "Bob", "David", "Eve"}
+
+    def test_must_have_across_properties_is_conjunctive(
+        self, table2_repo, table2_groups
+    ):
+        feedback = CustomizationFeedback(
+            must_have=frozenset(
+                {
+                    GroupKey("avgRating Mexican", "high"),
+                    GroupKey("livesIn Tokyo", "true"),
+                }
+            )
+        )
+        pool = refine_users(table2_repo, table2_groups, feedback)
+        assert set(pool) == {"Alice", "David"}
+
+    def test_must_not_filters_members(self, table2_repo, table2_groups):
+        feedback = CustomizationFeedback(
+            must_not=frozenset({GroupKey("livesIn Tokyo", "true")})
+        )
+        pool = refine_users(table2_repo, table2_groups, feedback)
+        assert set(pool) == {"Bob", "Carol", "Eve"}
+
+    def test_empty_feedback_keeps_everyone(self, table2_repo, table2_groups):
+        pool = refine_users(
+            table2_repo, table2_groups, CustomizationFeedback.none()
+        )
+        assert set(pool) == set(table2_repo.user_ids)
+
+
+class TestCustomizedInstance:
+    def test_priority_weights_scaled(self, table2_instance):
+        tokyo = GroupKey("livesIn Tokyo", "true")
+        feedback = CustomizationFeedback(priority=frozenset({tokyo}))
+        scaled = customized_instance(table2_instance, feedback)
+        standard_max = sum(
+            table2_instance.wei[k] * table2_instance.cov[k]
+            for k in table2_instance.groups.keys
+            if k != tokyo
+        )
+        assert scaled.wei[tokyo] == table2_instance.wei[tokyo] * (
+            standard_max + 1
+        )
+
+    def test_ignored_groups_dropped(self, table2_instance):
+        tokyo = GroupKey("livesIn Tokyo", "true")
+        nyc = GroupKey("livesIn NYC", "true")
+        feedback = CustomizationFeedback(
+            priority=frozenset({tokyo}), standard=frozenset({nyc})
+        )
+        scaled = customized_instance(table2_instance, feedback)
+        assert set(scaled.groups.keys) == {tokyo, nyc}
+
+    def test_lexicographic_dominance(self, table2_repo, table2_instance):
+        """One covered priority group must outweigh ALL standard groups."""
+        paris = GroupKey("livesIn Paris", "true")  # only Eve
+        feedback = CustomizationFeedback(priority=frozenset({paris}))
+        scaled = customized_instance(table2_instance, feedback)
+        eve_only = subset_score(scaled, ["Eve"])
+        # Alice has the best standard score but no Paris membership.
+        alice_only = subset_score(scaled, ["Alice"])
+        assert eve_only > alice_only
+
+
+class TestCustomSelect:
+    def test_example_6_4_selects_alice_eve(
+        self, table2_repo, table2_instance, example_62_feedback
+    ):
+        custom = custom_select(
+            table2_repo, table2_instance, example_62_feedback
+        )
+        assert set(custom.selected) == {"Alice", "Eve"}
+        assert custom.refined_pool_size == 4
+        # Max livesIn weight sum achievable with 2 users is 3 (Tokyo 2 +
+        # any other city 1).
+        assert custom.priority_score == 3
+        assert custom.standard_score == 14
+
+    def test_infeasible_filters_raise(self, table2_repo, table2_instance):
+        feedback = CustomizationFeedback(
+            must_have=frozenset({GroupKey("livesIn Tokyo", "true")}),
+            must_not=frozenset({GroupKey("livesIn Tokyo", "true")}),
+        )
+        with pytest.raises(InfeasibleSelectionError):
+            custom_select(table2_repo, table2_instance, feedback)
+
+    def test_empty_feedback_matches_base(self, table2_repo, table2_instance):
+        custom = custom_select(
+            table2_repo, table2_instance, CustomizationFeedback.none()
+        )
+        assert set(custom.selected) == {"Alice", "Eve"}
+        assert custom.priority_score == 0
+
+    def test_priority_changes_selection(self, table2_repo, table2_instance):
+        """Prioritizing Bob-only groups pulls Bob into the subset."""
+        feedback = CustomizationFeedback(
+            priority=frozenset(
+                {
+                    GroupKey("livesIn NYC", "true"),
+                    GroupKey("avgRating CheapEats", "high"),
+                }
+            )
+        )
+        custom = custom_select(table2_repo, table2_instance, feedback)
+        assert "Bob" in custom.selected
+
+
+class TestFeedbackGroupCoverage:
+    def test_no_priority_is_full(self, table2_instance):
+        assert (
+            feedback_group_coverage(
+                table2_instance, CustomizationFeedback.none(), ["Alice"]
+            )
+            == 1.0
+        )
+
+    def test_partial_coverage(self, table2_instance):
+        feedback = CustomizationFeedback(
+            priority=frozenset(
+                {
+                    GroupKey("livesIn Tokyo", "true"),
+                    GroupKey("livesIn NYC", "true"),
+                }
+            )
+        )
+        assert (
+            feedback_group_coverage(table2_instance, feedback, ["Alice"])
+            == 0.5
+        )

@@ -1,0 +1,134 @@
+"""Unit tests for explanations (paper §5, Def. 5.1, Example 5.2)."""
+
+import pytest
+
+from repro.core import (
+    build_instance,
+    explain_selection,
+    greedy_select,
+)
+from repro.core.explanations import (
+    compare_distributions,
+    explain_group,
+    explain_subset_group,
+    explain_user,
+)
+from repro.core.groups import GroupKey
+
+
+@pytest.fixture()
+def alice_eve(table2_repo, table2_instance):
+    return greedy_select(table2_repo, table2_instance)
+
+
+class TestGroupExplanation:
+    def test_example_5_2_mexican_group(self, table2_instance):
+        """⟨"high ... Mexican", 3, 1⟩: weight reflects size 3, Single cov."""
+        exp = explain_group(
+            table2_instance, GroupKey("avgRating Mexican", "high")
+        )
+        assert exp.weight == 3
+        assert exp.coverage == 1
+        assert "avgRating Mexican" in exp.label
+        assert exp.as_tuple() == (exp.label, 3, 1)
+
+    def test_example_5_2_tokyo_group(self, table2_instance):
+        """⟨"lives in Tokyo", 2, 1⟩ — Boolean label without bucket text."""
+        exp = explain_group(table2_instance, GroupKey("livesIn Tokyo", "true"))
+        assert exp.weight == 2
+        assert exp.coverage == 1
+        assert exp.label == "livesIn Tokyo"
+
+
+class TestUserExplanation:
+    def test_alice_groups(self, table2_instance):
+        exp = explain_user(table2_instance, "Alice")
+        labels = {g.label for g in exp.groups}
+        assert "livesIn Tokyo" in labels
+        assert "high scores for avgRating Mexican" in labels
+        assert len(exp.groups) == 6
+
+    def test_top_orders_by_weight(self, table2_instance):
+        exp = explain_user(table2_instance, "Alice")
+        top2 = exp.top(2)
+        assert top2[0].weight >= top2[1].weight
+        assert top2[0].label == "high scores for avgRating Mexican"
+
+
+class TestSubsetGroupExplanation:
+    def test_example_5_2_pair(self, table2_instance):
+        """{Alice, Eve} vs avgRating Mexican high: ⟨1, 2⟩ — both belong,
+        exceeding required coverage."""
+        exp = explain_subset_group(
+            table2_instance,
+            ["Alice", "Eve"],
+            GroupKey("avgRating Mexican", "high"),
+        )
+        assert exp.as_tuple() == (1, 2)
+        assert exp.covered
+
+    def test_uncovered_group(self, table2_instance):
+        exp = explain_subset_group(
+            table2_instance, ["Alice", "Eve"], GroupKey("livesIn NYC", "true")
+        )
+        assert exp.actual == 0
+        assert not exp.covered
+
+
+class TestCompareDistributions:
+    def test_population_shares(self, table2_instance):
+        dist = compare_distributions(
+            table2_instance, ["Alice", "Eve"], "avgRating Mexican"
+        )
+        # Groups: high (3 users), low (1 user) -> shares 0.25 / 0.75
+        # ordered low first (lower bucket bound).
+        assert dist.bucket_labels == ("low", "high")
+        assert dist.population == pytest.approx((0.25, 0.75))
+        assert dist.subset == pytest.approx((0.0, 1.0))
+
+    def test_empty_subset_counts(self, table2_instance):
+        dist = compare_distributions(
+            table2_instance, [], "avgRating Mexican"
+        )
+        assert dist.subset == pytest.approx((0.0, 0.0))
+
+
+class TestExplainSelection:
+    def test_payload_shapes(self, alice_eve):
+        explanation = explain_selection(
+            alice_eve, distribution_properties=("avgRating Mexican",)
+        )
+        assert len(explanation.user_explanations) == 2
+        assert len(explanation.subset_group_explanations) == 16
+        assert len(explanation.distributions) == 1
+        assert 0.0 <= explanation.top_coverage_fraction <= 1.0
+
+    def test_group_list_sorted_by_weight(self, alice_eve):
+        explanation = explain_selection(alice_eve)
+        weights = [g.weight for g in explanation.group_explanations]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_top_coverage_fraction_counts_covered(self, alice_eve):
+        # Top 3 by weight: Mexican-high (Alice), ageGroup 50-64 (Alice),
+        # avgRating CheapEats medium (Eve) — all covered.
+        explanation = explain_selection(alice_eve, top_k=3)
+        assert explanation.top_coverage_fraction == pytest.approx(1.0)
+        # The full group list (16 groups) is not fully covered though.
+        full = explain_selection(alice_eve, top_k=16)
+        assert full.top_coverage_fraction == pytest.approx(10 / 16)
+
+    def test_for_user_lookup(self, alice_eve):
+        explanation = explain_selection(alice_eve)
+        assert explanation.for_user("Alice").user_id == "Alice"
+        with pytest.raises(KeyError):
+            explanation.for_user("Carol")
+
+    def test_covered_uncovered_partition(self, alice_eve):
+        explanation = explain_selection(alice_eve)
+        covered = explanation.covered()
+        uncovered = explanation.uncovered()
+        assert len(covered) + len(uncovered) == 16
+        assert all(e.covered for e in covered)
+        assert not any(e.covered for e in uncovered)
+        # Alice+Eve together belong to 10 distinct groups.
+        assert len(covered) == 10

@@ -1,0 +1,252 @@
+"""Unit tests for simple/complex groups and the grouping module."""
+
+import pytest
+
+from repro.core import (
+    Group,
+    GroupingConfig,
+    GroupKey,
+    GroupSet,
+    InvalidInstanceError,
+    UnknownGroupError,
+    build_simple_groups,
+    intersect_groups,
+)
+from repro.core.buckets import Bucket
+
+
+def make_group(prop: str, bucket_label: str, members, lo=0.0, hi=1.0):
+    return Group(
+        GroupKey(prop, bucket_label),
+        frozenset(members),
+        Bucket(lo, hi, bucket_label, closed_hi=True),
+    )
+
+
+class TestGroup:
+    def test_size(self):
+        assert make_group("p", "high", {"a", "b"}).size == 2
+
+    def test_contains_and_len(self):
+        group = make_group("p", "high", {"a"})
+        assert "a" in group
+        assert "b" not in group
+        assert len(group) == 1
+
+    def test_default_label_numeric_bucket(self):
+        group = make_group("avgRating Mexican", "high", {"a"})
+        assert group.label == "high scores for avgRating Mexican"
+
+    def test_default_label_boolean_true(self):
+        group = Group(
+            GroupKey("livesIn Tokyo", "true"),
+            frozenset({"a"}),
+            Bucket(0.5, 1.0, "true", closed_hi=True),
+        )
+        assert group.label == "livesIn Tokyo"
+
+    def test_default_label_boolean_false(self):
+        group = Group(
+            GroupKey("livesIn Tokyo", "false"),
+            frozenset(),
+            Bucket(0.0, 0.5, "false"),
+        )
+        assert group.label == "not livesIn Tokyo"
+
+    def test_intersect(self):
+        a = make_group("p", "high", {"x", "y"})
+        b = make_group("q", "low", {"y", "z"})
+        both = a.intersect(b)
+        assert both.members == frozenset({"y"})
+        assert both.bucket is None
+        assert "AND" in both.label
+
+    def test_union(self):
+        a = make_group("p", "high", {"x"})
+        b = make_group("q", "low", {"z"})
+        assert a.union(b).members == frozenset({"x", "z"})
+
+    def test_intersect_groups_fold(self):
+        groups = [
+            make_group("p", "h", {"a", "b", "c"}),
+            make_group("q", "h", {"b", "c"}),
+            make_group("r", "h", {"c"}),
+        ]
+        assert intersect_groups(groups).members == frozenset({"c"})
+
+    def test_intersect_groups_empty_raises(self):
+        with pytest.raises(InvalidInstanceError):
+            intersect_groups([])
+
+
+class TestGroupSet:
+    def test_bidirectional_links(self):
+        gs = GroupSet([make_group("p", "high", {"a", "b"})])
+        assert gs.groups_of("a") == {GroupKey("p", "high")}
+        assert gs.group(GroupKey("p", "high")).members == frozenset({"a", "b"})
+
+    def test_readd_replaces_and_unlinks(self):
+        gs = GroupSet([make_group("p", "high", {"a", "b"})])
+        gs.add(make_group("p", "high", {"c"}))
+        assert gs.groups_of("a") == set()
+        assert gs.group(GroupKey("p", "high")).members == frozenset({"c"})
+        assert len(gs) == 1
+
+    def test_unknown_group_raises(self):
+        with pytest.raises(UnknownGroupError):
+            GroupSet().group(GroupKey("p", "x"))
+
+    def test_degree_and_max(self):
+        gs = GroupSet(
+            [
+                make_group("p", "h", {"a", "b"}),
+                make_group("q", "h", {"a"}),
+            ]
+        )
+        assert gs.degree("a") == 2
+        assert gs.degree("b") == 1
+        assert gs.degree("ghost") == 0
+        assert gs.max_degree() == 2
+        assert gs.max_group_size() == 2
+
+    def test_top_k_by_size(self):
+        gs = GroupSet(
+            [
+                make_group("p", "h", {"a"}),
+                make_group("q", "h", {"a", "b", "c"}),
+                make_group("r", "h", {"a", "b"}),
+            ]
+        )
+        top2 = gs.top_k(2)
+        assert [g.key.property_label for g in top2] == ["q", "r"]
+
+    def test_restricted_to_users(self):
+        gs = GroupSet([make_group("p", "h", {"a", "b", "c"})])
+        restricted = gs.restricted_to_users({"a", "b"})
+        assert restricted.group(GroupKey("p", "h")).members == frozenset(
+            {"a", "b"}
+        )
+        # Original untouched.
+        assert gs.group(GroupKey("p", "h")).size == 3
+
+    def test_subset(self):
+        gs = GroupSet(
+            [make_group("p", "h", {"a"}), make_group("q", "h", {"b"})]
+        )
+        sub = gs.subset([GroupKey("p", "h")])
+        assert len(sub) == 1
+        assert GroupKey("q", "h") not in sub
+
+    def test_buckets_of_property(self, table2_groups):
+        buckets = table2_groups.buckets_of_property("avgRating Mexican")
+        labels = {g.key.bucket_label for g in buckets}
+        assert labels == {"low", "high"}  # no user in the medium bucket
+
+
+class TestGroupingConfig:
+    def test_defaults(self):
+        config = GroupingConfig()
+        assert config.buckets_per_property == 3
+        assert config.strategy == "jenks"
+
+    @pytest.mark.parametrize("kwargs", [{"buckets_per_property": 0}, {"min_support": 0}])
+    def test_validation(self, kwargs):
+        with pytest.raises(InvalidInstanceError):
+            GroupingConfig(**kwargs)
+
+
+class TestBuildSimpleGroups:
+    def test_running_example_group_sizes(self, table2_groups):
+        """The LBS superscripts of Table 2 are exactly these sizes."""
+        sizes = {
+            str(g.key): g.size
+            for g in table2_groups
+        }
+        assert sizes["livesIn Tokyo::true"] == 2
+        assert sizes["ageGroup 50-64::true"] == 2
+        assert sizes["avgRating Mexican::high"] == 3
+        assert sizes["avgRating Mexican::low"] == 1
+        assert sizes["visitFreq Mexican::medium"] == 2
+        assert sizes["avgRating CheapEats::medium"] == 2
+        assert sizes["visitFreq CheapEats::low"] == 2
+        assert len(table2_groups) == 16
+
+    def test_min_support_drops_rare_properties(self, table2_repo):
+        groups = build_simple_groups(
+            table2_repo, GroupingConfig(min_support=2, fixed_splits=(0.4, 0.65))
+        )
+        # livesIn NYC has support 1 and must be gone.
+        assert all(
+            g.key.property_label != "livesIn NYC" for g in groups
+        )
+
+    def test_drop_empty_buckets(self, table2_groups):
+        assert all(g.size > 0 for g in table2_groups)
+
+    def test_keep_empty_buckets_when_disabled(self, table2_repo):
+        groups = build_simple_groups(
+            table2_repo,
+            GroupingConfig(fixed_splits=(0.4, 0.65), drop_empty=False),
+        )
+        empty = [g for g in groups if g.size == 0]
+        assert empty  # e.g. avgRating Mexican::medium
+
+    def test_members_match_bucket_ranges(self, table2_repo, table2_groups):
+        for group in table2_groups:
+            for user_id in group.members:
+                score = table2_repo.profile(user_id).score(
+                    group.key.property_label
+                )
+                assert group.bucket.contains(score)
+
+
+class TestAugmentWithIntersections:
+    def test_adds_largest_cross_property_intersections(self, table2_groups):
+        from repro.core import augment_with_intersections
+
+        augmented = augment_with_intersections(
+            table2_groups, min_size=2, max_new=5
+        )
+        complex_groups = [g for g in augmented if g.bucket is None]
+        assert 1 <= len(complex_groups) <= 5
+        # The "Tokyo residents who are Mexican food lovers" group of
+        # Example 3.5 ({Alice, David}) must be among them.
+        assert any(
+            g.members == frozenset({"Alice", "David"})
+            for g in complex_groups
+        )
+        # Input untouched.
+        assert all(g.bucket is not None for g in table2_groups)
+
+    def test_min_size_filters(self, table2_groups):
+        from repro.core import augment_with_intersections
+
+        augmented = augment_with_intersections(
+            table2_groups, min_size=3, max_new=50
+        )
+        complex_groups = [g for g in augmented if g.bucket is None]
+        assert all(g.size >= 3 for g in complex_groups)
+
+    def test_complex_groups_participate_in_selection(
+        self, table2_repo, table2_groups
+    ):
+        from repro.core import (
+            augment_with_intersections,
+            build_instance,
+            greedy_select,
+        )
+
+        augmented = augment_with_intersections(table2_groups, max_new=10)
+        instance = build_instance(table2_repo, 2, groups=augmented)
+        result = greedy_select(table2_repo, instance)
+        assert len(result.selected) == 2
+        # Complex groups add weight, so the score exceeds the simple-only 17.
+        assert result.score > 17
+
+    def test_invalid_min_size(self, table2_groups):
+        import pytest as _pytest
+
+        from repro.core import InvalidInstanceError, augment_with_intersections
+
+        with _pytest.raises(InvalidInstanceError):
+            augment_with_intersections(table2_groups, min_size=0)

@@ -1,0 +1,101 @@
+"""Unit tests for diversification instances (Def. 3.3)."""
+
+import pytest
+
+from repro.core import (
+    DiversificationInstance,
+    IdenWeights,
+    InvalidBudgetError,
+    InvalidInstanceError,
+    PropCoverage,
+    build_instance,
+)
+from repro.core.groups import GroupKey
+
+
+class TestBuildInstance:
+    def test_defaults_are_lbs_single(self, table2_repo, table2_groups):
+        instance = build_instance(table2_repo, budget=2, groups=table2_groups)
+        mex_high = GroupKey("avgRating Mexican", "high")
+        assert instance.weight(mex_high) == 3  # LBS = group size
+        assert instance.coverage(mex_high) == 1  # Single
+
+    def test_builds_groups_when_missing(self, table2_repo):
+        instance = build_instance(table2_repo, budget=2)
+        assert len(instance.groups) > 0
+
+    def test_custom_schemes(self, table2_repo, table2_groups):
+        instance = build_instance(
+            table2_repo,
+            budget=3,
+            groups=table2_groups,
+            weight_scheme=IdenWeights(),
+            coverage_scheme=PropCoverage(),
+        )
+        mex_high = GroupKey("avgRating Mexican", "high")
+        assert instance.weight(mex_high) == 1
+        # floor(3 * 3 / 5) = 1
+        assert instance.coverage(mex_high) == 1
+
+    def test_bad_budget(self, table2_repo):
+        with pytest.raises(InvalidBudgetError):
+            build_instance(table2_repo, budget=0)
+
+    def test_population_size_recorded(self, table2_repo, table2_groups):
+        instance = build_instance(table2_repo, budget=2, groups=table2_groups)
+        assert instance.population_size == 5
+
+
+class TestValidation:
+    def test_missing_weight_rejected(self, table2_instance):
+        broken = dict(table2_instance.wei)
+        broken.pop(next(iter(broken)))
+        with pytest.raises(InvalidInstanceError):
+            DiversificationInstance(
+                groups=table2_instance.groups,
+                wei=broken,
+                cov=dict(table2_instance.cov),
+                budget=2,
+                population_size=5,
+            )
+
+    def test_non_positive_weight_rejected(self, table2_instance):
+        broken = dict(table2_instance.wei)
+        broken[next(iter(broken))] = 0
+        with pytest.raises(InvalidInstanceError):
+            DiversificationInstance(
+                groups=table2_instance.groups,
+                wei=broken,
+                cov=dict(table2_instance.cov),
+                budget=2,
+                population_size=5,
+            )
+
+    def test_fractional_coverage_rejected(self, table2_instance):
+        broken = dict(table2_instance.cov)
+        broken[next(iter(broken))] = 1.5
+        with pytest.raises(InvalidInstanceError):
+            DiversificationInstance(
+                groups=table2_instance.groups,
+                wei=dict(table2_instance.wei),
+                cov=broken,
+                budget=2,
+                population_size=5,
+            )
+
+
+class TestInstanceHelpers:
+    def test_max_score_is_weight_times_coverage(self, table2_instance):
+        expected = sum(
+            table2_instance.wei[k] * table2_instance.cov[k]
+            for k in table2_instance.groups.keys
+        )
+        assert table2_instance.max_score() == expected
+
+    def test_restricted_to_groups(self, table2_instance):
+        keep = [GroupKey("livesIn Tokyo", "true")]
+        sub = table2_instance.restricted_to_groups(keep)
+        assert len(sub.groups) == 1
+        assert set(sub.wei) == set(keep)
+        assert set(sub.cov) == set(keep)
+        assert sub.budget == table2_instance.budget

@@ -1,0 +1,74 @@
+"""Unit tests for exhaustive optimal selection and approximation ratio."""
+
+import pytest
+
+from repro.core import (
+    GroupingConfig,
+    InvalidBudgetError,
+    approximation_ratio,
+    build_instance,
+    build_simple_groups,
+    greedy_select,
+    optimal_select,
+    subset_score,
+)
+from repro.experiments.optimal_ratio import GREEDY_BOUND
+from repro.datasets.synth import generate_profile_repository
+
+
+class TestOptimalSelect:
+    def test_running_example_optimum_is_17(self, table2_repo, table2_instance):
+        result = optimal_select(table2_repo, table2_instance)
+        assert result.score == 17
+        assert set(result.selected) == {"Alice", "Eve"}
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_pruned_equals_naive(self, seed):
+        repo = generate_profile_repository(14, 20, 6.0, seed=seed)
+        groups = build_simple_groups(repo, GroupingConfig())
+        instance = build_instance(repo, budget=3, groups=groups)
+        pruned = optimal_select(repo, instance, prune=True)
+        naive = optimal_select(repo, instance, prune=False)
+        assert pruned.score == naive.score
+
+    def test_optimal_at_least_greedy(self, small_profile_repo, small_instance):
+        greedy = greedy_select(small_profile_repo, small_instance, budget=4)
+        best = optimal_select(small_profile_repo, small_instance, budget=4)
+        assert best.score >= greedy.score
+
+    def test_budget_larger_than_population(self, table2_repo, table2_instance):
+        result = optimal_select(table2_repo, table2_instance, budget=99)
+        assert set(result.selected) == set(table2_repo.user_ids)
+
+    def test_candidates_restriction(self, table2_repo, table2_instance):
+        result = optimal_select(
+            table2_repo, table2_instance, candidates=["Bob", "Carol", "David"]
+        )
+        assert set(result.selected) <= {"Bob", "Carol", "David"}
+        assert result.score == subset_score(table2_instance, result.selected)
+
+    def test_bad_budget(self, table2_repo, table2_instance):
+        with pytest.raises(InvalidBudgetError):
+            optimal_select(table2_repo, table2_instance, budget=0)
+
+    def test_gains_replay_consistent(self, table2_repo, table2_instance):
+        result = optimal_select(table2_repo, table2_instance)
+        assert sum(result.gains) == result.score
+
+
+class TestApproximationRatio:
+    def test_ratio_at_most_one(self, small_profile_repo, small_instance):
+        ratio = approximation_ratio(
+            small_profile_repo, small_instance, budget=4
+        )
+        assert 0.0 < ratio <= 1.0 + 1e-12
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ratio_exceeds_theoretical_bound(self, seed):
+        """Prop. 4.4's (1 − 1/e) bound must hold on every instance; §8.4
+        reports near-1 ratios in practice."""
+        repo = generate_profile_repository(25, 25, 8.0, seed=seed)
+        groups = build_simple_groups(repo, GroupingConfig())
+        instance = build_instance(repo, budget=4, groups=groups)
+        ratio = approximation_ratio(repo, instance)
+        assert ratio >= GREEDY_BOUND

@@ -1,0 +1,158 @@
+"""Unit tests for user profiles and repositories (paper §3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DuplicateUserError,
+    EmptyRepositoryError,
+    InvalidScoreError,
+    UnknownPropertyError,
+    UnknownUserError,
+    UserProfile,
+    UserRepository,
+)
+
+
+class TestUserProfile:
+    def test_scores_are_frozen_copy(self):
+        source = {"a": 0.5}
+        profile = UserProfile("u1", source)
+        source["a"] = 0.9
+        assert profile.score("a") == 0.5
+
+    def test_properties_set(self):
+        profile = UserProfile("u1", {"a": 0.1, "b": 1.0})
+        assert profile.properties == frozenset({"a", "b"})
+
+    def test_has_and_contains(self):
+        profile = UserProfile("u1", {"a": 0.1})
+        assert profile.has("a")
+        assert "a" in profile
+        assert not profile.has("b")
+
+    def test_score_unknown_property_raises(self):
+        with pytest.raises(UnknownPropertyError):
+            UserProfile("u1", {}).score("missing")
+
+    @pytest.mark.parametrize("bad", [-0.5, 1.5, float("nan")])
+    def test_invalid_score_rejected(self, bad):
+        with pytest.raises(InvalidScoreError):
+            UserProfile("u1", {"a": bad})
+
+    def test_boundary_scores_accepted(self):
+        profile = UserProfile("u1", {"lo": 0.0, "hi": 1.0})
+        assert profile.score("lo") == 0.0
+        assert profile.score("hi") == 1.0
+
+    def test_tiny_float_noise_clamped(self):
+        profile = UserProfile("u1", {"a": 1.0 + 1e-13, "b": -1e-13})
+        assert profile.score("a") == 1.0
+        assert profile.score("b") == 0.0
+
+    def test_with_score_returns_new_profile(self):
+        profile = UserProfile("u1", {"a": 0.1})
+        updated = profile.with_score("b", 0.2)
+        assert "b" not in profile
+        assert updated.score("b") == 0.2
+        assert updated.user_id == "u1"
+
+    def test_without_removes_properties(self):
+        profile = UserProfile("u1", {"a": 0.1, "b": 0.2, "c": 0.3})
+        assert profile.without(["a", "c"]).properties == frozenset({"b"})
+
+    def test_restricted_to_keeps_only_listed(self):
+        profile = UserProfile("u1", {"a": 0.1, "b": 0.2})
+        assert profile.restricted_to(["b", "zzz"]).properties == frozenset({"b"})
+
+    def test_len_and_iter(self):
+        profile = UserProfile("u1", {"a": 0.1, "b": 0.2})
+        assert len(profile) == 2
+        assert sorted(profile) == ["a", "b"]
+
+
+class TestUserRepository:
+    def test_from_records(self):
+        repo = UserRepository.from_records({"u1": {"a": 0.5}, "u2": {}})
+        assert len(repo) == 2
+        assert repo.profile("u1").score("a") == 0.5
+
+    def test_duplicate_user_rejected(self):
+        repo = UserRepository([UserProfile("u1", {})])
+        with pytest.raises(DuplicateUserError):
+            repo.add(UserProfile("u1", {}))
+
+    def test_unknown_user_raises(self):
+        with pytest.raises(UnknownUserError):
+            UserRepository().profile("ghost")
+
+    def test_support_counts_carriers(self, table2_repo):
+        assert table2_repo.support("livesIn Tokyo") == 2
+        assert table2_repo.support("avgRating Mexican") == 4
+        assert table2_repo.support("no-such-prop") == 0
+
+    def test_users_with_returns_scores(self, table2_repo):
+        carriers = table2_repo.users_with("livesIn Tokyo")
+        assert carriers == {"Alice": 1.0, "David": 1.0}
+
+    def test_scores_for_parallel_arrays(self, table2_repo):
+        ids, scores = table2_repo.scores_for("avgRating CheapEats")
+        assert len(ids) == len(scores) == 4
+        lookup = dict(zip(ids, scores))
+        assert lookup["Bob"] == pytest.approx(0.9)
+
+    def test_scores_for_unknown_property(self):
+        with pytest.raises(UnknownPropertyError):
+            UserRepository().scores_for("nope")
+
+    def test_mean_profile_size(self, table2_repo):
+        # Table 2 sizes: Alice 6, Bob 5, Carol 4, David 3, Eve 5.
+        assert table2_repo.mean_profile_size() == pytest.approx(23 / 5)
+
+    def test_mean_profile_size_empty_raises(self):
+        with pytest.raises(EmptyRepositoryError):
+            UserRepository().mean_profile_size()
+
+    def test_max_profile_size(self, table2_repo):
+        assert table2_repo.max_profile_size() == 6
+        assert UserRepository().max_profile_size() == 0
+
+    def test_subset(self, table2_repo):
+        sub = table2_repo.subset(["Alice", "Eve"])
+        assert set(sub.user_ids) == {"Alice", "Eve"}
+        assert sub.support("livesIn Tokyo") == 1
+
+    def test_filter(self, table2_repo):
+        sub = table2_repo.filter(lambda p: "livesIn Tokyo" in p)
+        assert set(sub.user_ids) == {"Alice", "David"}
+
+    def test_without_properties(self, table2_repo):
+        stripped = table2_repo.without_properties(["avgRating Mexican"])
+        assert stripped.support("avgRating Mexican") == 0
+        assert stripped.support("livesIn Tokyo") == 2
+        # Original untouched.
+        assert table2_repo.support("avgRating Mexican") == 4
+
+    def test_matrix_shape_and_fill(self, table2_repo):
+        rows, cols, data = table2_repo.matrix(fill=-1.0)
+        assert data.shape == (5, len(cols))
+        alice = rows.index("Alice")
+        mex = cols.index("avgRating Mexican")
+        assert data[alice, mex] == pytest.approx(0.95)
+        carol = rows.index("Carol")
+        assert data[carol, mex] == -1.0  # Carol never rated Mexican
+
+    def test_matrix_with_explicit_columns(self, table2_repo):
+        rows, cols, data = table2_repo.matrix(labels=["livesIn Tokyo"])
+        assert cols == ["livesIn Tokyo"]
+        assert data.shape == (5, 1)
+        assert data.sum() == 2.0
+
+    def test_contains_and_iter(self, table2_repo):
+        assert "Alice" in table2_repo
+        assert "Zoe" not in table2_repo
+        assert {p.user_id for p in table2_repo} == set(table2_repo.user_ids)
+
+    def test_repr_mentions_counts(self, table2_repo):
+        text = repr(table2_repo)
+        assert "users=5" in text

@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Covers the mathematical facts the paper's guarantees rest on:
+submodularity / monotonicity / non-negativity of the score (Prop. 4.4),
+the greedy (1 − 1/e) bound, bucket partitions covering [0, 1] exactly
+once, CD-sim's range and over-representation blindness, and the
+incremental coverage state agreeing with batch scoring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CoverageState,
+    GroupingConfig,
+    build_instance,
+    build_simple_groups,
+    greedy_select,
+    optimal_select,
+    subset_score,
+)
+from repro.core.buckets import partition_from_splits, split_scores
+from repro.core.profiles import UserProfile, UserRepository
+from repro.core.weights import (
+    IdenWeights,
+    LBSWeights,
+    PropCoverage,
+    SingleCoverage,
+)
+from repro.metrics.cdsim import cd_sim, cd_sim_from_counts
+
+# -- strategies -------------------------------------------------------------
+
+scores_st = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def repositories(draw, max_users: int = 12, max_properties: int = 8):
+    """Small random repositories with possibly-sparse profiles."""
+    n_users = draw(st.integers(2, max_users))
+    n_props = draw(st.integers(1, max_properties))
+    labels = [f"p{i}" for i in range(n_props)]
+    profiles = []
+    for u in range(n_users):
+        size = draw(st.integers(0, n_props))
+        chosen = draw(
+            st.permutations(labels).map(lambda perm: perm[:size])
+        )
+        profile_scores = {
+            label: draw(scores_st) for label in chosen
+        }
+        profiles.append(UserProfile(f"u{u}", profile_scores))
+    return UserRepository(profiles)
+
+
+@st.composite
+def instances(draw):
+    repo = draw(repositories())
+    weight = draw(st.sampled_from([IdenWeights(), LBSWeights()]))
+    coverage = draw(st.sampled_from([SingleCoverage(), PropCoverage()]))
+    budget = draw(st.integers(1, 4))
+    groups = build_simple_groups(
+        repo, GroupingConfig(strategy="quantile")
+    )
+    return repo, build_instance(
+        repo, budget, groups=groups, weight_scheme=weight,
+        coverage_scheme=coverage,
+    )
+
+
+# -- score function properties (Prop. 4.4) ----------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances(), st.randoms(use_true_random=False))
+def test_score_monotone(repo_instance, pyrandom):
+    repo, instance = repo_instance
+    users = repo.user_ids
+    subset = pyrandom.sample(users, k=pyrandom.randint(0, len(users)))
+    extra = pyrandom.choice(users)
+    assert subset_score(instance, subset + [extra]) >= subset_score(
+        instance, subset
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances(), st.randoms(use_true_random=False))
+def test_score_submodular(repo_instance, pyrandom):
+    """Gain of u on U is at least its gain on any superset U'."""
+    repo, instance = repo_instance
+    users = repo.user_ids
+    small = pyrandom.sample(users, k=pyrandom.randint(0, len(users) - 1))
+    grow = [u for u in users if u not in small]
+    big = small + pyrandom.sample(grow, k=pyrandom.randint(0, len(grow)))
+    candidates = [u for u in users if u not in big]
+    if not candidates:
+        return
+    u = pyrandom.choice(candidates)
+    gain_small = subset_score(instance, small + [u]) - subset_score(
+        instance, small
+    )
+    gain_big = subset_score(instance, big + [u]) - subset_score(instance, big)
+    assert gain_small >= gain_big
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances(), st.randoms(use_true_random=False))
+def test_score_non_negative(repo_instance, pyrandom):
+    repo, instance = repo_instance
+    subset = pyrandom.sample(
+        repo.user_ids, k=pyrandom.randint(0, len(repo.user_ids))
+    )
+    assert subset_score(instance, subset) >= 0
+
+
+# -- greedy guarantees -------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(instances())
+def test_greedy_within_bound_of_optimal(repo_instance):
+    repo, instance = repo_instance
+    greedy = greedy_select(repo, instance)
+    best = optimal_select(repo, instance)
+    assert greedy.score >= (1 - 1 / np.e) * best.score - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(instances())
+def test_greedy_eager_lazy_identical_selections(repo_instance):
+    """With deterministic (min user-id) tie-breaking the two greedy
+    implementations must pick the exact same sequence — hypothesis once
+    caught the lazy heap resolving ties by stale priority order instead."""
+    repo, instance = repo_instance
+    eager = greedy_select(repo, instance, method="eager")
+    lazy = greedy_select(repo, instance, method="lazy")
+    assert eager.selected == lazy.selected
+    assert eager.score == lazy.score
+    assert eager.gains == lazy.gains
+
+
+@settings(max_examples=25, deadline=None)
+@given(instances())
+def test_greedy_respects_budget_and_reports_score(repo_instance):
+    repo, instance = repo_instance
+    result = greedy_select(repo, instance)
+    assert len(result.selected) <= instance.budget
+    assert len(set(result.selected)) == len(result.selected)
+    assert result.score == subset_score(instance, result.selected)
+
+
+# -- coverage state ----------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(instances(), st.randoms(use_true_random=False))
+def test_coverage_state_matches_batch(repo_instance, pyrandom):
+    repo, instance = repo_instance
+    order = repo.user_ids
+    pyrandom.shuffle(order)
+    state = CoverageState(instance)
+    added: list[str] = []
+    for user in order[:5]:
+        predicted = state.marginal_gain(user)
+        realized = state.add(user)
+        added.append(user)
+        assert predicted == realized
+        assert state.score == subset_score(instance, added)
+
+
+# -- bucket partitions ---------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(scores_st, min_size=1, max_size=60),
+    st.integers(1, 5),
+    st.sampled_from(["quantile", "equal-width", "kmeans", "jenks"]),
+)
+def test_bucket_partition_total_and_disjoint(score_list, k, strategy):
+    buckets = split_scores(np.array(score_list), k=k, strategy=strategy)
+    for score in score_list + [0.0, 1.0]:
+        assert sum(b.contains(float(score)) for b in buckets) == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.01, max_value=0.99), min_size=0, max_size=5
+    )
+)
+def test_partition_from_any_strictly_sorted_splits(points):
+    unique = sorted(set(round(p, 6) for p in points))
+    buckets = partition_from_splits(tuple(unique))
+    assert len(buckets) == len(unique) + 1
+    assert buckets[0].lo == 0.0 and buckets[-1].hi == 1.0
+
+
+# -- CD-sim -------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.floats(0, 1), min_size=1, max_size=10),
+    st.lists(st.floats(0, 1), min_size=1, max_size=10),
+)
+def test_cd_sim_bounded(sub, all_):
+    k = min(len(sub), len(all_))
+    value = cd_sim(sub[:k], all_[:k])
+    assert 0.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(0.01, 1), min_size=1, max_size=10))
+def test_cd_sim_identity_is_one(dist):
+    assert cd_sim(dist, dist) == 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(0, 50), min_size=2, max_size=8),
+    st.integers(0, 7),
+    st.integers(1, 50),
+)
+def test_cd_sim_ignores_pure_over_representation(counts, index, boost):
+    """Adding mass to an already >=-represented bucket never lowers CD-sim
+    of that bucket's own term — over-representation is not taxed."""
+    if sum(counts) == 0:
+        counts = [c + 1 for c in counts]
+    index = index % len(counts)
+    base = cd_sim_from_counts(counts, counts)
+    boosted = list(counts)
+    boosted[index] += boost
+    # Identical distributions score 1; boosting one bucket only taxes the
+    # *other* buckets (now relatively under-represented), never exceeds 1.
+    assert base == 1.0
+    assert cd_sim_from_counts(boosted, counts) <= 1.0

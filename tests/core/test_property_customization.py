@@ -1,0 +1,113 @@
+"""Property-based tests (hypothesis) for customization invariants (§6).
+
+Random instances, random feedback — the invariants under test:
+
+* every selected user satisfies the must-have/must-not filters;
+* the lexicographic rescaling never lets any standard-score combination
+  outrank a strictly better priority score;
+* CUSTOM-DIVERSITY with empty feedback coincides with BASE-DIVERSITY.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CustomizationFeedback,
+    GroupingConfig,
+    InfeasibleSelectionError,
+    build_instance,
+    build_simple_groups,
+    custom_select,
+    customized_instance,
+    greedy_select,
+    refine_users,
+    subset_score,
+)
+from repro.datasets.synth import generate_profile_repository
+
+
+@st.composite
+def instances_with_feedback(draw):
+    seed = draw(st.integers(0, 50))
+    repo = generate_profile_repository(
+        n_users=25, n_properties=12, mean_profile_size=5.0, seed=seed
+    )
+    groups = build_simple_groups(repo, GroupingConfig(strategy="quantile"))
+    budget = draw(st.integers(1, 4))
+    instance = build_instance(repo, budget, groups=groups)
+
+    keys = sorted(instance.groups.keys, key=str)
+    picked = draw(
+        st.lists(st.sampled_from(keys), max_size=4, unique=True)
+    )
+    role = draw(st.sampled_from(["must_have", "must_not", "priority"]))
+    feedback = CustomizationFeedback(
+        must_have=frozenset(picked) if role == "must_have" else frozenset(),
+        must_not=frozenset(picked) if role == "must_not" else frozenset(),
+        priority=frozenset(picked) if role == "priority" else frozenset(),
+    )
+    return repo, instance, feedback
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances_with_feedback())
+def test_selected_users_satisfy_filters(setup):
+    repo, instance, feedback = setup
+    try:
+        custom = custom_select(repo, instance, feedback)
+    except InfeasibleSelectionError:
+        # Legal outcome: the filters removed everyone.
+        assert refine_users(repo, instance.groups, feedback) == []
+        return
+    eligible = set(refine_users(repo, instance.groups, feedback))
+    assert set(custom.selected) <= eligible
+    groups = instance.groups
+    must_have_props = {k.property_label for k in feedback.must_have}
+    for user in custom.selected:
+        memberships = groups.groups_of(user)
+        assert not (memberships & feedback.must_not)
+        for prop in must_have_props:
+            prop_keys = {
+                k for k in feedback.must_have if k.property_label == prop
+            }
+            assert memberships & prop_keys
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances_with_feedback())
+def test_lexicographic_dominance_of_priority_score(setup):
+    """For ANY two subsets, a strictly higher priority score implies a
+    strictly higher rescaled score, regardless of standard scores."""
+    repo, instance, feedback = setup
+    if not feedback.priority:
+        return
+    rescaled = customized_instance(instance, feedback)
+    priority_only = instance.restricted_to_groups(feedback.priority)
+
+    users = repo.user_ids
+    a, b = users[: instance.budget], users[-instance.budget:]
+    pa = subset_score(priority_only, a)
+    pb = subset_score(priority_only, b)
+    sa = subset_score(rescaled, a)
+    sb = subset_score(rescaled, b)
+    if pa > pb:
+        assert sa > sb
+    elif pb > pa:
+        assert sb > sa
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 30), st.integers(1, 4))
+def test_empty_feedback_equals_base(seed, budget):
+    repo = generate_profile_repository(
+        n_users=20, n_properties=10, mean_profile_size=4.0, seed=seed
+    )
+    groups = build_simple_groups(repo, GroupingConfig(strategy="quantile"))
+    instance = build_instance(repo, budget, groups=groups)
+    base = greedy_select(repo, instance)
+    custom = custom_select(
+        repo, instance, CustomizationFeedback.none()
+    )
+    assert subset_score(instance, custom.selected) == base.score

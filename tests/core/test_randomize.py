@@ -1,0 +1,104 @@
+"""Unit tests for the noisy-weights randomization extension (paper §10)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    InvalidInstanceError,
+    greedy_select,
+    noisy_instance,
+    randomized_select,
+    selection_pool,
+    subset_score,
+)
+
+
+class TestNoisyInstance:
+    def test_zero_sigma_preserves_weights(self, table2_instance):
+        perturbed = noisy_instance(
+            table2_instance, 0.0, np.random.default_rng(0)
+        )
+        for key in table2_instance.groups.keys:
+            assert perturbed.wei[key] == pytest.approx(
+                float(table2_instance.wei[key])
+            )
+
+    def test_weights_stay_positive(self, table2_instance):
+        perturbed = noisy_instance(
+            table2_instance, 2.0, np.random.default_rng(1)
+        )
+        assert all(w > 0 for w in perturbed.wei.values())
+
+    def test_coverage_and_groups_untouched(self, table2_instance):
+        perturbed = noisy_instance(
+            table2_instance, 0.5, np.random.default_rng(2)
+        )
+        assert perturbed.cov == table2_instance.cov
+        assert perturbed.groups is table2_instance.groups
+
+    def test_negative_sigma_rejected(self, table2_instance):
+        with pytest.raises(InvalidInstanceError):
+            noisy_instance(table2_instance, -0.1, np.random.default_rng(0))
+
+    def test_deterministic_per_rng_state(self, table2_instance):
+        a = noisy_instance(table2_instance, 0.4, np.random.default_rng(7))
+        b = noisy_instance(table2_instance, 0.4, np.random.default_rng(7))
+        assert a.wei == b.wei
+
+
+class TestRandomizedSelect:
+    def test_respects_budget(self, table2_repo, table2_instance):
+        result = randomized_select(table2_repo, table2_instance, seed=1)
+        assert len(result.selected) == table2_instance.budget
+
+    def test_seed_reproducible(self, table2_repo, table2_instance):
+        a = randomized_select(table2_repo, table2_instance, seed=3)
+        b = randomized_select(table2_repo, table2_instance, seed=3)
+        assert a.selected == b.selected
+
+    def test_seeds_vary_output(self, small_profile_repo, small_instance):
+        subsets = {
+            randomized_select(
+                small_profile_repo, small_instance, sigma=0.6, seed=s
+            ).selected
+            for s in range(10)
+        }
+        assert len(subsets) >= 2
+
+    def test_quality_retained_on_original_objective(
+        self, small_profile_repo, small_instance
+    ):
+        baseline = greedy_select(small_profile_repo, small_instance)
+        retained = []
+        for seed in range(5):
+            picked = randomized_select(
+                small_profile_repo, small_instance, sigma=0.3, seed=seed
+            ).selected
+            retained.append(
+                subset_score(small_instance, picked) / baseline.score
+            )
+        assert float(np.mean(retained)) >= 0.8
+
+
+class TestSelectionPool:
+    def test_counts_sum_to_selections(self, table2_repo, table2_instance):
+        pool = selection_pool(
+            table2_repo, table2_instance, seeds=range(6)
+        )
+        assert sum(pool.values()) == 6 * table2_instance.budget
+
+    def test_sorted_by_frequency(self, small_profile_repo, small_instance):
+        pool = selection_pool(
+            small_profile_repo, small_instance, sigma=0.5, seeds=range(8)
+        )
+        counts = list(pool.values())
+        assert counts == sorted(counts, reverse=True)
+
+    def test_pool_grows_with_noise(self, small_profile_repo, small_instance):
+        quiet = selection_pool(
+            small_profile_repo, small_instance, sigma=0.0, seeds=range(8)
+        )
+        loud = selection_pool(
+            small_profile_repo, small_instance, sigma=1.0, seeds=range(8)
+        )
+        assert len(loud) >= len(quiet)

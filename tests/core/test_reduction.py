@@ -1,0 +1,118 @@
+"""Unit tests for the executable Prop. 4.1 Set Cover reduction."""
+
+import pytest
+
+from repro.core import (
+    InvalidInstanceError,
+    SetCoverInstance,
+    decide_set_cover,
+    greedy_set_cover,
+    reduce_set_cover,
+)
+
+
+@pytest.fixture()
+def coverable():
+    """{1..5} coverable by S0={1,2,3} and S2={4,5} with k=2."""
+    return SetCoverInstance.of(
+        range(1, 6), [{1, 2, 3}, {2, 4}, {4, 5}, {3}], k=2
+    )
+
+
+@pytest.fixture()
+def uncoverable():
+    """{1..5} not coverable by any two of these subsets."""
+    return SetCoverInstance.of(
+        range(1, 6), [{1, 2}, {2, 3}, {4}, {5}], k=2
+    )
+
+
+class TestInstanceValidation:
+    def test_stray_elements_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            SetCoverInstance.of({1, 2}, [{1, 3}], k=1)
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            SetCoverInstance.of({1}, [{1}], k=0)
+
+    def test_is_cover(self, coverable):
+        assert coverable.is_cover([0, 2])
+        assert not coverable.is_cover([0, 1])
+        assert not coverable.is_cover([])
+
+
+class TestReduction:
+    def test_construction_shape(self, coverable):
+        reduced = reduce_set_cover(coverable)
+        assert len(reduced.repository) == 4  # one user per subset
+        assert len(reduced.instance.groups) == 5  # one group per element
+        assert reduced.threshold == 5  # wei=1, cov=1, five elements
+
+    def test_membership_matches_subsets(self, coverable):
+        reduced = reduce_set_cover(coverable)
+        groups = reduced.instance.groups
+        for j, subset in enumerate(coverable.subsets):
+            user = reduced.user_for_subset(j)
+            member_of = {
+                int(key.property_label.split()[1])
+                for key in groups.groups_of(user)
+            }
+            assert member_of == set(subset)
+
+    def test_score_reaches_threshold_iff_cover(self, coverable):
+        from repro.core import subset_score
+
+        reduced = reduce_set_cover(coverable)
+        cover_score = subset_score(reduced.instance, ["s0", "s2"])
+        non_cover_score = subset_score(reduced.instance, ["s0", "s1"])
+        assert cover_score == reduced.threshold
+        assert non_cover_score < reduced.threshold
+
+
+class TestDecide:
+    def test_positive_instance(self, coverable):
+        decision, witness = decide_set_cover(coverable)
+        assert decision
+        assert coverable.is_cover(witness)
+        assert len(witness) <= coverable.k
+
+    def test_negative_instance(self, uncoverable):
+        decision, witness = decide_set_cover(uncoverable)
+        assert not decision
+        assert not uncoverable.is_cover(witness)
+
+    def test_k_equal_subsets(self):
+        sc = SetCoverInstance.of({1, 2}, [{1}, {2}], k=2)
+        decision, witness = decide_set_cover(sc)
+        assert decision
+        assert sorted(witness) == [0, 1]
+
+
+class TestGreedySetCover:
+    def test_finds_a_cover_when_one_exists(self, coverable):
+        chosen = greedy_set_cover(coverable)
+        assert coverable.is_cover(chosen)
+
+    def test_greedy_picks_largest_first(self):
+        sc = SetCoverInstance.of(
+            range(6), [{0, 1, 2, 3}, {0, 1}, {4}, {5}, {4, 5}], k=3
+        )
+        chosen = greedy_set_cover(sc)
+        assert chosen[0] == 0  # the 4-element subset dominates
+        assert sc.is_cover(chosen)
+        assert len(chosen) == 2  # {0,1,2,3} + {4,5}
+
+    def test_greedy_logarithmic_not_exceeded_on_small(self):
+        """On tiny instances greedy stays within ln|N|+1 of optimal."""
+        import math
+
+        sc = SetCoverInstance.of(
+            range(8),
+            [{0, 1, 2, 3}, {4, 5, 6, 7}, {0, 4}, {1, 5}, {2, 6}, {3, 7}],
+            k=6,
+        )
+        chosen = greedy_set_cover(sc)
+        assert sc.is_cover(chosen)
+        optimal_size = 2  # the two 4-element halves
+        assert len(chosen) <= (math.log(8) + 1) * optimal_size

@@ -1,0 +1,134 @@
+"""End-to-end replay of the paper's running example (Table 2, Examples
+3.1, 3.5, 3.8, 4.3, 5.2, 6.2 and 6.4) — an executable transcript of the
+paper's narrative."""
+
+import pytest
+
+from repro.core import (
+    CoverageState,
+    CustomizationFeedback,
+    IdenWeights,
+    build_instance,
+    custom_select,
+    explain_selection,
+    greedy_select,
+    subset_score,
+)
+from repro.core.groups import GroupKey
+
+
+class TestExample35Groups:
+    def test_tokyo_residents(self, table2_groups):
+        tokyo = table2_groups.group(GroupKey("livesIn Tokyo", "true"))
+        assert tokyo.members == frozenset({"Alice", "David"})
+
+    def test_mexican_food_lovers(self, table2_groups):
+        lovers = table2_groups.group(GroupKey("avgRating Mexican", "high"))
+        assert lovers.members == frozenset({"Alice", "David", "Eve"})
+
+    def test_complex_group_intersection(self, table2_groups):
+        tokyo = table2_groups.group(GroupKey("livesIn Tokyo", "true"))
+        lovers = table2_groups.group(GroupKey("avgRating Mexican", "high"))
+        both = tokyo.intersect(lovers)
+        assert both.members == frozenset({"Alice", "David"})
+
+
+class TestExample38Selection:
+    def test_lbs_single_alice_eve_score_17(self, table2_repo, table2_instance):
+        result = greedy_select(table2_repo, table2_instance)
+        assert set(result.selected) == {"Alice", "Eve"}
+        assert result.score == 17
+        assert subset_score(table2_instance, ["Alice", "Eve"]) == 17
+
+    def test_iden_alice_bob_score_11(self, table2_repo, table2_groups):
+        instance = build_instance(
+            table2_repo, 2, groups=table2_groups, weight_scheme=IdenWeights()
+        )
+        result = greedy_select(table2_repo, instance)
+        assert set(result.selected) == {"Alice", "Bob"}
+        assert result.score == 11
+
+    def test_iden_counts_represented_groups(self, table2_repo, table2_groups):
+        """Under Iden the score IS the number of represented groups."""
+        instance = build_instance(
+            table2_repo, 2, groups=table2_groups, weight_scheme=IdenWeights()
+        )
+        selected = {"Alice", "Bob"}
+        represented = {
+            g.key for g in table2_groups if g.members & selected
+        }
+        assert subset_score(instance, selected) == len(represented) == 11
+
+
+class TestExample43Execution:
+    """Step-by-step trace of Algorithm 1's first two iterations."""
+
+    def test_trace(self, table2_instance):
+        state = CoverageState(table2_instance)
+        # Line 2: initial marginal contributions (paper lists David as 6,
+        # but its own updates 7−2−3=2 show 7 was intended).
+        assert [
+            state.marginal_gain(u)
+            for u in ("Alice", "Bob", "Carol", "David", "Eve")
+        ] == [10, 5, 7, 7, 10]
+
+        # Iteration 1: Alice chosen (ties broken towards Alice here; the
+        # paper notes selecting Eve leads to the same output).
+        gain = state.add("Alice")
+        assert gain == 10
+
+        # David loses 2 (livesIn Tokyo) and 3 (avgRating Mexican high);
+        # Eve loses 3; Carol loses 2 (ageGroup 50-64).
+        assert state.marginal_gain("Carol") == 5
+        assert state.marginal_gain("David") == 2
+        assert state.marginal_gain("Eve") == 7
+
+        # Iteration 2: Eve is the unique maximizer.
+        gain = state.add("Eve")
+        assert gain == 7
+        assert state.score == 17
+        assert state.selected == ["Alice", "Eve"]
+
+
+class TestExample52Explanations:
+    def test_group_explanations(self, table2_repo, table2_instance):
+        result = greedy_select(table2_repo, table2_instance)
+        explanation = explain_selection(result)
+        by_label = {g.label: g for g in explanation.group_explanations}
+        mexican = by_label["high scores for avgRating Mexican"]
+        assert (mexican.weight, mexican.coverage) == (3, 1)
+        tokyo = by_label["livesIn Tokyo"]
+        assert (tokyo.weight, tokyo.coverage) == (2, 1)
+
+    def test_subset_group_pair(self, table2_repo, table2_instance):
+        result = greedy_select(table2_repo, table2_instance)
+        explanation = explain_selection(result)
+        mexican = next(
+            e
+            for e in explanation.subset_group_explanations
+            if e.key == GroupKey("avgRating Mexican", "high")
+        )
+        assert mexican.as_tuple() == (1, 2)  # required 1, both selected in
+
+
+class TestExamples62And64Customization:
+    def test_full_flow(self, table2_repo, table2_groups, table2_instance):
+        mexican = frozenset(
+            g.key
+            for g in table2_groups.buckets_of_property("avgRating Mexican")
+        )
+        lives_in = frozenset(
+            g.key
+            for g in table2_groups
+            if g.key.property_label.startswith("livesIn ")
+        )
+        feedback = CustomizationFeedback(
+            must_have=mexican, priority=lives_in
+        )
+        custom = custom_select(table2_repo, table2_instance, feedback)
+        # Example 6.4: Carol excluded, {Alice, Eve} still best —
+        # livesIn weight 3, other-properties weight 14.
+        assert custom.refined_pool_size == 4
+        assert set(custom.selected) == {"Alice", "Eve"}
+        assert custom.priority_score == 3
+        assert custom.standard_score == 14

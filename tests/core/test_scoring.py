@@ -1,0 +1,123 @@
+"""Unit tests for subset scoring and incremental coverage state."""
+
+import pytest
+
+from repro.core import (
+    CoverageState,
+    PropCoverage,
+    build_instance,
+    covered_groups,
+    subset_score,
+)
+from repro.core.groups import GroupKey
+
+
+class TestSubsetScore:
+    def test_running_example_scores(self, table2_instance):
+        """Example 3.8: {Alice, Eve} scores 17 under LBS + Single."""
+        assert subset_score(table2_instance, ["Alice", "Eve"]) == 17
+        assert subset_score(table2_instance, ["Alice"]) == 10
+        assert subset_score(table2_instance, ["Eve"]) == 10
+        assert subset_score(table2_instance, []) == 0
+
+    def test_excess_representation_not_rewarded(self, table2_instance):
+        """Alice and David share groups; their union scores less than the
+        sum of their solo scores (min with cov caps the reward)."""
+        both = subset_score(table2_instance, ["Alice", "David"])
+        assert both < subset_score(table2_instance, ["Alice"]) + subset_score(
+            table2_instance, ["David"]
+        )
+
+    def test_order_insensitive(self, table2_instance):
+        assert subset_score(table2_instance, ["Eve", "Alice"]) == subset_score(
+            table2_instance, ["Alice", "Eve"]
+        )
+
+    def test_prop_coverage_rewards_repeats(self, table2_repo, table2_groups):
+        instance = build_instance(
+            table2_repo,
+            budget=5,
+            groups=table2_groups,
+            coverage_scheme=PropCoverage(),
+        )
+        mex_high = GroupKey("avgRating Mexican", "high")
+        assert instance.coverage(mex_high) == 3  # floor(5 * 3 / 5)
+        one = subset_score(
+            instance.restricted_to_groups([mex_high]), ["Alice"]
+        )
+        two = subset_score(
+            instance.restricted_to_groups([mex_high]), ["Alice", "David"]
+        )
+        assert two == 2 * one
+
+
+class TestCoveredGroups:
+    def test_alice_covers_her_groups(self, table2_instance):
+        covered = covered_groups(table2_instance, ["Alice"])
+        assert GroupKey("livesIn Tokyo", "true") in covered
+        assert GroupKey("avgRating Mexican", "high") in covered
+        assert GroupKey("livesIn Paris", "true") not in covered
+
+    def test_empty_subset_covers_nothing(self, table2_instance):
+        assert covered_groups(table2_instance, []) == set()
+
+
+class TestCoverageState:
+    def test_incremental_matches_batch(self, table2_instance):
+        state = CoverageState(table2_instance)
+        running = []
+        for user in ["Alice", "Bob", "Carol"]:
+            state.add(user)
+            running.append(user)
+            assert state.score == subset_score(table2_instance, running)
+
+    def test_marginal_gain_matches_score_delta(self, table2_instance):
+        state = CoverageState(table2_instance)
+        state.add("Alice")
+        for candidate in ["Bob", "Carol", "David", "Eve"]:
+            predicted = state.marginal_gain(candidate)
+            actual = subset_score(
+                table2_instance, ["Alice", candidate]
+            ) - subset_score(table2_instance, ["Alice"])
+            assert predicted == actual
+
+    def test_example_4_3_marginals(self, table2_instance):
+        """Example 4.3: initial marginals 10/5/7/7/10 (the paper's '6' for
+        David is a typo — its own update arithmetic gives 7), and after
+        Alice: Carol 5, David 2, Eve 7."""
+        state = CoverageState(table2_instance)
+        initial = {
+            u: state.marginal_gain(u)
+            for u in ["Alice", "Bob", "Carol", "David", "Eve"]
+        }
+        assert initial == {
+            "Alice": 10, "Bob": 5, "Carol": 7, "David": 7, "Eve": 10,
+        }
+        state.add("Alice")
+        assert state.marginal_gain("Carol") == 5
+        assert state.marginal_gain("David") == 2
+        assert state.marginal_gain("Eve") == 7
+        assert state.marginal_gain("Bob") == 5  # shares nothing with Alice
+
+    def test_add_returns_realized_gain(self, table2_instance):
+        state = CoverageState(table2_instance)
+        assert state.add("Alice") == 10
+        assert state.add("Eve") == 7
+        assert state.score == 17
+        assert state.selected == ["Alice", "Eve"]
+
+    def test_last_exhausted_groups(self, table2_instance):
+        state = CoverageState(table2_instance)
+        state.add("Alice")
+        exhausted = set(state.last_exhausted())
+        # With Single coverage every group Alice belongs to is exhausted.
+        assert exhausted == table2_instance.groups.groups_of("Alice")
+
+    def test_remaining_coverage_decrements(self, table2_instance):
+        state = CoverageState(table2_instance)
+        key = GroupKey("avgRating Mexican", "high")
+        assert state.remaining_coverage(key) == 1
+        state.add("Alice")
+        assert state.remaining_coverage(key) == 0
+        state.add("David")  # further members do not go negative
+        assert state.remaining_coverage(key) == 0

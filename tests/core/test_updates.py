@@ -1,0 +1,189 @@
+"""Unit tests for incremental repository updates (paper §9)."""
+
+import pytest
+
+from repro.core import (
+    GroupingConfig,
+    UnknownUserError,
+    UserProfile,
+    build_instance,
+    build_simple_groups,
+    greedy_select,
+)
+from repro.core.groups import GroupKey
+from repro.core.updates import (
+    IncrementalPodium,
+    ProfileDelta,
+    apply_delta_to_repository,
+    reassign_groups,
+    rebuild_instance,
+)
+from repro.datasets import example_grouping_config
+
+
+class TestProfileDelta:
+    def test_touched_union(self):
+        delta = ProfileDelta(
+            upserts=(UserProfile("a", {}),), removals=frozenset({"b"})
+        )
+        assert delta.touched == frozenset({"a", "b"})
+
+    def test_duplicate_upsert_rejected(self):
+        with pytest.raises(UnknownUserError):
+            ProfileDelta(
+                upserts=(UserProfile("a", {}), UserProfile("a", {}))
+            )
+
+    def test_upsert_and_remove_clash_rejected(self):
+        with pytest.raises(UnknownUserError):
+            ProfileDelta(
+                upserts=(UserProfile("a", {}),), removals=frozenset({"a"})
+            )
+
+
+class TestApplyDelta:
+    def test_insert_new_user(self, table2_repo):
+        frank = UserProfile("Frank", {"livesIn Tokyo": 1.0})
+        updated = apply_delta_to_repository(
+            table2_repo, ProfileDelta(upserts=(frank,))
+        )
+        assert "Frank" in updated
+        assert len(updated) == 6
+        assert "Frank" not in table2_repo  # original untouched
+
+    def test_replace_existing_profile(self, table2_repo):
+        new_alice = UserProfile("Alice", {"livesIn Paris": 1.0})
+        updated = apply_delta_to_repository(
+            table2_repo, ProfileDelta(upserts=(new_alice,))
+        )
+        assert updated.profile("Alice").properties == frozenset(
+            {"livesIn Paris"}
+        )
+
+    def test_remove_user(self, table2_repo):
+        updated = apply_delta_to_repository(
+            table2_repo, ProfileDelta(removals=frozenset({"Carol"}))
+        )
+        assert "Carol" not in updated
+        assert len(updated) == 4
+
+    def test_remove_unknown_raises(self, table2_repo):
+        with pytest.raises(UnknownUserError):
+            apply_delta_to_repository(
+                table2_repo, ProfileDelta(removals=frozenset({"Zed"}))
+            )
+
+
+class TestReassignGroups:
+    def test_new_user_joins_matching_buckets(self, table2_repo, table2_groups):
+        frank = UserProfile(
+            "Frank", {"livesIn Tokyo": 1.0, "avgRating Mexican": 0.9}
+        )
+        delta = ProfileDelta(upserts=(frank,))
+        repo = apply_delta_to_repository(table2_repo, delta)
+        groups = reassign_groups(table2_groups, repo, delta)
+        assert "Frank" in groups.group(GroupKey("livesIn Tokyo", "true")).members
+        assert (
+            "Frank"
+            in groups.group(GroupKey("avgRating Mexican", "high")).members
+        )
+
+    def test_removed_user_leaves_groups(self, table2_repo, table2_groups):
+        delta = ProfileDelta(removals=frozenset({"Alice"}))
+        repo = apply_delta_to_repository(table2_repo, delta)
+        groups = reassign_groups(table2_groups, repo, delta)
+        assert all("Alice" not in g.members for g in groups)
+        # Untouched users keep their memberships.
+        assert "David" in groups.group(GroupKey("livesIn Tokyo", "true")).members
+
+    def test_profile_change_moves_between_buckets(
+        self, table2_repo, table2_groups
+    ):
+        # Alice's Mexican rating drops from high (0.95) to low (0.1).
+        new_alice = table2_repo.profile("Alice").with_score(
+            "avgRating Mexican", 0.1
+        )
+        delta = ProfileDelta(upserts=(new_alice,))
+        repo = apply_delta_to_repository(table2_repo, delta)
+        groups = reassign_groups(table2_groups, repo, delta)
+        assert (
+            "Alice"
+            not in groups.group(GroupKey("avgRating Mexican", "high")).members
+        )
+        assert (
+            "Alice"
+            in groups.group(GroupKey("avgRating Mexican", "low")).members
+        )
+
+    def test_matches_full_rebuild_on_frozen_buckets(
+        self, table2_repo, table2_groups
+    ):
+        """Incremental reassignment equals a from-scratch rebuild with the
+        same fixed splits."""
+        frank = UserProfile(
+            "Frank", {"visitFreq Mexican": 0.5, "livesIn NYC": 1.0}
+        )
+        delta = ProfileDelta(
+            upserts=(frank,), removals=frozenset({"Bob"})
+        )
+        repo = apply_delta_to_repository(table2_repo, delta)
+        incremental = reassign_groups(table2_groups, repo, delta)
+        rebuilt = build_simple_groups(
+            repo,
+            GroupingConfig(fixed_splits=(0.4, 0.65), drop_empty=False),
+        )
+        # Compare on the incremental key set: the rebuild additionally
+        # materializes never-populated buckets (e.g. Boolean "false"
+        # buckets) that the original drop_empty grouping never had.
+        for group in incremental:
+            assert rebuilt.group(group.key).members == group.members
+
+
+class TestRebuildInstance:
+    def test_empty_groups_get_floor_weight(self, table2_repo, table2_groups):
+        delta = ProfileDelta(removals=frozenset({"Bob"}))
+        repo = apply_delta_to_repository(table2_repo, delta)
+        groups = reassign_groups(table2_groups, repo, delta)
+        instance = rebuild_instance(groups, repo, budget=2)
+        nyc = GroupKey("livesIn NYC", "true")
+        assert groups.group(nyc).size == 0
+        assert instance.wei[nyc] == 1  # floor keeps the instance valid
+
+    def test_weights_track_new_sizes(self, table2_repo, table2_groups):
+        frank = UserProfile("Frank", {"livesIn Tokyo": 1.0})
+        delta = ProfileDelta(upserts=(frank,))
+        repo = apply_delta_to_repository(table2_repo, delta)
+        groups = reassign_groups(table2_groups, repo, delta)
+        instance = rebuild_instance(groups, repo, budget=2)
+        assert instance.wei[GroupKey("livesIn Tokyo", "true")] == 3
+
+
+class TestIncrementalPodium:
+    def test_update_then_select(self, table2_repo, table2_groups):
+        podium = IncrementalPodium(table2_repo, table2_groups, budget=2)
+        base = greedy_select(podium.repository, podium.instance)
+        assert set(base.selected) == {"Alice", "Eve"}
+
+        # A new super-user carrying many large groups displaces Eve.
+        gina = UserProfile(
+            "Gina",
+            {
+                "livesIn Paris": 1.0,
+                "avgRating Mexican": 0.8,
+                "visitFreq Mexican": 0.5,
+                "avgRating CheapEats": 0.5,
+                "visitFreq CheapEats": 0.25,
+                "ageGroup 50-64": 1.0,
+            },
+        )
+        podium.update(ProfileDelta(upserts=(gina,)))
+        updated = greedy_select(podium.repository, podium.instance)
+        assert "Gina" in updated.selected
+        assert len(podium.repository) == 6
+
+    def test_rebucket_refreshes_boundaries(self, table2_repo, table2_groups):
+        podium = IncrementalPodium(table2_repo, table2_groups, budget=2)
+        podium.rebucket(GroupingConfig(fixed_splits=(0.4, 0.65)))
+        assert len(podium.groups) == 16
+        result = greedy_select(podium.repository, podium.instance)
+        assert result.score == 17

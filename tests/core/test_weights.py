@@ -1,0 +1,112 @@
+"""Unit tests for weight and coverage schemes (Defs. 3.6–3.7)."""
+
+import pytest
+
+from repro.core import (
+    COVERAGE_SCHEMES,
+    WEIGHT_SCHEMES,
+    EBSWeights,
+    IdenWeights,
+    LBSWeights,
+    PropCoverage,
+    SingleCoverage,
+    coverage_scheme,
+    weight_scheme,
+)
+from repro.core.errors import InvalidInstanceError
+from repro.core.groups import Group, GroupKey, GroupSet
+from repro.core.buckets import Bucket
+
+
+def group_set(sizes: dict[str, int]) -> GroupSet:
+    """Groups 'p0'..'pN' with prescribed member counts."""
+    groups = []
+    for name, size in sizes.items():
+        members = frozenset(f"{name}-u{i}" for i in range(size))
+        groups.append(
+            Group(GroupKey(name, "high"), members, Bucket(0.5, 1.0, "high", True))
+        )
+    return GroupSet(groups)
+
+
+class TestIden:
+    def test_all_ones(self):
+        gs = group_set({"a": 3, "b": 7})
+        weights = IdenWeights().weights(gs, budget=2, population_size=10)
+        assert set(weights.values()) == {1}
+
+
+class TestLBS:
+    def test_weights_equal_sizes(self):
+        gs = group_set({"a": 3, "b": 7})
+        weights = LBSWeights().weights(gs, budget=2, population_size=10)
+        assert weights[GroupKey("a", "high")] == 3
+        assert weights[GroupKey("b", "high")] == 7
+
+
+class TestEBS:
+    def test_larger_group_dominates_all_smaller(self):
+        gs = group_set({"a": 1, "b": 2, "c": 3, "d": 4})
+        budget = 3
+        weights = EBSWeights().weights(gs, budget, population_size=10)
+        ordered = sorted(weights.items(), key=lambda kv: kv[1])
+        # Any single larger group must outweigh ALL smaller groups each
+        # counted up to B times (the enforcement property).
+        for i in range(1, len(ordered)):
+            smaller_total = sum(w * budget for _, w in ordered[:i])
+            assert ordered[i][1] > smaller_total
+
+    def test_weights_are_exact_ints(self):
+        gs = group_set({"a": 2, "b": 5})
+        weights = EBSWeights().weights(gs, budget=4, population_size=10)
+        assert all(isinstance(w, int) for w in weights.values())
+
+    def test_tie_break_deterministic(self):
+        gs = group_set({"a": 3, "b": 3})
+        w1 = EBSWeights().weights(gs, 2, 10)
+        w2 = EBSWeights().weights(gs, 2, 10)
+        assert w1 == w2
+
+
+class TestCoverage:
+    def test_single_is_one(self):
+        gs = group_set({"a": 5})
+        cov = SingleCoverage().coverage(gs, budget=3, population_size=10)
+        assert cov[GroupKey("a", "high")] == 1
+
+    def test_prop_formula(self):
+        gs = group_set({"a": 50, "b": 2})
+        cov = PropCoverage().coverage(gs, budget=8, population_size=100)
+        # floor(8 * 50 / 100) = 4 ; floor(8 * 2 / 100) = 0 -> clamped to 1.
+        assert cov[GroupKey("a", "high")] == 4
+        assert cov[GroupKey("b", "high")] == 1
+
+    def test_prop_never_below_one(self):
+        gs = group_set({"tiny": 1})
+        cov = PropCoverage().coverage(gs, budget=2, population_size=1000)
+        assert cov[GroupKey("tiny", "high")] == 1
+
+
+class TestRegistries:
+    def test_lookup_by_name(self):
+        assert isinstance(weight_scheme("Iden"), IdenWeights)
+        assert isinstance(weight_scheme("LBS"), LBSWeights)
+        assert isinstance(weight_scheme("EBS"), EBSWeights)
+        assert isinstance(coverage_scheme("Single"), SingleCoverage)
+        assert isinstance(coverage_scheme("Prop"), PropCoverage)
+
+    def test_registry_contents(self):
+        assert set(WEIGHT_SCHEMES) == {"Iden", "LBS", "EBS"}
+        assert set(COVERAGE_SCHEMES) == {"Single", "Prop"}
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(InvalidInstanceError):
+            weight_scheme("XXL")
+        with pytest.raises(InvalidInstanceError):
+            coverage_scheme("Half")
+
+    @pytest.mark.parametrize("budget,population", [(0, 10), (2, 0)])
+    def test_invalid_context_rejected(self, budget, population):
+        gs = group_set({"a": 1})
+        with pytest.raises(InvalidInstanceError):
+            LBSWeights().weights(gs, budget, population)

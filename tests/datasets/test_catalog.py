@@ -1,0 +1,40 @@
+"""Unit tests for the built-in domain catalog."""
+
+from repro.datasets import catalog
+
+
+class TestCatalogData:
+    def test_every_leaf_cuisine_has_family_and_root(self):
+        taxonomy = catalog.cuisine_taxonomy()
+        for leaf in catalog.leaf_cuisines():
+            assert "AnyCuisine" in taxonomy.ancestors(leaf)
+
+    def test_families_cover_declared_parents(self):
+        assert set(catalog.CUISINE_PARENTS.values()) == set(
+            catalog.CUISINE_FAMILY_PARENTS
+        )
+
+    def test_every_city_has_a_region(self):
+        taxonomy = catalog.city_taxonomy()
+        for city in catalog.cities():
+            assert len(taxonomy.parents(city)) == 1
+
+    def test_price_tiers_disjoint_from_cuisines(self):
+        assert not set(catalog.PRICE_TIERS) & set(catalog.leaf_cuisines())
+
+    def test_topics_unique(self):
+        assert len(set(catalog.REVIEW_TOPICS)) == len(catalog.REVIEW_TOPICS)
+
+    def test_age_groups_ordered_and_unique(self):
+        assert len(set(catalog.AGE_GROUPS)) == len(catalog.AGE_GROUPS)
+        assert catalog.AGE_GROUPS[0].startswith("18")
+
+    def test_stable_ordering(self):
+        assert catalog.leaf_cuisines() == catalog.leaf_cuisines()
+        assert catalog.cities() == catalog.cities()
+
+    def test_scale(self):
+        # Enough leaves/cities for the generators' n_cities defaults.
+        assert len(catalog.leaf_cuisines()) >= 30
+        assert len(catalog.cities()) >= 20
+        assert len(catalog.REVIEW_TOPICS) >= 12

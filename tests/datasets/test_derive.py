@@ -1,0 +1,148 @@
+"""Unit tests for property derivation from raw activity (paper §8.1)."""
+
+import pytest
+
+from repro.datasets import (
+    Business,
+    DeriveConfig,
+    RawUser,
+    Review,
+    ReviewDataset,
+    build_repository,
+    tripadvisor_derive_config,
+    yelp_derive_config,
+)
+from repro.datasets.derive import (
+    _activity_score,
+    _normalize_avg_rating,
+    derive_profile,
+)
+
+
+@pytest.fixture()
+def handmade():
+    """Two users, two businesses with known categories and ratings."""
+    users = [RawUser("u1", city="Tokyo", age_group="25-34"), RawUser("u2")]
+    businesses = [
+        Business("mex", "Tokyo", ("Mexican", "CheapEats")),
+        Business("fra", "Paris", ("French",)),
+    ]
+    reviews = [
+        Review("u1", "mex", 5),
+        Review("u1", "fra", 1),
+        Review("u2", "fra", 3),
+    ]
+    return ReviewDataset(users, businesses, reviews)
+
+
+@pytest.fixture()
+def no_enrich():
+    return DeriveConfig(enrich_taxonomy=False, functional_lives_in=False)
+
+
+class TestNormalization:
+    def test_parity_maps_to_half(self):
+        assert _normalize_avg_rating(3.0, 3.0) == pytest.approx(0.5)
+
+    def test_double_saturates_at_one(self):
+        assert _normalize_avg_rating(6.0, 3.0) == 1.0
+        assert _normalize_avg_rating(9.0, 3.0) == 1.0
+
+    def test_zero_overall_defaults_half(self):
+        assert _normalize_avg_rating(4.0, 0.0) == 0.5
+
+    def test_activity_score_monotone(self):
+        low = _activity_score(2, 100)
+        high = _activity_score(80, 100)
+        assert 0 < low < high <= 1.0
+        assert _activity_score(100, 100) == pytest.approx(1.0)
+
+
+class TestDeriveProfile:
+    def test_demographics(self, handmade, no_enrich):
+        profile = derive_profile(handmade, "u1", no_enrich, max_reviews=2)
+        assert profile.score("livesIn Tokyo") == 1.0
+        assert profile.score("ageGroup 25-34") == 1.0
+        anon = derive_profile(handmade, "u2", no_enrich, max_reviews=2)
+        assert not any(p.startswith("livesIn") for p in anon.properties)
+
+    def test_avg_rating_normalized_by_user_mean(self, handmade, no_enrich):
+        profile = derive_profile(handmade, "u1", no_enrich, max_reviews=2)
+        # u1 overall mean = 3; Mexican mean = 5 -> 5/(2*3) = 0.8333
+        assert profile.score("avgRating Mexican") == pytest.approx(5 / 6)
+        # French mean = 1 -> 1/6
+        assert profile.score("avgRating French") == pytest.approx(1 / 6)
+
+    def test_visit_freq_fractions(self, handmade, no_enrich):
+        profile = derive_profile(handmade, "u1", no_enrich, max_reviews=2)
+        assert profile.score("visitFreq Mexican") == pytest.approx(0.5)
+        assert profile.score("visitFreq CheapEats") == pytest.approx(0.5)
+        assert profile.score("visitFreq French") == pytest.approx(0.5)
+
+    def test_enthusiasm_fraction_of_points(self, handmade, no_enrich):
+        profile = derive_profile(handmade, "u1", no_enrich, max_reviews=2)
+        # 5 of 6 total rating points went to Mexican (and CheapEats).
+        assert profile.score("enthusiasm Mexican") == pytest.approx(5 / 6)
+        assert profile.score("enthusiasm French") == pytest.approx(1 / 6)
+
+    def test_exclusion_hides_destination(self, handmade, no_enrich):
+        config = no_enrich.excluding(["mex"])
+        profile = derive_profile(handmade, "u1", config, max_reviews=2)
+        assert not profile.has("avgRating Mexican")
+        assert profile.has("avgRating French")
+        # French is now u1's only review -> visitFreq 1.0.
+        assert profile.score("visitFreq French") == pytest.approx(1.0)
+
+    def test_user_without_reviews_keeps_demographics(self, no_enrich):
+        dataset = ReviewDataset(
+            [RawUser("lurker", city="Paris")],
+            [Business("b", "Paris", ("French",))],
+            [],
+        )
+        profile = derive_profile(dataset, "lurker", no_enrich, max_reviews=1)
+        assert profile.properties == frozenset({"livesIn Paris"})
+
+    def test_family_toggles(self, handmade):
+        config = DeriveConfig(
+            include_avg_rating=False,
+            include_enthusiasm=False,
+            include_activity=False,
+            enrich_taxonomy=False,
+            functional_lives_in=False,
+        )
+        profile = derive_profile(handmade, "u1", config, max_reviews=2)
+        assert not any(p.startswith("avgRating") for p in profile.properties)
+        assert not any(p.startswith("enthusiasm") for p in profile.properties)
+        assert any(p.startswith("visitFreq") for p in profile.properties)
+
+
+class TestBuildRepository:
+    def test_taxonomy_enrichment_adds_parent_categories(self, handmade):
+        repo = build_repository(
+            handmade, DeriveConfig(functional_lives_in=False)
+        )
+        profile = repo.profile("u1")
+        # Mexican -> Latin -> AnyCuisine, French -> European.
+        assert profile.has("avgRating Latin")
+        assert profile.has("avgRating European")
+        assert profile.has("avgRating AnyCuisine")
+
+    def test_functional_lives_in_closure(self, handmade):
+        repo = build_repository(
+            handmade, DeriveConfig(enrich_taxonomy=False)
+        )
+        profile = repo.profile("u1")
+        assert profile.score("livesIn Tokyo") == 1.0
+        assert profile.score("livesIn Paris") == 0.0
+
+    def test_user_ids_subset(self, handmade, no_enrich):
+        repo = build_repository(handmade, no_enrich, user_ids=["u2"])
+        assert repo.user_ids == ["u2"]
+
+    def test_yelp_config_simpler_than_tripadvisor(self, ta_dataset):
+        ta_repo = build_repository(ta_dataset, tripadvisor_derive_config())
+        yelp_repo = build_repository(ta_dataset, yelp_derive_config())
+        assert (
+            yelp_repo.mean_profile_size() < ta_repo.mean_profile_size()
+        )
+        assert len(yelp_repo.property_labels) < len(ta_repo.property_labels)

@@ -1,0 +1,101 @@
+"""Unit tests for JSON IO of profiles and datasets (paper §7 format)."""
+
+import json
+
+import pytest
+
+from repro.core import DatasetError
+from repro.datasets import (
+    dataset_from_dict,
+    dataset_to_dict,
+    load_dataset,
+    load_profiles,
+    profiles_from_dict,
+    profiles_to_dict,
+    save_dataset,
+    save_profiles,
+)
+
+
+class TestProfileIO:
+    def test_roundtrip_in_memory(self, table2_repo):
+        document = profiles_to_dict(table2_repo)
+        restored = profiles_from_dict(document)
+        assert set(restored.user_ids) == set(table2_repo.user_ids)
+        assert (
+            restored.profile("Alice").scores
+            == table2_repo.profile("Alice").scores
+        )
+
+    def test_roundtrip_on_disk(self, table2_repo, tmp_path):
+        path = tmp_path / "profiles.json"
+        save_profiles(table2_repo, path)
+        restored = load_profiles(path)
+        assert len(restored) == 5
+        # File must be plain JSON.
+        json.loads(path.read_text())
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(DatasetError):
+            profiles_from_dict({"format": "something-else", "users": []})
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(DatasetError):
+            profiles_from_dict(
+                {"format": "podium-profiles-v1", "users": [{"nope": 1}]}
+            )
+
+    def test_empty_repository_roundtrip(self):
+        from repro.core import UserRepository
+
+        document = profiles_to_dict(UserRepository())
+        assert len(profiles_from_dict(document)) == 0
+
+
+class TestDatasetIO:
+    def test_roundtrip_in_memory(self, ta_dataset):
+        document = dataset_to_dict(ta_dataset)
+        restored = dataset_from_dict(document)
+        assert restored.user_ids == ta_dataset.user_ids
+        assert restored.business_ids == ta_dataset.business_ids
+        assert len(restored) == len(ta_dataset)
+        original = ta_dataset.reviews[0]
+        copied = restored.reviews[0]
+        assert (copied.user_id, copied.business_id, copied.rating) == (
+            original.user_id,
+            original.business_id,
+            original.rating,
+        )
+        assert copied.mentions == original.mentions
+
+    def test_roundtrip_on_disk(self, yelp_dataset, tmp_path):
+        path = tmp_path / "dataset.json"
+        save_dataset(yelp_dataset, path)
+        restored = load_dataset(path)
+        assert sum(r.useful_votes for r in restored.reviews) == sum(
+            r.useful_votes for r in yelp_dataset.reviews
+        )
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(DatasetError):
+            dataset_from_dict({"format": "nope"})
+
+    def test_malformed_review_rejected(self):
+        document = {
+            "format": "podium-reviews-v1",
+            "users": [{"id": "u"}],
+            "businesses": [
+                {"id": "b", "city": "X", "categories": ["C"]}
+            ],
+            "reviews": [{"user": "u", "business": "b", "rating": "five"}],
+        }
+        with pytest.raises(DatasetError):
+            dataset_from_dict(document)
+
+    def test_business_metadata_preserved(self, ta_dataset):
+        restored = dataset_from_dict(dataset_to_dict(ta_dataset))
+        bid = ta_dataset.business_ids[0]
+        assert restored.business(bid).topics == ta_dataset.business(bid).topics
+        assert restored.business(bid).quality == pytest.approx(
+            ta_dataset.business(bid).quality
+        )

@@ -1,0 +1,83 @@
+"""Unit tests for the review-dataset records and indexes."""
+
+import pytest
+
+from repro.core import DatasetError
+from repro.datasets import (
+    Business,
+    RawUser,
+    Review,
+    ReviewDataset,
+    TopicMention,
+)
+
+
+@pytest.fixture()
+def tiny():
+    users = [RawUser("u1", city="Tokyo"), RawUser("u2")]
+    businesses = [
+        Business("b1", "Tokyo", ("Mexican", "CheapEats"), topics=("service",)),
+        Business("b2", "Paris", ("French",)),
+    ]
+    reviews = [
+        Review("u1", "b1", 5, (TopicMention("service", "positive"),), 3),
+        Review("u1", "b2", 2),
+        Review("u2", "b1", 3),
+    ]
+    return ReviewDataset(users, businesses, reviews)
+
+
+class TestRecords:
+    def test_business_needs_categories(self):
+        with pytest.raises(DatasetError):
+            Business("b", "Tokyo", ())
+
+    @pytest.mark.parametrize("rating", [0, 6, -1])
+    def test_rating_bounds(self, rating):
+        with pytest.raises(DatasetError):
+            Review("u", "b", rating)
+
+    def test_negative_votes_rejected(self):
+        with pytest.raises(DatasetError):
+            Review("u", "b", 3, useful_votes=-1)
+
+    def test_bad_sentiment_rejected(self):
+        with pytest.raises(DatasetError):
+            TopicMention("service", "meh")
+
+
+class TestDatasetIndexes:
+    def test_reviews_by_user(self, tiny):
+        assert len(tiny.reviews_by("u1")) == 2
+        assert len(tiny.reviews_by("u2")) == 1
+        assert tiny.reviews_by("ghost") == []
+
+    def test_reviews_of_business(self, tiny):
+        assert len(tiny.reviews_of("b1")) == 2
+        assert tiny.reviews_of("b2")[0].rating == 2
+
+    def test_review_endpoints_validated(self, tiny):
+        with pytest.raises(DatasetError):
+            tiny.add_review(Review("ghost", "b1", 3))
+        with pytest.raises(DatasetError):
+            tiny.add_review(Review("u1", "ghost", 3))
+
+    def test_unknown_lookups_raise(self, tiny):
+        with pytest.raises(DatasetError):
+            tiny.user("ghost")
+        with pytest.raises(DatasetError):
+            tiny.business("ghost")
+
+    def test_destinations_threshold(self, tiny):
+        assert set(tiny.destinations(1)) == {"b1", "b2"}
+        assert tiny.destinations(2) == ["b1"]
+        assert tiny.destinations(3) == []
+
+    def test_categories_and_cities(self, tiny):
+        assert set(tiny.categories()) == {"Mexican", "CheapEats", "French"}
+        assert set(tiny.cities()) == {"Tokyo", "Paris"}
+
+    def test_len_iter_repr(self, tiny):
+        assert len(tiny) == 3
+        assert len(list(tiny)) == 3
+        assert "users=2" in repr(tiny)

@@ -1,0 +1,141 @@
+"""Unit tests for the synthetic platform generator (paper §8.1 substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DatasetError
+from repro.datasets import (
+    SynthConfig,
+    generate,
+    tripadvisor_config,
+    yelp_config,
+)
+from repro.datasets.synth import generate_profile_repository
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        SynthConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_users": 0},
+            {"demographic_rate": 1.5},
+            {"n_cities": 0},
+            {"n_cities": 999},
+            {"topics_per_business": (0, 3)},
+            {"topics_per_business": (5, 3)},
+            {"mentions_per_review": (0, 2)},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(DatasetError):
+            SynthConfig(**kwargs)
+
+    def test_preset_overrides(self):
+        config = tripadvisor_config(n_users=50, n_businesses=10)
+        assert config.n_users == 50
+        assert config.n_businesses == 10
+        assert config.name == "tripadvisor"
+
+
+class TestGenerate:
+    def test_deterministic_for_seed(self):
+        config = SynthConfig(n_users=40, n_businesses=15)
+        a = generate(config, seed=5)
+        b = generate(config, seed=5)
+        assert [r.rating for r in a.reviews] == [r.rating for r in b.reviews]
+        assert a.user_ids == b.user_ids
+
+    def test_different_seeds_differ(self):
+        config = SynthConfig(n_users=40, n_businesses=15)
+        a = generate(config, seed=5)
+        b = generate(config, seed=6)
+        assert [r.rating for r in a.reviews] != [r.rating for r in b.reviews]
+
+    def test_population_sizes(self):
+        config = SynthConfig(n_users=30, n_businesses=12)
+        dataset = generate(config, seed=1)
+        assert len(dataset.user_ids) == 30
+        assert len(dataset.business_ids) == 12
+
+    def test_min_reviews_respected(self):
+        config = SynthConfig(
+            n_users=25, n_businesses=20, min_reviews_per_user=4
+        )
+        dataset = generate(config, seed=2)
+        assert all(
+            len(dataset.reviews_by(u)) >= 4 for u in dataset.user_ids
+        )
+
+    def test_user_reviews_distinct_businesses(self):
+        dataset = generate(SynthConfig(n_users=20, n_businesses=30), seed=3)
+        for user_id in dataset.user_ids:
+            visited = [r.business_id for r in dataset.reviews_by(user_id)]
+            assert len(visited) == len(set(visited))
+
+    def test_heavy_tailed_activity(self):
+        dataset = generate(SynthConfig(n_users=200, n_businesses=150), seed=4)
+        counts = np.array(
+            [len(dataset.reviews_by(u)) for u in dataset.user_ids]
+        )
+        # Heavy tail: the most active user far exceeds the median.
+        assert counts.max() >= 4 * np.median(counts)
+
+    def test_mentions_use_business_topics(self):
+        dataset = generate(SynthConfig(n_users=20, n_businesses=10), seed=5)
+        for review in dataset.reviews:
+            topics = set(dataset.business(review.business_id).topics)
+            for mention in review.mentions:
+                assert mention.topic in topics
+
+    def test_high_ratings_skew_positive(self):
+        dataset = generate(SynthConfig(n_users=150, n_businesses=60), seed=6)
+        pos = {True: 0, False: 0}
+        for review in dataset.reviews:
+            if review.rating == 5:
+                for m in review.mentions:
+                    pos[m.sentiment == "positive"] += 1
+        assert pos[True] > 3 * pos[False]
+
+    def test_yelp_has_useful_votes_tripadvisor_not(self):
+        yelp = generate(yelp_config(n_users=60), seed=7)
+        ta = generate(tripadvisor_config(n_users=60), seed=7)
+        assert any(r.useful_votes > 0 for r in yelp.reviews)
+        assert all(r.useful_votes == 0 for r in ta.reviews)
+
+    def test_demographics_rate_contrast(self):
+        ta = generate(tripadvisor_config(n_users=200), seed=8)
+        yelp = generate(yelp_config(n_users=200), seed=8)
+
+        def declared(dataset):
+            return sum(
+                1 for u in dataset.user_ids if dataset.user(u).city
+            ) / len(dataset.user_ids)
+
+        assert declared(ta) > declared(yelp)
+
+
+class TestProfileRepositoryGenerator:
+    def test_shapes(self):
+        repo = generate_profile_repository(50, 30, 8.0, seed=1)
+        assert len(repo) == 50
+        assert repo.max_profile_size() <= 30
+        assert 2.0 < repo.mean_profile_size() < 20.0
+
+    def test_deterministic(self):
+        a = generate_profile_repository(20, 15, 5.0, seed=9)
+        b = generate_profile_repository(20, 15, 5.0, seed=9)
+        assert a.profile("u000003").scores == b.profile("u000003").scores
+
+    def test_skewed_property_popularity(self):
+        repo = generate_profile_repository(300, 50, 10.0, seed=2)
+        supports = sorted(
+            (repo.support(p) for p in repo.property_labels), reverse=True
+        )
+        assert supports[0] >= 3 * supports[-1]
+
+    def test_invalid_mean_size(self):
+        with pytest.raises(DatasetError):
+            generate_profile_repository(10, 5, 9.0)

@@ -1,0 +1,169 @@
+"""Shape tests for the figure-reproduction experiments (tiny sizes).
+
+These validate that each experiment runs end to end and that the paper's
+headline orderings emerge even on very small populations.  The benchmark
+harness replays them at larger scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    FIG4_METRICS,
+    Fig3Setup,
+    Fig4Setup,
+    GREEDY_BOUND,
+    ScalabilitySetup,
+    check_podium_row,
+    fig3a,
+    fig3c,
+    fig4,
+    linear_fit_r2,
+    measure_ratio,
+    mean_ratio,
+    podium_row_markdown,
+    scalability_in_profile_size,
+    scalability_in_users,
+    timing_table,
+)
+
+TINY = Fig3Setup(
+    ta_users=150,
+    yelp_users=250,
+    ta_destinations=6,
+    yelp_destinations=8,
+    top_k=100,
+)
+
+
+@pytest.fixture(scope="module")
+def fig3a_table():
+    return fig3a(TINY)
+
+
+@pytest.fixture(scope="module")
+def fig3c_table():
+    return fig3c(TINY)
+
+
+class TestFig3Intrinsic:
+    def test_fig3a_podium_leads_total_score(self, fig3a_table):
+        assert fig3a_table.leader("total_score") == "Podium"
+
+    def test_fig3a_all_selectors_present(self, fig3a_table):
+        assert set(fig3a_table.rows) == {
+            "Podium",
+            "Random",
+            "Clustering",
+            "Distance",
+        }
+
+    def test_fig3c_podium_leads_every_metric(self, fig3c_table):
+        for metric in fig3c_table.metrics:
+            assert fig3c_table.leader(metric) == "Podium", metric
+
+    def test_fig3c_distance_worst_at_intersections(self, fig3c_table):
+        values = {
+            name: row["intersected_coverage"]
+            for name, row in fig3c_table.rows.items()
+        }
+        assert values["Distance"] == min(values.values())
+
+    def test_yelp_gap_larger_than_tripadvisor(self, fig3a_table, fig3c_table):
+        """§8.4: the Podium-vs-best-baseline gap widens on Yelp."""
+
+        def gap(table):
+            podium = table.rows["Podium"]["total_score"]
+            best_other = max(
+                row["total_score"]
+                for name, row in table.rows.items()
+                if name != "Podium"
+            )
+            return podium / best_other
+
+        assert gap(fig3c_table) > gap(fig3a_table)
+
+
+class TestFig4Customization:
+    @pytest.fixture(scope="class")
+    def fig4_table(self):
+        return fig4(Fig4Setup(n_users=250, repetitions=3))
+
+    def test_rows_and_metrics(self, fig4_table):
+        assert "no-customization" in fig4_table.rows
+        assert set(fig4_table.metrics) == set(FIG4_METRICS)
+        assert len(fig4_table.rows) == 5
+
+    def test_feedback_coverage_decreases_with_priority_size(self, fig4_table):
+        coverages = [
+            fig4_table.rows[f"priority-{size}"]["feedback_group_coverage"]
+            for size in (20, 40, 60, 80)
+        ]
+        assert coverages[0] > coverages[-1]
+
+    def test_baseline_row_has_full_feedback_coverage(self, fig4_table):
+        assert (
+            fig4_table.rows["no-customization"]["feedback_group_coverage"]
+            == 1.0
+        )
+
+
+class TestScalability:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        return ScalabilitySetup(
+            user_sizes=(100, 200, 400),
+            profile_sizes=(5, 10, 20),
+            fixed_users=200,
+            repetitions=1,
+        )
+
+    def test_users_sweep_rows(self, setup):
+        rows = scalability_in_users(setup)
+        assert {r.algorithm for r in rows} == {
+            "Podium",
+            "Clustering",
+            "Distance",
+        }
+        assert {r.x for r in rows} == {100, 200, 400}
+        assert all(r.seconds >= 0 for r in rows)
+
+    def test_profile_sweep_rows(self, setup):
+        rows = scalability_in_profile_size(setup)
+        assert {r.x for r in rows} == {5, 10, 20}
+
+    def test_timing_table_renders(self, setup):
+        rows = scalability_in_users(setup)
+        text = timing_table(rows)
+        assert "| x |" in text
+        assert "| 100 |" in text
+
+    def test_linear_fit_helper(self):
+        from repro.experiments import TimingRow
+
+        rows = [TimingRow("A", x, 2.0 * x) for x in (1, 2, 3, 4)]
+        assert linear_fit_r2(rows, "A") == pytest.approx(1.0)
+
+
+class TestOptimalRatio:
+    def test_ratio_exceeds_bound(self):
+        result = measure_ratio(n_users=30, budget=4)
+        assert result.ratio >= GREEDY_BOUND
+        assert result.optimal_score >= result.greedy_score
+
+    def test_near_optimal_in_practice(self):
+        """§8.4 reports .998; demand >= 0.95 on average here."""
+        assert mean_ratio(trials=3, n_users=30, budget=4) >= 0.95
+
+
+class TestTable1:
+    def test_all_desiderata_hold(self):
+        checks = check_podium_row()
+        assert len(checks) == 6
+        assert all(c.holds for c in checks), [
+            c.name for c in checks if not c.holds
+        ]
+
+    def test_markdown_rendering(self):
+        text = podium_row_markdown(check_podium_row())
+        assert "| desideratum |" in text
+        assert "customizable" in text

@@ -1,0 +1,87 @@
+"""Unit tests for the experiment harness utilities."""
+
+import pytest
+
+from repro.baselines import PodiumSelector, RandomSelector
+from repro.core import GroupingConfig
+from repro.experiments import (
+    ComparisonTable,
+    IntrinsicExperimentConfig,
+    run_intrinsic_comparison,
+)
+
+
+@pytest.fixture()
+def table():
+    t = ComparisonTable("demo", ("a", "b"))
+    t.add_row("X", {"a": 2.0, "b": 1.0})
+    t.add_row("Y", {"a": 4.0, "b": 0.5})
+    return t
+
+
+class TestComparisonTable:
+    def test_leader(self, table):
+        assert table.leader("a") == "Y"
+        assert table.leader("b") == "X"
+
+    def test_normalized_peaks_at_one(self, table):
+        normalized = table.normalized()
+        assert normalized.rows["Y"]["a"] == 1.0
+        assert normalized.rows["X"]["a"] == 0.5
+        assert normalized.rows["X"]["b"] == 1.0
+
+    def test_normalized_handles_zero_column(self):
+        t = ComparisonTable("zeros", ("m",))
+        t.add_row("X", {"m": 0.0})
+        assert t.normalized().rows["X"]["m"] == 0.0
+
+    def test_markdown_rendering(self, table):
+        text = table.to_markdown()
+        assert "### demo" in text
+        assert "| X | 2.000 | 1.000 |" in text
+        assert text.count("|---") == 3
+
+    def test_add_row_filters_to_metrics(self):
+        t = ComparisonTable("demo", ("a",))
+        t.add_row("X", {"a": 1.0, "extra": 9.0})
+        assert t.rows["X"] == {"a": 1.0}
+
+
+class TestRunIntrinsicComparison:
+    def test_rows_and_metrics(self, small_profile_repo):
+        config = IntrinsicExperimentConfig(
+            budget=4, grouping=GroupingConfig(), repetitions=2, top_k=20
+        )
+        table = run_intrinsic_comparison(
+            "t",
+            small_profile_repo,
+            [PodiumSelector(), RandomSelector()],
+            config,
+            seed=1,
+        )
+        assert set(table.rows) == {"Podium", "Random"}
+        for row in table.rows.values():
+            assert set(row) == set(table.metrics)
+
+    def test_podium_leads_total_score(self, small_profile_repo):
+        config = IntrinsicExperimentConfig(
+            budget=4, repetitions=3, top_k=20
+        )
+        table = run_intrinsic_comparison(
+            "t",
+            small_profile_repo,
+            [PodiumSelector(), RandomSelector()],
+            config,
+            seed=2,
+        )
+        assert table.leader("total_score") == "Podium"
+
+    def test_deterministic_given_seed(self, small_profile_repo):
+        config = IntrinsicExperimentConfig(budget=3, repetitions=2, top_k=10)
+        t1 = run_intrinsic_comparison(
+            "t", small_profile_repo, [RandomSelector()], config, seed=9
+        )
+        t2 = run_intrinsic_comparison(
+            "t", small_profile_repo, [RandomSelector()], config, seed=9
+        )
+        assert t1.rows == t2.rows

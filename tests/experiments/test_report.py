@@ -1,0 +1,58 @@
+"""Unit tests for the EXPERIMENTS.md report generator."""
+
+import pytest
+
+from repro.experiments import ComparisonTable
+from repro.experiments.report import _PAPER_SHAPES, _section, main
+
+
+class TestSectionRendering:
+    def test_section_contains_raw_normalized_and_shape(self):
+        table = ComparisonTable("demo", ("m",))
+        table.add_row("Podium", {"m": 2.0})
+        table.add_row("Random", {"m": 1.0})
+        text = _section(table, "fig3a")
+        assert "### demo" in text
+        assert "### demo (normalized)" in text
+        assert "**Paper shape:**" in text
+        assert _PAPER_SHAPES["fig3a"] in text
+
+    def test_every_figure_has_a_shape_entry(self):
+        assert set(_PAPER_SHAPES) == {
+            "fig3a",
+            "fig3b",
+            "fig3c",
+            "fig3d",
+            "fig4",
+            "fig5",
+            "fig6",
+            "optimal",
+        }
+
+    def test_shapes_do_not_double_prefix(self):
+        for text in _PAPER_SHAPES.values():
+            assert not text.startswith("Paper:")
+
+
+class TestFullReport:
+    """Runs the real fast-mode pipeline once end to end (~1 minute)."""
+
+    def test_main_writes_structured_report(self, tmp_path):
+        out = tmp_path / "EXPERIMENTS.md"
+        assert main(["--fast", "--out", str(out)]) == 0
+        report = out.read_text()
+        for heading in (
+            "# EXPERIMENTS — paper vs. measured",
+            "## Table 1",
+            "## Fig. 3a",
+            "## Fig. 3b",
+            "## Fig. 3c",
+            "## Fig. 3d",
+            "## Fig. 4",
+            "## Fig. 5",
+            "## Fig. 6",
+            "## §8.4 — greedy vs optimal",
+        ):
+            assert heading in report, heading
+        assert report.count("**Paper shape:**") == 8
+        assert "(fast mode)" in report

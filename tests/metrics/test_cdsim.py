@@ -1,0 +1,98 @@
+"""Unit tests for CD-sim (paper Def. 8.1, Example 8.2)."""
+
+import pytest
+
+from repro.core import PodiumError
+from repro.metrics import cd_sim, cd_sim_from_counts, normalize
+
+
+class TestCdSim:
+    def test_example_8_2(self):
+        """Population [0.23, 0.4, 0.37] vs selection [0.4, 0.5, 0.1]:
+        penalty only for under-representing the third bucket -> ~0.757."""
+        value = cd_sim([0.4, 0.5, 0.1], [0.23, 0.4, 0.37])
+        assert value == pytest.approx(0.757, abs=0.001)
+
+    def test_identical_distributions_score_one(self):
+        assert cd_sim([0.5, 0.5], [0.5, 0.5]) == 1.0
+
+    def test_over_representation_not_taxed(self):
+        """Doubling a bucket's share only taxes the buckets it displaces."""
+        base = [0.25, 0.25, 0.25, 0.25]
+        over = [0.7, 0.1, 0.1, 0.1]
+        value = cd_sim(over, base)
+        # Three buckets under-represented by 0.15/0.25 each.
+        assert value == pytest.approx(1 - 3 * (0.15 / 0.25) / 4)
+
+    def test_total_miss_of_one_bucket(self):
+        value = cd_sim([1.0, 0.0], [0.5, 0.5])
+        assert value == pytest.approx(1 - 0.5)
+
+    def test_empty_population_bucket_ignored(self):
+        value = cd_sim([0.0, 1.0], [0.0, 1.0])
+        assert value == 1.0
+
+    def test_empty_domain_scores_one(self):
+        assert cd_sim([], []) == 1.0
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(PodiumError):
+            cd_sim([0.5], [0.5, 0.5])
+
+    def test_worst_case_is_zero(self):
+        """Missing every non-empty bucket entirely scores 0."""
+        assert cd_sim([0.0, 0.0], [0.5, 0.5]) == pytest.approx(0.0)
+
+
+class TestNormalize:
+    def test_counts_to_distribution(self):
+        assert normalize([2, 2, 4]) == pytest.approx([0.25, 0.25, 0.5])
+
+    def test_all_zero_stays_zero(self):
+        assert normalize([0, 0]) == [0.0, 0.0]
+
+    def test_from_counts_shortcut(self):
+        direct = cd_sim(normalize([1, 3]), normalize([2, 2]))
+        assert cd_sim_from_counts([1, 3], [2, 2]) == direct
+
+
+class TestKsSimilarity:
+    """The inadequate alternative of §8.2, kept for contrast."""
+
+    def test_identity_is_one(self):
+        from repro.metrics import ks_similarity
+
+        assert ks_similarity([0.3, 0.7], [0.3, 0.7]) == 1.0
+
+    def test_known_statistic(self):
+        from repro.metrics import ks_similarity
+
+        # CDF gaps: |0.5-0.2|=0.3, |1.0-1.0|=0.
+        assert ks_similarity([0.5, 0.5], [0.2, 0.8]) == pytest.approx(0.7)
+
+    def test_taxes_over_representation_unlike_cdsim(self):
+        from repro.metrics import cd_sim, ks_similarity
+
+        population = [0.9, 0.1]  # one big, one tiny group
+        # Coverage-driven subset: the tiny group over-represented.
+        subset = [0.5, 0.5]
+        assert ks_similarity(subset, population) == pytest.approx(0.6)
+        # CD-sim only taxes the big group's shortfall (0.4/0.9)/2.
+        assert cd_sim(subset, population) == pytest.approx(
+            1 - (0.4 / 0.9) / 2
+        )
+        assert cd_sim(subset, population) > ks_similarity(subset, population)
+
+    def test_mismatched_lengths_raise(self):
+        from repro.core import PodiumError
+        from repro.metrics import ks_similarity
+
+        with pytest.raises(PodiumError):
+            ks_similarity([1.0], [0.5, 0.5])
+
+    def test_counts_shortcut(self):
+        from repro.metrics import ks_similarity, ks_similarity_from_counts
+
+        assert ks_similarity_from_counts([1, 1], [2, 8]) == pytest.approx(
+            ks_similarity([0.5, 0.5], [0.2, 0.8])
+        )

@@ -1,0 +1,128 @@
+"""Unit tests for the opinion-diversity metrics (paper §8.2)."""
+
+import pytest
+
+from repro.datasets import (
+    Business,
+    RawUser,
+    Review,
+    ReviewDataset,
+    TopicMention,
+)
+from repro.metrics import (
+    evaluate_opinions,
+    rating_distribution_similarity,
+    rating_variance,
+    topic_sentiment_coverage,
+    usefulness,
+)
+
+
+@pytest.fixture()
+def crafted():
+    """One destination, four reviewers with known topics and ratings."""
+    users = [RawUser(f"u{i}") for i in range(4)]
+    business = Business(
+        "dest", "Tokyo", ("Mexican",), topics=("service", "price")
+    )
+    reviews = [
+        Review(
+            "u0", "dest", 5,
+            (TopicMention("service", "positive"),), useful_votes=4,
+        ),
+        Review(
+            "u1", "dest", 1,
+            (TopicMention("service", "negative"),
+             TopicMention("price", "negative")), useful_votes=1,
+        ),
+        Review(
+            "u2", "dest", 4,
+            (TopicMention("price", "positive"),), useful_votes=2,
+        ),
+        Review("u3", "dest", 4, (), useful_votes=0),
+    ]
+    return ReviewDataset(users, [business], reviews)
+
+
+class TestTopicSentimentCoverage:
+    def test_full_subset_covers_all_attainable(self, crafted):
+        value = topic_sentiment_coverage(
+            crafted, "dest", ["u0", "u1", "u2", "u3"]
+        )
+        assert value == 1.0
+
+    def test_partial_subset(self, crafted):
+        # u0 alone covers 1 of the 4 attainable (topic, sentiment) pairs.
+        assert topic_sentiment_coverage(crafted, "dest", ["u0"]) == 0.25
+
+    def test_grid_denominator(self, crafted):
+        # The full grid is 2 topics x 2 sentiments = 4; all present here,
+        # so attainable=False agrees in this instance.
+        grid = topic_sentiment_coverage(
+            crafted, "dest", ["u0", "u1", "u2"], attainable=False
+        )
+        assert grid == 1.0
+
+    def test_grid_larger_than_attainable(self, crafted):
+        # u0+u2: positive mentions only -> 2/4 of the grid.
+        value = topic_sentiment_coverage(
+            crafted, "dest", ["u0", "u2"], attainable=False
+        )
+        assert value == 0.5
+
+    def test_empty_subset(self, crafted):
+        assert topic_sentiment_coverage(crafted, "dest", []) == 0.0
+
+
+class TestUsefulness:
+    def test_sums_votes(self, crafted):
+        assert usefulness(crafted, "dest", ["u0", "u1"]) == 5.0
+        assert usefulness(crafted, "dest", ["u3"]) == 0.0
+
+    def test_non_reviewers_contribute_nothing(self, crafted):
+        assert usefulness(crafted, "dest", ["ghost"]) == 0.0
+
+
+class TestRatingDistributionSimilarity:
+    def test_full_population_perfect(self, crafted):
+        value = rating_distribution_similarity(
+            crafted, "dest", ["u0", "u1", "u2", "u3"]
+        )
+        assert value == pytest.approx(1.0)
+
+    def test_skewed_subset_penalized(self, crafted):
+        skewed = rating_distribution_similarity(crafted, "dest", ["u0"])
+        assert skewed < 1.0
+
+
+class TestRatingVariance:
+    def test_known_value(self, crafted):
+        # u0=5, u1=1 -> variance of [5, 1] = 4.
+        assert rating_variance(crafted, "dest", ["u0", "u1"]) == pytest.approx(4.0)
+
+    def test_single_review_zero(self, crafted):
+        assert rating_variance(crafted, "dest", ["u0"]) == 0.0
+
+
+class TestEvaluateOpinions:
+    def test_averages_over_destinations(self, crafted):
+        report = evaluate_opinions(
+            crafted, {"dest": ["u0", "u1", "u2", "u3"]}
+        )
+        assert report.destinations == 1
+        assert report.topic_sentiment_coverage == 1.0
+        assert report.usefulness == 7.0
+
+    def test_empty_selection_map(self, crafted):
+        report = evaluate_opinions(crafted, {})
+        assert report.destinations == 0
+        assert report.topic_sentiment_coverage == 0.0
+
+    def test_as_dict_keys(self, crafted):
+        report = evaluate_opinions(crafted, {"dest": ["u0"]})
+        assert set(report.as_dict()) == {
+            "topic_sentiment_coverage",
+            "usefulness",
+            "rating_distribution_similarity",
+            "rating_variance",
+        }

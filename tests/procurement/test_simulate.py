@@ -1,0 +1,138 @@
+"""Unit tests for the opinion-procurement simulation (paper §8)."""
+
+import pytest
+
+from repro.baselines import PodiumSelector, RandomSelector
+from repro.core import GroupingConfig
+from repro.datasets import tripadvisor_derive_config
+from repro.procurement import (
+    CUISINE_LOCATION_PREFIXES,
+    ProcurementConfig,
+    holdout_repository,
+    pick_destinations,
+    procure_destination,
+    run_procurement,
+)
+
+
+@pytest.fixture()
+def config():
+    return ProcurementConfig(
+        budget=4,
+        derive=tripadvisor_derive_config(),
+        grouping=GroupingConfig(min_support=2),
+        min_reviews_per_destination=10,
+        max_destinations=4,
+    )
+
+
+class TestPickDestinations:
+    def test_most_reviewed_first(self, ta_dataset, config):
+        destinations = pick_destinations(ta_dataset, config)
+        counts = [len(ta_dataset.reviews_of(d)) for d in destinations]
+        assert counts == sorted(counts, reverse=True)
+        assert len(destinations) <= config.max_destinations
+        assert all(c >= 10 for c in counts)
+
+    def test_cap_respected(self, ta_dataset, config):
+        small = ProcurementConfig(
+            budget=4, min_reviews_per_destination=1, max_destinations=2
+        )
+        assert len(pick_destinations(ta_dataset, small)) == 2
+
+
+class TestHoldoutRepository:
+    def test_pool_is_reviewers(self, ta_dataset, config):
+        destination = pick_destinations(ta_dataset, config)[0]
+        repo = holdout_repository(ta_dataset, destination, config)
+        reviewers = {r.user_id for r in ta_dataset.reviews_of(destination)}
+        assert set(repo.user_ids) == reviewers
+
+    def test_destination_data_hidden(self, ta_dataset, config):
+        """The destination's own reviews must not leak into profiles."""
+        destination = pick_destinations(ta_dataset, config)[0]
+        with_holdout = holdout_repository(ta_dataset, destination, config)
+        leaky_config = ProcurementConfig(
+            budget=config.budget,
+            derive=config.derive,
+            grouping=config.grouping,
+            min_reviews_per_destination=config.min_reviews_per_destination,
+            max_destinations=config.max_destinations,
+        )
+        # Build without exclusion for comparison.
+        from repro.datasets import build_repository
+
+        reviewers = list(with_holdout.user_ids)
+        leaky = build_repository(
+            ta_dataset, config.derive, user_ids=reviewers
+        )
+        # At least one user's visit frequencies must change when the
+        # destination is excluded (they reviewed it by construction).
+        changed = any(
+            with_holdout.profile(u).scores != leaky.profile(u).scores
+            for u in reviewers
+        )
+        assert changed
+
+    def test_property_prefix_filter(self, ta_dataset, config):
+        destination = pick_destinations(ta_dataset, config)[0]
+        repo = holdout_repository(ta_dataset, destination, config)
+        for label in repo.property_labels:
+            assert any(
+                label.startswith(p) for p in CUISINE_LOCATION_PREFIXES
+            )
+
+    def test_no_filter_keeps_all_families(self, ta_dataset, config):
+        from dataclasses import replace
+
+        open_config = replace(config, property_prefixes=None)
+        destination = pick_destinations(ta_dataset, open_config)[0]
+        repo = holdout_repository(ta_dataset, destination, open_config)
+        assert any(
+            label.startswith("ageGroup") for label in repo.property_labels
+        )
+
+
+class TestProcureDestination:
+    def test_selected_are_reviewers(self, ta_dataset, config):
+        destination = pick_destinations(ta_dataset, config)[0]
+        selected = procure_destination(
+            ta_dataset, destination, PodiumSelector(), config
+        )
+        reviewers = {r.user_id for r in ta_dataset.reviews_of(destination)}
+        assert set(selected) <= reviewers
+        assert len(selected) <= config.budget
+
+    def test_prebuilt_repository_short_circuit(self, ta_dataset, config):
+        destination = pick_destinations(ta_dataset, config)[0]
+        repo = holdout_repository(ta_dataset, destination, config)
+        a = procure_destination(
+            ta_dataset, destination, PodiumSelector(), config, repository=repo
+        )
+        b = procure_destination(
+            ta_dataset, destination, PodiumSelector(), config
+        )
+        assert a == b
+
+
+class TestRunProcurement:
+    def test_reports_per_selector(self, ta_dataset, config):
+        reports = run_procurement(
+            ta_dataset, [PodiumSelector(), RandomSelector()], config, seed=3
+        )
+        assert set(reports) == {"Podium", "Random"}
+        for report in reports.values():
+            assert report.destinations == len(
+                pick_destinations(ta_dataset, config)
+            )
+            assert 0.0 <= report.topic_sentiment_coverage <= 1.0
+
+    def test_seeded_determinism(self, ta_dataset, config):
+        a = run_procurement(ta_dataset, [RandomSelector()], config, seed=5)
+        b = run_procurement(ta_dataset, [RandomSelector()], config, seed=5)
+        assert a["Random"].as_dict() == b["Random"].as_dict()
+
+    def test_different_seeds_differ_for_random(self, ta_dataset, config):
+        a = run_procurement(ta_dataset, [RandomSelector()], config, seed=5)
+        b = run_procurement(ta_dataset, [RandomSelector()], config, seed=6)
+        assert a["Random"].as_dict() != b["Random"].as_dict()

@@ -1,0 +1,247 @@
+"""Unit tests for the PodiumService facade and its WSGI adapter."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import ServiceError
+from repro.core.groups import GroupKey
+from repro.datasets import example_repository, profiles_to_dict
+from repro.service import (
+    DiversificationConfiguration,
+    PodiumService,
+    make_wsgi_app,
+    parse_feedback,
+)
+
+
+@pytest.fixture()
+def service():
+    svc = PodiumService(example_repository())
+    svc.configurations.put(
+        DiversificationConfiguration(name="two", budget=2)
+    )
+    return svc
+
+
+@pytest.fixture()
+def client(service):
+    app = make_wsgi_app(service)
+
+    def call(method, path, body=None, query=""):
+        raw = json.dumps(body or {}).encode()
+        environ = {
+            "REQUEST_METHOD": method,
+            "PATH_INFO": path,
+            "QUERY_STRING": query,
+            "CONTENT_LENGTH": str(len(raw)),
+            "wsgi.input": io.BytesIO(raw),
+        }
+        captured = {}
+
+        def start_response(status, headers):
+            captured["status"] = int(status.split()[0])
+            captured["headers"] = dict(headers)
+
+        payload = b"".join(app(environ, start_response))
+        return captured["status"], json.loads(payload)
+
+    return call
+
+
+class TestParseFeedback:
+    def test_none_is_empty(self):
+        feedback = parse_feedback(None)
+        assert feedback.must_have == frozenset()
+        assert feedback.standard is None
+
+    def test_pairs_parsed(self):
+        feedback = parse_feedback(
+            {
+                "must_have": [["p", "high"]],
+                "priority": [["q", "low"], ["r", "true"]],
+                "standard": [],
+            }
+        )
+        assert feedback.must_have == frozenset({GroupKey("p", "high")})
+        assert len(feedback.priority) == 2
+        assert feedback.standard == frozenset()
+
+    def test_malformed_pairs_raise(self):
+        with pytest.raises(ServiceError):
+            parse_feedback({"must_have": ["not-a-pair"]})
+
+
+class TestServiceFacade:
+    def test_select_default(self, service):
+        response = service.select("two")
+        assert set(response["selected"]) == {"Alice", "Eve"}
+        assert response["score"] == 17.0
+        assert "explanation" in response
+
+    def test_select_budget_override(self, service):
+        response = service.select("two", budget=1, explain=False)
+        assert len(response["selected"]) == 1
+
+    def test_group_cache_reused(self, service):
+        first = service.groups_for("two")
+        second = service.groups_for("two")
+        assert first is second
+
+    def test_load_repository_clears_cache(self, service):
+        service.groups_for("two")
+        service.load_repository(example_repository())
+        assert service._group_cache == {}
+
+    def test_no_profiles_loaded_raises(self):
+        empty = PodiumService()
+        with pytest.raises(ServiceError):
+            empty.select()
+
+    def test_group_listing_sorted(self, service):
+        listing = service.group_listing("two")
+        weights = [entry["weight"] for entry in listing]
+        assert weights == sorted(weights, reverse=True)
+        # LBS: the heaviest group is the largest one.
+        assert listing[0]["weight"] == listing[0]["size"]
+        assert listing[0]["size"] == max(e["size"] for e in listing)
+
+    def test_property_prefix_configuration(self, service):
+        service.configurations.put(
+            DiversificationConfiguration(
+                name="mex-only", property_prefixes=("avgRating",), budget=2
+            )
+        )
+        listing = service.group_listing("mex-only")
+        assert all(e["property"].startswith("avgRating") for e in listing)
+
+
+class TestWsgiRoutes:
+    def test_health(self, client):
+        status, body = client("GET", "/health")
+        assert status == 200
+        assert body["users"] == 5
+        assert "two" in body["configurations"]
+
+    def test_list_configurations(self, client):
+        status, body = client("GET", "/configurations")
+        assert status == 200
+        assert {c["name"] for c in body} >= {"default", "two"}
+
+    def test_add_configuration(self, client):
+        status, body = client(
+            "POST", "/configurations", {"name": "added", "budget": 3}
+        )
+        assert status == 201
+        assert body["name"] == "added"
+        status, body = client("GET", "/configurations")
+        assert "added" in {c["name"] for c in body}
+
+    def test_load_profiles(self, client):
+        document = profiles_to_dict(example_repository())
+        # Reload over HTTP (replaces the same five users).
+        status, body = client("POST", "/profiles", document)
+        assert status == 200
+        assert body["loaded_users"] == 5
+
+    def test_groups_listing(self, client):
+        status, body = client(
+            "GET", "/groups", query="configuration=two"
+        )
+        assert status == 200
+        # The service buckets with the default (jenks) strategy, so the
+        # exact group count differs from the fixed-split running example;
+        # every property must still contribute at least one group.
+        assert len(body) >= 9
+        assert {e["property"] for e in body} == set(
+            example_repository().property_labels
+        )
+
+    def test_select_with_feedback(self, client):
+        status, body = client(
+            "POST",
+            "/select",
+            {
+                "configuration": "two",
+                "feedback": {
+                    "must_not": [["livesIn Tokyo", "true"]],
+                },
+            },
+        )
+        assert status == 200
+        assert "Alice" not in body["selected"]
+        assert body["refined_pool_size"] == 3
+
+    def test_select_distribution_properties(self, client):
+        status, body = client(
+            "POST",
+            "/select",
+            {
+                "configuration": "two",
+                "distribution_properties": ["avgRating Mexican"],
+            },
+        )
+        assert status == 200
+        right = body["explanation"]["right_pane"]
+        assert right[0]["property"] == "avgRating Mexican"
+
+    def test_unknown_route_404(self, client):
+        status, body = client("GET", "/nope")
+        assert status == 404
+
+    def test_bad_configuration_400(self, client):
+        status, body = client(
+            "POST", "/select", {"configuration": "ghost"}
+        )
+        assert status == 400
+        assert "error" in body
+
+    def test_invalid_json_400(self, service):
+        app = make_wsgi_app(service)
+        environ = {
+            "REQUEST_METHOD": "POST",
+            "PATH_INFO": "/select",
+            "QUERY_STRING": "",
+            "CONTENT_LENGTH": "9",
+            "wsgi.input": io.BytesIO(b"not json!"),
+        }
+        captured = {}
+
+        def start_response(status, headers):
+            captured["status"] = status
+
+        payload = b"".join(app(environ, start_response))
+        assert captured["status"].startswith("400")
+        assert b"error" in payload
+
+
+class TestExplainHtmlRoute:
+    def test_returns_html_page(self, service):
+        app = make_wsgi_app(service)
+        environ = {
+            "REQUEST_METHOD": "GET",
+            "PATH_INFO": "/explain.html",
+            "QUERY_STRING": "configuration=two",
+            "CONTENT_LENGTH": "0",
+            "wsgi.input": io.BytesIO(b""),
+        }
+        captured = {}
+
+        def start_response(status, headers):
+            captured["status"] = status
+            captured["headers"] = dict(headers)
+
+        body = b"".join(app(environ, start_response)).decode()
+        assert captured["status"].startswith("200")
+        assert captured["headers"]["Content-Type"].startswith("text/html")
+        assert body.startswith("<!DOCTYPE html>")
+        assert "Podium — two selection" in body
+
+    def test_budget_override(self, client, service):
+        html = service.explanation_page("two", budget=1)
+        assert "Selected <b>1</b> users" in html
+
+    def test_bad_configuration_reports_400(self, client):
+        status, body = client("GET", "/explain.html", query="configuration=ghost")
+        assert status == 400

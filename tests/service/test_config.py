@@ -1,0 +1,99 @@
+"""Unit tests for diversification configurations (paper §7)."""
+
+import pytest
+
+from repro.core import ServiceError
+from repro.service import (
+    ConfigurationStore,
+    DiversificationConfiguration,
+    default_configuration,
+)
+
+
+class TestConfiguration:
+    def test_default_configuration(self):
+        config = default_configuration()
+        assert config.name == "default"
+        assert config.weight_scheme == "LBS"
+        assert config.coverage_scheme == "Single"
+        assert config.budget == 8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": ""},
+            {"weight_scheme": "MEGA"},
+            {"coverage_scheme": "Half"},
+            {"budget": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = {"name": "x"}
+        base.update(kwargs)
+        with pytest.raises(ServiceError):
+            DiversificationConfiguration(**base)
+
+    def test_schemes_instantiation(self):
+        config = DiversificationConfiguration(
+            name="x", weight_scheme="EBS", coverage_scheme="Prop"
+        )
+        weight, coverage = config.schemes()
+        assert weight.name == "EBS"
+        assert coverage.name == "Prop"
+
+    def test_property_filter(self):
+        config = DiversificationConfiguration(
+            name="x", property_prefixes=("avgRating",)
+        )
+        assert config.matches_property("avgRating Mexican")
+        assert not config.matches_property("visitFreq Mexican")
+
+    def test_no_filter_matches_everything(self):
+        config = DiversificationConfiguration(name="x")
+        assert config.matches_property("anything at all")
+
+    def test_dict_roundtrip(self):
+        config = DiversificationConfiguration(
+            name="x",
+            description="desc",
+            property_prefixes=("a", "b"),
+            weight_scheme="Iden",
+            budget=3,
+            bucketing_strategy="quantile",
+        )
+        restored = DiversificationConfiguration.from_dict(config.to_dict())
+        assert restored == config
+
+    def test_from_dict_malformed(self):
+        with pytest.raises(ServiceError):
+            DiversificationConfiguration.from_dict({"budget": "lots"})
+
+    def test_grouping_config_propagates(self):
+        config = DiversificationConfiguration(
+            name="x", buckets_per_property=4, bucketing_strategy="kmeans",
+            min_support=5,
+        )
+        grouping = config.grouping_config()
+        assert grouping.buckets_per_property == 4
+        assert grouping.strategy == "kmeans"
+        assert grouping.min_support == 5
+
+
+class TestConfigurationStore:
+    def test_put_get_names(self):
+        store = ConfigurationStore((default_configuration(),))
+        assert "default" in store
+        assert len(store) == 1
+        store.put(DiversificationConfiguration(name="other"))
+        assert set(store.names()) == {"default", "other"}
+
+    def test_put_replaces(self):
+        store = ConfigurationStore()
+        store.put(DiversificationConfiguration(name="x", budget=3))
+        store.put(DiversificationConfiguration(name="x", budget=9))
+        assert store.get("x").budget == 9
+        assert len(store) == 1
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ServiceError):
+            ConfigurationStore().get("ghost")

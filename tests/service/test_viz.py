@@ -1,0 +1,122 @@
+"""Unit tests for the visualization payloads (Fig. 2 panes)."""
+
+import pytest
+
+from repro.core import explain_selection, greedy_select
+from repro.service import explanation_payload, render_text
+
+
+@pytest.fixture()
+def selection(table2_repo, table2_instance):
+    result = greedy_select(table2_repo, table2_instance)
+    explanation = explain_selection(
+        result, distribution_properties=("avgRating Mexican",)
+    )
+    return result, explanation
+
+
+class TestExplanationPayload:
+    def test_left_pane_users(self, selection):
+        _, explanation = selection
+        payload = explanation_payload(explanation)
+        users = [entry["user"] for entry in payload["left_pane"]]
+        assert users == ["Alice", "Eve"]
+        first = payload["left_pane"][0]
+        assert first["group_count"] == 6
+        assert len(first["top_groups"]) <= 5
+        assert first["top_groups"][0]["weight"] == 3.0
+
+    def test_middle_pane_coverage(self, selection):
+        _, explanation = selection
+        payload = explanation_payload(explanation)
+        middle = payload["middle_pane"]
+        assert middle["top_coverage_percent"] == pytest.approx(62.5)
+        assert len(middle["groups"]) == 16
+        assert all(
+            set(g) == {"label", "required", "actual", "covered"}
+            for g in middle["groups"]
+        )
+
+    def test_group_list_limit(self, selection):
+        _, explanation = selection
+        payload = explanation_payload(explanation, group_list_limit=4)
+        assert len(payload["middle_pane"]["groups"]) == 4
+
+    def test_right_pane_distribution(self, selection):
+        _, explanation = selection
+        payload = explanation_payload(explanation)
+        right = payload["right_pane"]
+        assert len(right) == 1
+        assert right[0]["property"] == "avgRating Mexican"
+        assert sum(right[0]["population"]) == pytest.approx(1.0, abs=0.01)
+
+    def test_payload_is_json_serializable(self, selection):
+        import json
+
+        _, explanation = selection
+        json.dumps(explanation_payload(explanation))
+
+
+class TestRenderText:
+    def test_contains_key_sections(self, selection):
+        result, explanation = selection
+        text = render_text(result, explanation)
+        assert "Selected 2 users" in text
+        assert "Alice" in text and "Eve" in text
+        assert "COVERED" in text and "MISSING" in text
+        assert "avgRating Mexican" in text
+        assert "pop" in text and "subset" in text
+
+    def test_limits_respected(self, selection):
+        result, explanation = selection
+        text = render_text(result, explanation, group_list_limit=2)
+        flagged = [
+            line for line in text.splitlines() if "required" in line
+        ]
+        assert len(flagged) == 2
+
+
+class TestRenderHtml:
+    def test_valid_standalone_document(self, selection):
+        from repro.service import render_html
+
+        result, explanation = selection
+        html = render_html(result, explanation)
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.endswith("</html>")
+        assert "Alice" in html and "Eve" in html
+        assert "avgRating Mexican" in html
+        assert "class='covered'" in html
+        assert "class='missing'" in html
+
+    def test_labels_are_escaped(self, table2_repo):
+        from repro.core import (
+            UserProfile,
+            UserRepository,
+            build_instance,
+            explain_selection,
+            greedy_select,
+        )
+        from repro.service import render_html
+
+        repo = UserRepository(
+            [
+                # Two properties so the hostile user wins the greedy pick.
+                UserProfile("u<script>", {"a<b>": 1.0, "c&d": 0.5}),
+                UserProfile("plain", {"a<b>": 0.0}),
+            ]
+        )
+        instance = build_instance(repo, 1)
+        result = greedy_select(repo, instance)
+        assert result.selected == ("u<script>",)
+        html = render_html(result, explain_selection(result))
+        assert "<script>" not in html
+        assert "u&lt;script&gt;" in html
+        assert "a&lt;b&gt;" in html
+
+    def test_group_list_limit(self, selection):
+        from repro.service import render_html
+
+        result, explanation = selection
+        html = render_html(result, explanation, group_list_limit=3)
+        assert html.count("<tr class=") == 3

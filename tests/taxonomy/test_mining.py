@@ -1,0 +1,89 @@
+"""Unit tests for Boolean implication mining (AMIE-lite, paper §3.1)."""
+
+import pytest
+
+from repro.core import UserProfile, UserRepository
+from repro.taxonomy import MinedImplication, mine_implications, mine_rule
+
+
+@pytest.fixture()
+def repo():
+    """Everyone in Brooklyn is in NYC-area; not vice versa; plus noise."""
+    profiles = []
+    for i in range(10):
+        scores = {"livesIn Brooklyn": 1.0, "livesIn NYC-area": 1.0}
+        if i % 2 == 0:
+            scores["likes Pizza"] = 1.0
+        profiles.append(UserProfile(f"b{i}", scores))
+    for i in range(5):
+        profiles.append(UserProfile(f"n{i}", {"livesIn NYC-area": 1.0}))
+    profiles.append(UserProfile("x", {"score prop": 0.5}))
+    return UserRepository(profiles)
+
+
+class TestMineImplications:
+    def test_finds_brooklyn_implies_nyc(self, repo):
+        mined = mine_implications(repo, min_support=3, min_confidence=0.9)
+        pairs = {(m.antecedent, m.consequent) for m in mined}
+        assert ("livesIn Brooklyn", "livesIn NYC-area") in pairs
+
+    def test_reverse_direction_below_confidence(self, repo):
+        mined = mine_implications(repo, min_support=3, min_confidence=0.9)
+        pairs = {(m.antecedent, m.consequent) for m in mined}
+        # NYC-area => Brooklyn holds for only 10/15 users.
+        assert ("livesIn NYC-area", "livesIn Brooklyn") not in pairs
+
+    def test_confidence_and_support_values(self, repo):
+        mined = mine_implications(repo, min_support=3, min_confidence=0.9)
+        rule = next(
+            m
+            for m in mined
+            if (m.antecedent, m.consequent)
+            == ("livesIn Brooklyn", "livesIn NYC-area")
+        )
+        assert rule.support == 10
+        assert rule.confidence == 1.0
+
+    def test_min_support_filters(self, repo):
+        mined = mine_implications(repo, min_support=11, min_confidence=0.5)
+        assert mined == []
+
+    def test_non_boolean_properties_excluded(self, repo):
+        mined = mine_implications(repo, min_support=1, min_confidence=0.1)
+        labels = {m.antecedent for m in mined} | {m.consequent for m in mined}
+        assert "score prop" not in labels
+
+    def test_max_rules_truncates(self, repo):
+        mined = mine_implications(
+            repo, min_support=3, min_confidence=0.5, max_rules=1
+        )
+        assert len(mined) == 1
+
+    def test_sorted_by_confidence_then_support(self, repo):
+        mined = mine_implications(repo, min_support=3, min_confidence=0.5)
+        ranks = [(m.confidence, m.support) for m in mined]
+        assert ranks == sorted(ranks, reverse=True)
+
+    def test_str_representation(self):
+        imp = MinedImplication("a", "b", 5, 0.95)
+        assert "a => b" in str(imp)
+
+
+class TestImplicationRule:
+    def test_rule_infers_consequents(self, repo):
+        rule = mine_rule(repo, min_support=3, min_confidence=0.9)
+        profile = UserProfile("new", {"livesIn Brooklyn": 1.0})
+        inferred = rule.infer(profile, {})
+        assert inferred.get("livesIn NYC-area") == 1.0
+
+    def test_rule_skips_existing_property(self, repo):
+        rule = mine_rule(repo, min_support=3, min_confidence=0.9)
+        profile = UserProfile(
+            "new", {"livesIn Brooklyn": 1.0, "livesIn NYC-area": 1.0}
+        )
+        assert rule.infer(profile, {}) == {}
+
+    def test_rule_requires_asserted_antecedent(self, repo):
+        rule = mine_rule(repo, min_support=3, min_confidence=0.9)
+        profile = UserProfile("new", {"livesIn Brooklyn": 0.0})
+        assert rule.infer(profile, {}) == {}

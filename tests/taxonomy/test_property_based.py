@@ -1,0 +1,113 @@
+"""Property-based tests (hypothesis) for taxonomy enrichment invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import UserProfile, UserRepository
+from repro.taxonomy import (
+    FunctionalPropertyRule,
+    GeneralizationRule,
+    RuleEngine,
+    Taxonomy,
+    category_property,
+)
+
+LEAVES = ("Mexican", "Spanish", "Thai", "Sushi")
+FAMILIES = {"Mexican": "Latin", "Spanish": "Latin", "Thai": "Asian", "Sushi": "Asian"}
+
+
+def _taxonomy() -> Taxonomy:
+    taxonomy = Taxonomy()
+    for leaf, family in FAMILIES.items():
+        taxonomy.add_edge(leaf, family)
+    for family in set(FAMILIES.values()):
+        taxonomy.add_edge(family, "AnyCuisine")
+    return taxonomy
+
+
+@st.composite
+def profiles(draw):
+    scores = {}
+    for leaf in LEAVES:
+        if draw(st.booleans()):
+            scores[category_property("avgRating", leaf)] = draw(
+                st.floats(0.0, 1.0, allow_nan=False)
+            )
+    return UserProfile("u", scores)
+
+
+@settings(max_examples=60, deadline=None)
+@given(profiles(), st.sampled_from(["mean", "max", "support-mean"]))
+def test_enrichment_only_adds_properties(profile, aggregate):
+    rule = GeneralizationRule("avgRating", _taxonomy(), aggregate=aggregate)
+    engine = RuleEngine([rule])
+    enriched = engine.enrich_profile(profile, {})
+    # Every original property is preserved with its original score.
+    for label, score in profile.scores.items():
+        assert enriched.scores[label] == score
+    assert set(profile.scores) <= set(enriched.scores)
+
+
+@settings(max_examples=60, deadline=None)
+@given(profiles(), st.sampled_from(["mean", "max", "support-mean"]))
+def test_inferred_scores_within_child_range(profile, aggregate):
+    """Any aggregate of child scores stays within their min/max."""
+    rule = GeneralizationRule("avgRating", _taxonomy(), aggregate=aggregate)
+    inferred = rule.infer(profile, {})
+    for family in ("Latin", "Asian"):
+        label = category_property("avgRating", family)
+        if label not in inferred:
+            continue
+        children = [
+            profile.scores[category_property("avgRating", leaf)]
+            for leaf in LEAVES
+            if FAMILIES[leaf] == family
+            and category_property("avgRating", leaf) in profile
+        ]
+        assert min(children) - 1e-12 <= inferred[label] <= max(children) + 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(profiles(), st.sampled_from(["mean", "max", "support-mean"]))
+def test_enrichment_idempotent(profile, aggregate):
+    """Enriching an already-enriched profile adds nothing new."""
+    engine = RuleEngine(
+        [GeneralizationRule("avgRating", _taxonomy(), aggregate=aggregate)]
+    )
+    once = engine.enrich_profile(profile, {})
+    twice = engine.enrich_profile(once, {})
+    assert once.scores == twice.scores
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from(LEAVES))
+def test_functional_rule_closure_is_complete(held_city):
+    rule = FunctionalPropertyRule("city", LEAVES)
+    profile = UserProfile("u", {category_property("city", held_city): 1.0})
+    inferred = rule.infer(profile, {})
+    assert set(inferred) == {
+        category_property("city", other)
+        for other in LEAVES
+        if other != held_city
+    }
+    assert all(score == 0.0 for score in inferred.values())
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(profiles(), min_size=1, max_size=6))
+def test_repository_enrichment_matches_per_profile(profile_list):
+    repo = UserRepository(
+        UserProfile(f"u{i}", p.scores) for i, p in enumerate(profile_list)
+    )
+    engine = RuleEngine([GeneralizationRule("avgRating", _taxonomy())])
+    support = {
+        label: repo.support(label) for label in repo.property_labels
+    }
+    enriched = engine.enrich(repo)
+    for i, original in enumerate(profile_list):
+        direct = engine.enrich_profile(
+            UserProfile(f"u{i}", original.scores), support
+        )
+        assert enriched.profile(f"u{i}").scores == direct.scores

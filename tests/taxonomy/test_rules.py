@@ -1,0 +1,158 @@
+"""Unit tests for inference rules and the rule engine (paper §3.1)."""
+
+import pytest
+
+from repro.core import UserProfile, UserRepository
+from repro.taxonomy import (
+    FunctionalPropertyRule,
+    GeneralizationRule,
+    RuleEngine,
+    Taxonomy,
+    category_property,
+    parse_category,
+)
+
+
+@pytest.fixture()
+def taxonomy():
+    return Taxonomy(
+        [
+            ("Mexican", "Latin"),
+            ("Spanish", "Latin"),
+            ("Latin", "AnyCuisine"),
+        ]
+    )
+
+
+class TestLabelHelpers:
+    def test_compose_and_parse(self):
+        label = category_property("avgRating", "Mexican")
+        assert label == "avgRating Mexican"
+        assert parse_category("avgRating", label) == "Mexican"
+
+    def test_parse_mismatch_returns_none(self):
+        assert parse_category("visitFreq", "avgRating Mexican") is None
+        assert parse_category("avgRating", "avgRating") is None
+
+
+class TestGeneralizationRule:
+    def test_example_3_2_mexican_to_latin(self, taxonomy):
+        """avgRating Mexican ⇒ derivable avgRating Latin (Example 3.2)."""
+        rule = GeneralizationRule("avgRating", taxonomy, aggregate="mean")
+        profile = UserProfile("u", {"avgRating Mexican": 0.9})
+        inferred = rule.infer(profile, {})
+        assert inferred["avgRating Latin"] == pytest.approx(0.9)
+        assert inferred["avgRating AnyCuisine"] == pytest.approx(0.9)
+
+    def test_mean_aggregate_averages_children(self, taxonomy):
+        rule = GeneralizationRule("avgRating", taxonomy, aggregate="mean")
+        profile = UserProfile(
+            "u", {"avgRating Mexican": 1.0, "avgRating Spanish": 0.0}
+        )
+        assert rule.infer(profile, {})["avgRating Latin"] == pytest.approx(0.5)
+
+    def test_support_mean_weights_by_population(self, taxonomy):
+        rule = GeneralizationRule("avgRating", taxonomy)
+        profile = UserProfile(
+            "u", {"avgRating Mexican": 1.0, "avgRating Spanish": 0.0}
+        )
+        support = {"avgRating Mexican": 30, "avgRating Spanish": 10}
+        latin = rule.infer(profile, support)["avgRating Latin"]
+        assert latin == pytest.approx(0.75)  # 30:10 weighting
+
+    def test_max_aggregate_for_booleans(self, taxonomy):
+        rule = GeneralizationRule("livesIn", Taxonomy(
+            [("Tokyo", "Asia"), ("Osaka", "Asia")]
+        ), aggregate="max")
+        profile = UserProfile("u", {"livesIn Tokyo": 1.0, "livesIn Osaka": 0.0})
+        assert rule.infer(profile, {})["livesIn Asia"] == 1.0
+
+    def test_explicit_parent_not_overwritten(self, taxonomy):
+        rule = GeneralizationRule("avgRating", taxonomy, aggregate="mean")
+        profile = UserProfile(
+            "u", {"avgRating Mexican": 1.0, "avgRating Latin": 0.2}
+        )
+        inferred = rule.infer(profile, {})
+        assert "avgRating Latin" not in inferred
+        # Grandparent still derived from the *explicit* Latin value.
+        assert inferred["avgRating AnyCuisine"] == pytest.approx(0.2)
+
+    def test_multi_level_propagation(self, taxonomy):
+        rule = GeneralizationRule("avgRating", taxonomy, aggregate="mean")
+        profile = UserProfile("u", {"avgRating Mexican": 0.6})
+        inferred = rule.infer(profile, {})
+        assert set(inferred) == {"avgRating Latin", "avgRating AnyCuisine"}
+
+    def test_unrelated_properties_ignored(self, taxonomy):
+        rule = GeneralizationRule("avgRating", taxonomy, aggregate="mean")
+        profile = UserProfile("u", {"visitFreq Mexican": 0.6})
+        assert rule.infer(profile, {}) == {}
+
+
+class TestFunctionalPropertyRule:
+    def test_example_3_2_lives_in_closure(self):
+        """livesIn Tokyo = 1 ⇒ livesIn X = 0 for every other city."""
+        rule = FunctionalPropertyRule("livesIn", ("Tokyo", "NYC", "Paris"))
+        profile = UserProfile("u", {"livesIn Tokyo": 1.0})
+        inferred = rule.infer(profile, {})
+        assert inferred == {"livesIn NYC": 0.0, "livesIn Paris": 0.0}
+
+    def test_open_world_when_nothing_asserted(self):
+        rule = FunctionalPropertyRule("livesIn", ("Tokyo", "NYC"))
+        assert rule.infer(UserProfile("u", {}), {}) == {}
+
+    def test_contradictory_assertions_skip_inference(self):
+        rule = FunctionalPropertyRule("livesIn", ("Tokyo", "NYC"))
+        profile = UserProfile(
+            "u", {"livesIn Tokyo": 1.0, "livesIn NYC": 1.0}
+        )
+        assert rule.infer(profile, {}) == {}
+
+    def test_existing_values_untouched(self):
+        rule = FunctionalPropertyRule("livesIn", ("Tokyo", "NYC", "Paris"))
+        profile = UserProfile(
+            "u", {"livesIn Tokyo": 1.0, "livesIn NYC": 0.0}
+        )
+        inferred = rule.infer(profile, {})
+        assert inferred == {"livesIn Paris": 0.0}
+
+
+class TestRuleEngine:
+    def test_enrich_adds_but_never_overwrites(self, taxonomy):
+        engine = RuleEngine(
+            [GeneralizationRule("avgRating", taxonomy, aggregate="mean")]
+        )
+        repo = UserRepository(
+            [
+                UserProfile("u1", {"avgRating Mexican": 0.8}),
+                UserProfile("u2", {"avgRating Latin": 0.3}),
+            ]
+        )
+        enriched = engine.enrich(repo)
+        assert enriched.profile("u1").score("avgRating Latin") == pytest.approx(0.8)
+        assert enriched.profile("u2").score("avgRating Latin") == pytest.approx(0.3)
+        # Original repository untouched.
+        assert not repo.profile("u1").has("avgRating Latin")
+
+    def test_rules_chain_in_order(self):
+        """Functional closure runs first, generalization sees its output."""
+        city_tax = Taxonomy([("Tokyo", "Asia"), ("NYC", "America")])
+        engine = RuleEngine(
+            [
+                FunctionalPropertyRule("livesIn", ("Tokyo", "NYC")),
+                GeneralizationRule("livesIn", city_tax, aggregate="max"),
+            ]
+        )
+        repo = UserRepository([UserProfile("u", {"livesIn Tokyo": 1.0})])
+        profile = engine.enrich(repo).profile("u")
+        assert profile.score("livesIn NYC") == 0.0
+        assert profile.score("livesIn Asia") == 1.0
+        assert profile.score("livesIn America") == 0.0
+
+    def test_empty_engine_is_identity(self, table2_repo):
+        enriched = RuleEngine([]).enrich(table2_repo)
+        assert len(enriched) == len(table2_repo)
+        assert (
+            enriched.profile("Alice").scores
+            == table2_repo.profile("Alice").scores
+        )

@@ -1,0 +1,98 @@
+"""Unit tests for the taxonomy DAG."""
+
+import pytest
+
+from repro.core import TaxonomyError
+from repro.taxonomy import Taxonomy
+
+
+@pytest.fixture()
+def cuisine():
+    return Taxonomy(
+        [
+            ("Mexican", "Latin"),
+            ("Tex-Mex", "Latin"),
+            ("Tex-Mex", "American"),
+            ("Latin", "AnyCuisine"),
+            ("American", "AnyCuisine"),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_len_and_contains(self, cuisine):
+        assert len(cuisine) == 5
+        assert "Mexican" in cuisine
+        assert "Thai" not in cuisine
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy([("A", "A")])
+
+    def test_cycle_rejected_and_rolled_back(self):
+        taxonomy = Taxonomy([("A", "B"), ("B", "C")])
+        with pytest.raises(TaxonomyError):
+            taxonomy.add_edge("C", "A")
+        # The offending edge must not linger.
+        assert taxonomy.parents("C") == set()
+
+    def test_add_category_without_parents(self):
+        taxonomy = Taxonomy()
+        taxonomy.add_category("Loner")
+        assert "Loner" in taxonomy
+        assert taxonomy.roots() == {"Loner"}
+
+
+class TestNavigation:
+    def test_parents_children(self, cuisine):
+        assert cuisine.parents("Mexican") == {"Latin"}
+        assert cuisine.parents("Tex-Mex") == {"Latin", "American"}
+        assert cuisine.children("Latin") == {"Mexican", "Tex-Mex"}
+
+    def test_ancestors_transitive(self, cuisine):
+        assert cuisine.ancestors("Mexican") == {"Latin", "AnyCuisine"}
+
+    def test_descendants_transitive(self, cuisine):
+        assert cuisine.descendants("AnyCuisine") == {
+            "Mexican",
+            "Tex-Mex",
+            "Latin",
+            "American",
+        }
+
+    def test_roots_and_leaves(self, cuisine):
+        assert cuisine.roots() == {"AnyCuisine"}
+        assert cuisine.leaves() == {"Mexican", "Tex-Mex"}
+
+    def test_depth(self, cuisine):
+        assert cuisine.depth("AnyCuisine") == 0
+        assert cuisine.depth("Latin") == 1
+        assert cuisine.depth("Mexican") == 2
+
+    def test_unknown_category_raises(self, cuisine):
+        with pytest.raises(TaxonomyError):
+            cuisine.parents("Sushi")
+
+    def test_topological_levels_leaves_first(self, cuisine):
+        levels = cuisine.topological_levels()
+        flat = [c for level in levels for c in level]
+        # Children must appear before their parents.
+        assert flat.index("Mexican") < flat.index("Latin")
+        assert flat.index("Latin") < flat.index("AnyCuisine")
+
+
+class TestCatalogTaxonomies:
+    def test_builtin_cuisine_taxonomy(self):
+        from repro.datasets import catalog
+
+        taxonomy = catalog.cuisine_taxonomy()
+        assert taxonomy.roots() == {"AnyCuisine"}
+        assert "Latin" in taxonomy.ancestors("Mexican")
+        assert taxonomy.depth("Mexican") == 2
+
+    def test_builtin_city_taxonomy(self):
+        from repro.datasets import catalog
+
+        taxonomy = catalog.city_taxonomy()
+        assert taxonomy.parents("Tokyo") == {"Asia-Pacific"}
+        assert len(taxonomy.roots()) > 1  # one region per continent-ish

@@ -1,0 +1,176 @@
+"""Integration tests for the ``python -m repro`` CLI pipeline."""
+
+import json
+
+import pytest
+
+from repro.cli import _parse_group_key, main
+from repro.core import PodiumError
+from repro.core.groups import GroupKey
+from repro.datasets import example_repository, save_profiles
+
+
+@pytest.fixture()
+def profiles_path(tmp_path):
+    path = tmp_path / "profiles.json"
+    save_profiles(example_repository(), path)
+    return str(path)
+
+
+class TestParseGroupKey:
+    def test_simple(self):
+        assert _parse_group_key("livesIn Tokyo::true") == GroupKey(
+            "livesIn Tokyo", "true"
+        )
+
+    def test_property_with_double_colon_uses_last(self):
+        assert _parse_group_key("a::b::c") == GroupKey("a::b", "c")
+
+    @pytest.mark.parametrize("bad", ["nope", "::x", "x::"])
+    def test_malformed(self, bad):
+        with pytest.raises(PodiumError):
+            _parse_group_key(bad)
+
+
+class TestGenerateDerivePipeline:
+    def test_generate_then_derive(self, tmp_path, capsys):
+        dataset_path = tmp_path / "ds.json"
+        profiles_path = tmp_path / "profiles.json"
+        assert (
+            main(
+                [
+                    "generate",
+                    "--preset",
+                    "yelp",
+                    "--users",
+                    "40",
+                    "--seed",
+                    "3",
+                    "--out",
+                    str(dataset_path),
+                ]
+            )
+            == 0
+        )
+        assert dataset_path.exists()
+        assert (
+            main(
+                [
+                    "derive",
+                    "--dataset",
+                    str(dataset_path),
+                    "--preset",
+                    "yelp",
+                    "--out",
+                    str(profiles_path),
+                ]
+            )
+            == 0
+        )
+        document = json.loads(profiles_path.read_text())
+        assert document["format"] == "podium-profiles-v1"
+        assert len(document["users"]) == 40
+        out = capsys.readouterr().out
+        assert "40 users" in out
+        assert "40 profiles" in out
+
+
+class TestSelect:
+    def test_plain_selection(self, profiles_path, capsys):
+        code = main(
+            [
+                "select",
+                "--profiles",
+                profiles_path,
+                "--budget",
+                "2",
+            ]
+        )
+        assert code == 0
+        response = json.loads(capsys.readouterr().out)
+        assert len(response["selected"]) == 2
+        assert "explanation" not in response
+
+    def test_selection_with_explanations_and_distribution(
+        self, profiles_path, capsys
+    ):
+        code = main(
+            [
+                "select",
+                "--profiles",
+                profiles_path,
+                "--budget",
+                "2",
+                "--explain",
+                "--distribution",
+                "avgRating Mexican",
+            ]
+        )
+        assert code == 0
+        response = json.loads(capsys.readouterr().out)
+        panes = response["explanation"]
+        assert panes["right_pane"][0]["property"] == "avgRating Mexican"
+
+    def test_selection_with_feedback(self, profiles_path, capsys):
+        code = main(
+            [
+                "select",
+                "--profiles",
+                profiles_path,
+                "--budget",
+                "2",
+                "--must-not",
+                "livesIn Tokyo::true",
+            ]
+        )
+        assert code == 0
+        response = json.loads(capsys.readouterr().out)
+        assert "Alice" not in response["selected"]
+        assert response["refined_pool_size"] == 3
+
+    def test_weights_flag(self, profiles_path, capsys):
+        code = main(
+            [
+                "select",
+                "--profiles",
+                profiles_path,
+                "--budget",
+                "2",
+                "--weights",
+                "Iden",
+            ]
+        )
+        assert code == 0
+        json.loads(capsys.readouterr().out)
+
+    def test_bad_group_key_reports_error(self, profiles_path, capsys):
+        code = main(
+            [
+                "select",
+                "--profiles",
+                profiles_path,
+                "--must-not",
+                "malformed",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_html_output(self, profiles_path, tmp_path, capsys):
+        html_path = tmp_path / "page.html"
+        code = main(
+            [
+                "select",
+                "--profiles",
+                profiles_path,
+                "--budget",
+                "2",
+                "--html",
+                str(html_path),
+            ]
+        )
+        assert code == 0
+        html = html_path.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        # stdout stays pure JSON despite the side output.
+        json.loads(capsys.readouterr().out)

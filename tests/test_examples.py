@@ -1,0 +1,37 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Each example is executed in a subprocess (its own interpreter, like a
+user would run it) with a generous timeout; internal assertions inside
+the examples double as correctness checks.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, marker expected in stdout, timeout seconds)
+EXAMPLES = [
+    ("quickstart.py", "Selected: ('Alice', 'Eve')", 120),
+    ("restaurant_survey.py", "all selected panelists", 240),
+    ("rotating_panels.py", "Rotation pool", 240),
+    ("service_demo.py", "Service stopped.", 240),
+    ("opinion_procurement.py", "Opinion diversity", 420),
+]
+
+
+@pytest.mark.parametrize(
+    "script,marker,timeout", EXAMPLES, ids=[e[0] for e in EXAMPLES]
+)
+def test_example_runs(script, marker, timeout):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert marker in completed.stdout
