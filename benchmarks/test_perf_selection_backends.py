@@ -1,0 +1,67 @@
+"""Selection-backend micro-benchmark: eager vs lazy vs matrix.
+
+Establishes the perf baseline every later optimization PR measures
+against (the ``BENCH_*.json`` trajectory).  The full Fig. 5 sweep runs
+via ``python -m repro bench``; this bench keeps a laptop-scale instance
+in the tier-2 suite so backend parity and the speedup direction are
+checked continuously.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import (
+    GroupingConfig,
+    build_instance,
+    build_simple_groups,
+    greedy_select,
+    instance_index,
+)
+from repro.datasets.synth import generate_profile_repository
+from repro.experiments.scalability import SELECTION_BACKENDS
+
+_BUDGET = 8
+_REPETITIONS = 3
+
+
+def _bench_instance(n_users: int = 2000):
+    repository = generate_profile_repository(
+        n_users=n_users, n_properties=200, mean_profile_size=40.0, seed=3
+    )
+    groups = build_simple_groups(repository, GroupingConfig(min_support=2))
+    return repository, build_instance(repository, _BUDGET, groups=groups)
+
+
+def test_backends_agree_and_matrix_leads():
+    repository, instance = _bench_instance()
+    instance_index(instance)  # offline index build, excluded from timing
+
+    seconds: dict[str, float] = {}
+    results = {}
+    for backend in SELECTION_BACKENDS:
+        samples = []
+        for _ in range(_REPETITIONS):
+            start = time.perf_counter()
+            results[backend] = greedy_select(
+                repository, instance, _BUDGET, method=backend
+            )
+            samples.append(time.perf_counter() - start)
+        seconds[backend] = float(np.median(samples))
+
+    reference = results["eager"]
+    for backend in ("lazy", "matrix"):
+        assert results[backend].selected == reference.selected
+        assert results[backend].score == reference.score
+        assert results[backend].gains == reference.gains
+
+    print(
+        "\nselection backends (|U|=2000, budget 8): "
+        + ", ".join(f"{b}={seconds[b]:.4f}s" for b in SELECTION_BACKENDS)
+        + f", matrix speedup {seconds['eager'] / seconds['matrix']:.1f}x"
+    )
+    # Direction check, deliberately far below the observed ~30x so noisy
+    # CI machines never flake: the vectorized backend must beat eager.
+    assert seconds["matrix"] < seconds["eager"]

@@ -39,11 +39,17 @@ class Selector(ABC):
 
 
 class PodiumSelector(Selector):
-    """The paper's algorithm: greedy coverage maximization (Algorithm 1)."""
+    """The paper's algorithm: greedy coverage maximization (Algorithm 1).
+
+    Defaults to the vectorized ``matrix`` backend; instances whose
+    weights exceed int64 (EBS big-ints) transparently take the exact
+    lazy path inside :func:`~repro.core.greedy.greedy_select`, so the
+    selected sequence is backend-independent either way.
+    """
 
     name = "Podium"
 
-    def __init__(self, method: str = "lazy") -> None:
+    def __init__(self, method: str = "matrix") -> None:
         self._method = method
 
     def select(

@@ -7,7 +7,9 @@ Commands mirror the Fig. 1 pipeline:
 * ``select``   — run diverse user selection over a profile document,
   optionally with customization feedback, printing a JSON response;
 * ``serve``    — start the prototype HTTP service on a profile document;
-* ``report``   — regenerate EXPERIMENTS.md.
+* ``report``   — regenerate EXPERIMENTS.md;
+* ``bench``    — time the selection backends (eager/lazy/matrix) on the
+  Fig. 5 sweep and write ``BENCH_selection.json``.
 
 Group keys on the command line use the ``property::bucket`` form, e.g.
 ``--must-have "avgRating Mexican::high"``.
@@ -121,6 +123,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .experiments.scalability import (
+        ScalabilitySetup,
+        benchmark_selection_backends,
+    )
+
+    try:
+        sizes = tuple(int(s) for s in args.sizes.split(",") if s)
+    except ValueError:
+        raise PodiumError(
+            f"--sizes must be a comma-separated list of positive "
+            f"integers, got {args.sizes!r}"
+        ) from None
+    if not sizes or any(size <= 0 for size in sizes):
+        raise PodiumError(
+            f"--sizes must be a comma-separated list of positive "
+            f"integers, got {args.sizes!r}"
+        )
+    setup = ScalabilitySetup(
+        budget=args.budget,
+        user_sizes=sizes,
+        repetitions=args.repetitions,
+        seed=args.seed,
+    )
+    report = benchmark_selection_backends(setup)
+    Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
+    for row in report["rows"]:
+        timings = ", ".join(
+            f"{backend}={row['seconds'][backend]:.4f}s"
+            for backend in report["backends"]
+        )
+        speedup = row.get("speedup_matrix_vs_eager")
+        extra = f", matrix speedup {speedup:.1f}x" if speedup else ""
+        match = "ok" if row["selections_match"] else "MISMATCH"
+        print(f"|U|={row['users']}: {timings}{extra} [{match}]")
+    print(f"wrote {args.out}")
+    return 0 if all(r["selections_match"] for r in report["rows"]) else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments.report import build_report
 
@@ -201,6 +242,19 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--fast", action="store_true")
     report.add_argument("--out", default="EXPERIMENTS.md")
     report.set_defaults(handler=_cmd_report)
+
+    bench = commands.add_parser(
+        "bench", help="time the selection backends on the Fig. 5 sweep"
+    )
+    bench.add_argument(
+        "--sizes", default="500,1000,2000,4000",
+        help="comma-separated population sizes (default: the Fig. 5 sweep)",
+    )
+    bench.add_argument("--budget", type=int, default=8)
+    bench.add_argument("--repetitions", type=int, default=3)
+    bench.add_argument("--seed", type=int, default=3)
+    bench.add_argument("--out", default="BENCH_selection.json")
+    bench.set_defaults(handler=_cmd_bench)
 
     return parser
 

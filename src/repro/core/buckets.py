@@ -108,6 +108,39 @@ def partition_from_splits(
     )
 
 
+def assign_bucket_indices(
+    buckets: tuple[Bucket, ...] | list[Bucket],
+    scores: np.ndarray,
+) -> np.ndarray | None:
+    """Vectorized bucket assignment for a contiguous partition of [0, 1].
+
+    When ``buckets`` tile ``[0, 1]`` left-closed/right-open (last bucket
+    closed) — the invariant every :func:`partition_from_splits` output
+    satisfies — one ``np.searchsorted`` over the sorted interior split
+    boundaries assigns each score its bucket index, replacing the
+    per-(user, bucket) ``Bucket.contains`` loop of the grouping module.
+    Returns ``None`` when the buckets are not such a partition or a score
+    falls outside ``[0, 1]``, in which case callers must fall back to
+    per-bucket membership tests.
+    """
+    if not buckets:
+        return None
+    if (
+        buckets[0].lo != 0.0
+        or buckets[-1].hi != 1.0
+        or not buckets[-1].closed_hi
+    ):
+        return None
+    for left, right in zip(buckets, buckets[1:]):
+        if left.hi != right.lo or left.closed_hi:
+            return None
+    scores = np.asarray(scores, dtype=float)
+    if scores.size and (scores.min() < 0.0 or scores.max() > 1.0):
+        return None
+    boundaries = np.array([b.lo for b in buckets[1:]], dtype=float)
+    return np.searchsorted(boundaries, scores, side="right")
+
+
 def boolean_partition() -> tuple[Bucket, ...]:
     """The two-bucket partition used for true/false properties."""
     return partition_from_splits(BOOLEAN_SPLITS, labels=("false", "true"))

@@ -12,9 +12,17 @@ Two interchangeable implementations are provided:
   submodular objectives: stale upper bounds sit in a max-heap and are only
   refreshed when popped.  It returns a subset with the same score
   guarantee and is typically much faster on large, overlapping group sets.
+* ``method="matrix"`` runs the same eager recurrence over the
+  integer-encoded sparse index (:mod:`repro.core.index`): candidates'
+  marginal gains live in one int64 vector, the best pick is an ``argmax``
+  and exhausted-group decrements are scattered through CSR incidence
+  arrays.  When the instance's weights cannot be represented exactly in
+  int64 (EBS big-ints, non-integer weights), it transparently falls back
+  to the exact lazy path — correctness never depends on the backend.
 
-Both achieve the (1 − 1/e) approximation of Prop. 4.4 because the score
-function is monotone submodular for every weight/coverage choice.
+All three achieve the (1 − 1/e) approximation of Prop. 4.4 because the
+score function is monotone submodular for every weight/coverage choice,
+and all three select *identical sequences* when ``rng`` is None.
 
 Ties between candidates with equal marginal gain are broken
 deterministically by user id unless an ``rng`` is supplied, in which case
@@ -30,6 +38,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .errors import InvalidBudgetError, PodiumError
+from .index import instance_index
 from .instance import DiversificationInstance
 from .profiles import UserRepository
 from .scoring import CoverageState
@@ -108,7 +117,8 @@ def greedy_select(
         refined user set ``U'`` here); ids absent from the repository are
         ignored.
     method:
-        ``"eager"`` (paper Algorithm 1) or ``"lazy"`` (heap accelerant).
+        ``"eager"`` (paper Algorithm 1), ``"lazy"`` (heap accelerant) or
+        ``"matrix"`` (vectorized sparse backend with exact fallback).
     rng:
         Optional generator for random tie-breaking.
     """
@@ -120,7 +130,11 @@ def greedy_select(
         return _greedy_eager(pool, instance, budget, rng)
     if method == "lazy":
         return _greedy_lazy(pool, instance, budget, rng)
-    raise PodiumError(f"unknown greedy method {method!r}; use 'eager' or 'lazy'")
+    if method == "matrix":
+        return _greedy_matrix(pool, instance, budget, rng)
+    raise PodiumError(
+        f"unknown greedy method {method!r}; use 'eager', 'lazy' or 'matrix'"
+    )
 
 
 def _greedy_eager(
@@ -214,6 +228,81 @@ def _greedy_lazy(
     return SelectionResult(
         selected=tuple(state.selected),
         score=state.score,
+        gains=tuple(gains),
+        instance=instance,
+    )
+
+
+def _greedy_matrix(
+    pool: list[str],
+    instance: DiversificationInstance,
+    budget: int,
+    rng: np.random.Generator | None,
+) -> SelectionResult:
+    """Vectorized eager greedy over the sparse instance index.
+
+    Maintains the same ``marg_{u,U}`` recurrence as the eager
+    implementation, but as one int64 gain vector: picking is an
+    ``argmax`` (candidates sit in sorted user-id order, so the first
+    maximum is the minimal tied id — the eager tie-break), coverage
+    decrements are CSR row gathers and exhausted-group propagation is a
+    single ``np.subtract.at`` scatter.  Instances whose weights are not
+    exactly representable in int64 fall back to the exact lazy path.
+    """
+    index = instance_index(instance)
+    if not index.vectorizable:
+        return _greedy_lazy(pool, instance, budget, rng)
+    assert index.wei is not None and index.initial_gains is not None
+
+    ordered = sorted(pool)
+    n = len(ordered)
+    # Dense position of each candidate in the index (-1: in no group).
+    pos = np.fromiter(
+        (index.user_pos.get(u, -1) for u in ordered), dtype=np.int64, count=n
+    )
+    present = pos >= 0
+    gain = np.zeros(n, dtype=np.int64)
+    gain[present] = index.initial_gains[pos[present]]
+    # Inverse map dense index id -> candidate row (-1: not a candidate).
+    dense_to_row = np.full(index.n_users, -1, dtype=np.int64)
+    dense_to_row[pos[present]] = np.flatnonzero(present)
+
+    remaining = index.cov.copy()
+    active = np.ones(n, dtype=bool)
+    selected: list[str] = []
+    gains: list[Weight] = []
+    score = 0
+    for _ in range(budget):
+        if not active.any():
+            break
+        masked = np.where(active, gain, np.int64(-1))
+        if rng is None:
+            row = int(np.argmax(masked))
+        else:
+            tied = np.flatnonzero(masked == masked.max())
+            row = int(tied[int(rng.integers(tied.size))])
+        realized = int(masked[row])
+        active[row] = False
+        selected.append(ordered[row])
+        gains.append(realized)
+        score += realized
+
+        if pos[row] < 0:
+            continue
+        touched = index.groups_of_row(int(pos[row]))
+        hit = touched[remaining[touched] > 0]
+        remaining[hit] -= 1
+        exhausted = hit[remaining[hit] == 0]
+        if exhausted.size:
+            members = index.members_of_rows(exhausted)
+            weights = np.repeat(index.wei[exhausted], index.row_sizes(exhausted))
+            rows = dense_to_row[members]
+            keep = rows >= 0
+            np.subtract.at(gain, rows[keep], weights[keep])
+
+    return SelectionResult(
+        selected=tuple(selected),
+        score=score,
         gains=tuple(gains),
         instance=instance,
     )

@@ -12,10 +12,19 @@ supported both as first-class :class:`Group` members of a group set and as
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
-from .buckets import Bucket, is_boolean, partition_from_splits, split_scores
+import numpy as np
+
+from .buckets import (
+    Bucket,
+    assign_bucket_indices,
+    is_boolean,
+    partition_from_splits,
+    split_scores,
+)
 from .errors import InvalidInstanceError, UnknownGroupError
 from .profiles import UserRepository
 
@@ -95,18 +104,31 @@ class GroupSet:
     def __init__(self, groups: Iterable[Group] = ()) -> None:
         self._groups: dict[GroupKey, Group] = {}
         self._user_groups: dict[str, set[GroupKey]] = {}
+        #: Lazily-built immutable views handed out by :meth:`groups_of`;
+        #: entries are invalidated whenever a user's link set changes.
+        self._views: dict[str, frozenset[GroupKey]] = {}
         for group in groups:
             self.add(group)
 
     def add(self, group: Group) -> None:
-        """Insert ``group``; re-adding the same key replaces it."""
+        """Insert ``group``; re-adding the same key replaces it.
+
+        Users the replacement unlinks from their last group are pruned
+        from the user → groups map entirely, so ``degree`` and
+        ``groups_of`` never see stale empty entries.
+        """
         previous = self._groups.get(group.key)
         if previous is not None:
             for user_id in previous.members:
-                self._user_groups[user_id].discard(group.key)
+                links = self._user_groups[user_id]
+                links.discard(group.key)
+                if not links:
+                    del self._user_groups[user_id]
+                self._views.pop(user_id, None)
         self._groups[group.key] = group
         for user_id in group.members:
             self._user_groups.setdefault(user_id, set()).add(group.key)
+            self._views.pop(user_id, None)
 
     def __len__(self) -> int:
         return len(self._groups)
@@ -128,9 +150,17 @@ class GroupSet:
         except KeyError:
             raise UnknownGroupError(f"unknown group {key}") from None
 
-    def groups_of(self, user_id: str) -> set[GroupKey]:
-        """Keys of every group containing ``user_id`` (user explanation)."""
-        return set(self._user_groups.get(user_id, ()))
+    def groups_of(self, user_id: str) -> frozenset[GroupKey]:
+        """Keys of every group containing ``user_id`` (user explanation).
+
+        Returns a cached immutable view: the greedy hot path calls this
+        once per candidate per round, so no per-call copy is made.
+        """
+        view = self._views.get(user_id)
+        if view is None:
+            view = frozenset(self._user_groups.get(user_id, ()))
+            self._views[user_id] = view
+        return view
 
     def degree(self, user_id: str) -> int:
         """``|{G in G-set | u in G}|`` — the user's group membership count."""
@@ -226,12 +256,23 @@ def build_simple_groups(
             buckets = split_scores(
                 scores, k=config.buckets_per_property, strategy=config.strategy
             )
-        for bucket in buckets:
-            members = frozenset(
-                user_id
-                for user_id, score in zip(user_ids, scores)
-                if bucket.contains(float(score))
-            )
+        assignment = assign_bucket_indices(buckets, scores)
+        if assignment is None:
+            memberships = [
+                frozenset(
+                    user_id
+                    for user_id, score in zip(user_ids, scores)
+                    if bucket.contains(float(score))
+                )
+                for bucket in buckets
+            ]
+        else:
+            ids = np.asarray(user_ids, dtype=object)
+            memberships = [
+                frozenset(ids[assignment == position].tolist())
+                for position in range(len(buckets))
+            ]
+        for bucket, members in zip(buckets, memberships):
             if config.drop_empty and not members:
                 continue
             group_set.add(Group(GroupKey(label, bucket.label), members, bucket))
@@ -268,18 +309,35 @@ def augment_with_intersections(
     simple = [g for g in groups if g.bucket is not None]
     simple.sort(key=lambda g: (-g.size, str(g.key)))
     candidates: list[Group] = []
+    # Sizes of the current best ``max_new`` candidates (min-heap).  Since
+    # |A ∩ B| <= min(|A|, |B|) and the pair scan walks sizes in
+    # non-increasing order, a pair whose bound falls strictly below the
+    # max_new-th best size so far — and hence every later pair in that
+    # row/column — can never enter the final top list, so the scan stops
+    # early instead of touching all O(n²) pairs.  Ties (bound equal to
+    # the threshold) keep scanning, so the emitted top ``max_new`` under
+    # the (-size, key) order are identical to the exhaustive scan's.
+    best_sizes: list[int] = []
+
+    def cutoff(bound: int) -> bool:
+        return len(best_sizes) == max_new and bound < best_sizes[0]
+
     for i in range(len(simple)):
-        if simple[i].size < min_size:
+        if simple[i].size < min_size or cutoff(simple[i].size):
             break
         for j in range(i + 1, len(simple)):
             a, b = simple[i], simple[j]
-            if b.size < min_size:
+            if b.size < min_size or cutoff(b.size):
                 break
             if a.key.property_label == b.key.property_label:
                 continue
             common = a.intersect(b)
             if common.size >= min_size:
                 candidates.append(common)
+                if len(best_sizes) < max_new:
+                    heapq.heappush(best_sizes, common.size)
+                elif common.size > best_sizes[0]:
+                    heapq.heapreplace(best_sizes, common.size)
     candidates.sort(key=lambda g: (-g.size, str(g.key)))
     augmented = GroupSet(groups)
     for group in candidates[:max_new]:

@@ -1,0 +1,250 @@
+"""Integer-encoded sparse instance index for the vectorized backend.
+
+The paper's §4 data structures (bidirectional user ↔ group links) are
+dict/set based, which keeps the greedy loop readable but pays Python
+object overhead per membership visit.  :class:`InstanceIndex` re-encodes
+a :class:`~repro.core.instance.DiversificationInstance` once into dense
+integer ids plus CSR-style incidence arrays so the selection hot paths
+(`method="matrix"` in :func:`~repro.core.greedy.greedy_select`,
+:func:`~repro.core.scoring.subset_score`,
+:func:`~repro.core.scoring.covered_groups`) run as numpy array ops:
+
+* users appearing in any group get dense ids ``0..n_users-1`` in sorted
+  user-id order, so ``argmax`` over a gain vector breaks ties by minimal
+  user id exactly like the eager/lazy implementations;
+* the user → group and group → user incidence is stored twice as CSR
+  (``indptr``/``indices``, int32 indices) for O(degree) row slicing in
+  both directions;
+* ``wei``/``cov`` are materialized as dense int64 vectors.
+
+EBS weights are exact Python integers ``(B + 1)^ord(G)`` that overflow
+int64 at realistic ranks, and customized instances may carry non-integer
+weights.  The index therefore computes the exact total incidence mass
+``Σ_G wei(G)·|G|`` in Python-int arithmetic and only declares itself
+:attr:`~InstanceIndex.vectorizable` when every weight is an ``int`` and
+every partial sum a backend can form is representable in int64.  Callers
+must honor the flag by falling back to the exact object-dtype paths —
+correctness never depends on the backend.
+
+The index is immutable and cached on the instance (instances are frozen
+and documented immutable for their lifetime), so repeated selections,
+scores and coverage queries share one build.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from .groups import GroupKey
+from .instance import DiversificationInstance
+from .weights import Weight
+
+#: Largest value an int64 cell may hold; sums bounded by this stay exact.
+_INT64_MAX = np.iinfo(np.int64).max
+
+#: Attribute used to cache the built index on a (frozen) instance.
+_CACHE_ATTR = "_instance_index_cache"
+
+
+def _segment_sums(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Exact int64 per-row sums of a CSR value array (empty rows -> 0)."""
+    if values.size == 0:
+        return np.zeros(len(indptr) - 1, dtype=np.int64)
+    cumulative = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(values, dtype=np.int64)]
+    )
+    return cumulative[indptr[1:]] - cumulative[indptr[:-1]]
+
+
+@dataclass(frozen=True)
+class InstanceIndex:
+    """Dense-id sparse view of one diversification instance.
+
+    Attributes
+    ----------
+    users:
+        Every user appearing in at least one group, sorted ascending —
+        the dense user id is the position in this tuple.
+    user_pos:
+        Inverse map ``user_id -> dense id``.
+    group_keys:
+        Dense group id -> :class:`GroupKey`, in group-set iteration order.
+    u_indptr / u_indices:
+        CSR rows per user listing the dense ids of its groups.
+    g_indptr / g_indices:
+        CSR rows per group listing the dense ids of its members.
+    cov:
+        Required coverage per group (int64).
+    wei:
+        Group weights as int64, or ``None`` when not vectorizable.
+    initial_gains:
+        Per-user marginal gain of the empty subset (every group active),
+        or ``None`` when not vectorizable.
+    vectorizable:
+        True iff all weights are Python ints and ``Σ_G wei(G)·|G|`` fits
+        int64, so every partial sum the array backend forms is exact.
+    """
+
+    users: tuple[str, ...]
+    user_pos: dict[str, int]
+    group_keys: tuple[GroupKey, ...]
+    u_indptr: np.ndarray
+    u_indices: np.ndarray
+    g_indptr: np.ndarray
+    g_indices: np.ndarray
+    cov: np.ndarray
+    wei: np.ndarray | None
+    initial_gains: np.ndarray | None
+    vectorizable: bool
+
+    @property
+    def n_users(self) -> int:
+        return len(self.users)
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.group_keys)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def build(cls, instance: DiversificationInstance) -> "InstanceIndex":
+        """Encode ``instance`` into dense ids and CSR incidence arrays."""
+        groups = list(instance.groups)
+        group_keys = tuple(g.key for g in groups)
+        users = tuple(sorted({u for g in groups for u in g.members}))
+        user_pos = {u: i for i, u in enumerate(users)}
+        n_users, n_groups = len(users), len(groups)
+
+        # Group -> user CSR.  The only Python-level pass over the raw
+        # membership data is the id -> dense-id lookup; everything after
+        # runs as array ops.
+        sizes = np.fromiter(
+            (len(g.members) for g in groups), dtype=np.int64, count=n_groups
+        )
+        g_indptr = np.zeros(n_groups + 1, dtype=np.int64)
+        np.cumsum(sizes, out=g_indptr[1:])
+        total = int(g_indptr[-1])
+        g_indices = np.fromiter(
+            (user_pos[u] for g in groups for u in g.members),
+            dtype=np.int32,
+            count=total,
+        )
+
+        # User -> group CSR: transpose the (group, user) entry list with a
+        # stable counting-style sort on the user column.
+        entry_group = np.repeat(
+            np.arange(n_groups, dtype=np.int32), sizes
+        )
+        order = np.argsort(g_indices, kind="stable")
+        u_indices = entry_group[order]
+        degree = np.bincount(g_indices, minlength=n_users).astype(np.int64)
+        u_indptr = np.zeros(n_users + 1, dtype=np.int64)
+        np.cumsum(degree, out=u_indptr[1:])
+
+        cov = np.fromiter(
+            (int(instance.cov[k]) for k in group_keys),
+            dtype=np.int64,
+            count=n_groups,
+        )
+
+        raw_weights = [instance.wei[k] for k in group_keys]
+        vectorizable = all(
+            isinstance(w, int) and not isinstance(w, bool) for w in raw_weights
+        )
+        if vectorizable:
+            # Exact Python-int bound on every partial sum any backend
+            # forms: gains, scores and cumulative sums all total at most
+            # Σ_G wei(G)·|G| (coverage caps only shrink terms).
+            mass = sum(
+                w * int(g_indptr[gid + 1] - g_indptr[gid])
+                for gid, w in enumerate(raw_weights)
+            )
+            vectorizable = mass <= _INT64_MAX
+
+        wei = initial_gains = None
+        if vectorizable:
+            wei = np.fromiter(raw_weights, dtype=np.int64, count=n_groups)
+            initial_gains = _segment_sums(wei[u_indices], u_indptr)
+
+        return cls(
+            users=users,
+            user_pos=user_pos,
+            group_keys=group_keys,
+            u_indptr=u_indptr,
+            u_indices=u_indices,
+            g_indptr=g_indptr,
+            g_indices=g_indices,
+            cov=cov,
+            wei=wei,
+            initial_gains=initial_gains,
+            vectorizable=vectorizable,
+        )
+
+    # -- row access --------------------------------------------------------
+
+    def groups_of_row(self, user_dense_id: int) -> np.ndarray:
+        """Dense group ids of one user's memberships (a CSR row view)."""
+        lo, hi = self.u_indptr[user_dense_id], self.u_indptr[user_dense_id + 1]
+        return self.u_indices[lo:hi]
+
+    def members_of_rows(self, group_dense_ids: np.ndarray) -> np.ndarray:
+        """Concatenated member ids of several groups (parallel to repeats)."""
+        if group_dense_ids.size == 0:
+            return np.empty(0, dtype=np.int32)
+        return np.concatenate(
+            [
+                self.g_indices[self.g_indptr[g]:self.g_indptr[g + 1]]
+                for g in group_dense_ids
+            ]
+        )
+
+    def row_sizes(self, group_dense_ids: np.ndarray) -> np.ndarray:
+        """Member counts of several groups."""
+        return self.g_indptr[group_dense_ids + 1] - self.g_indptr[group_dense_ids]
+
+    # -- vectorized scoring ------------------------------------------------
+
+    def selection_mask(self, user_ids: Iterable[str]) -> np.ndarray:
+        """Boolean membership vector over dense user ids."""
+        mask = np.zeros(self.n_users, dtype=bool)
+        for user_id in user_ids:
+            pos = self.user_pos.get(user_id)
+            if pos is not None:
+                mask[pos] = True
+        return mask
+
+    def group_hits(self, mask: np.ndarray) -> np.ndarray:
+        """``|U ∩ G|`` per group for a selection mask, as int64."""
+        return _segment_sums(
+            mask[self.g_indices].astype(np.int64), self.g_indptr
+        )
+
+    def subset_score(self, user_ids: Iterable[str]) -> Weight:
+        """Exact ``score_G`` of a subset; requires :attr:`vectorizable`."""
+        assert self.wei is not None
+        hits = self.group_hits(self.selection_mask(user_ids))
+        return int(np.sum(self.wei * np.minimum(hits, self.cov)))
+
+    def covered_group_keys(self, user_ids: Iterable[str]) -> set[GroupKey]:
+        """Keys of groups with at least ``cov(G)`` selected members."""
+        hits = self.group_hits(self.selection_mask(user_ids))
+        covered = np.flatnonzero(hits >= self.cov)
+        return {self.group_keys[g] for g in covered}
+
+
+def instance_index(instance: DiversificationInstance) -> InstanceIndex:
+    """Build (or fetch the cached) :class:`InstanceIndex` of ``instance``.
+
+    Instances are frozen dataclasses documented as immutable for their
+    lifetime, so the index is computed once and stashed on the instance;
+    every selection backend, score and coverage query then shares it.
+    """
+    cached = instance.__dict__.get(_CACHE_ATTR)
+    if cached is None:
+        cached = InstanceIndex.build(instance)
+        object.__setattr__(instance, _CACHE_ATTR, cached)
+    return cached

@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from .groups import GroupKey
+from .index import instance_index
 from .instance import DiversificationInstance
 from .weights import Weight
 
@@ -21,8 +22,16 @@ from .weights import Weight
 def subset_score(
     instance: DiversificationInstance, user_ids: Iterable[str]
 ) -> Weight:
-    """Compute ``score_G(U)`` from scratch for a user subset."""
+    """Compute ``score_G(U)`` from scratch for a user subset.
+
+    Runs through the vectorized sparse index whenever the instance's
+    weights are exactly representable in int64; EBS big-int and
+    non-integer-weight instances take the exact per-group loop.
+    """
     selected = set(user_ids)
+    index = instance_index(instance)
+    if index.vectorizable:
+        return index.subset_score(selected)
     total: Weight = 0
     for group in instance.groups:
         hits = len(group.members & selected)
@@ -34,13 +43,12 @@ def subset_score(
 def covered_groups(
     instance: DiversificationInstance, user_ids: Iterable[str]
 ) -> set[GroupKey]:
-    """Keys of groups with at least ``cov(G)`` representatives in ``U``."""
-    selected = set(user_ids)
-    return {
-        group.key
-        for group in instance.groups
-        if len(group.members & selected) >= instance.cov[group.key]
-    }
+    """Keys of groups with at least ``cov(G)`` representatives in ``U``.
+
+    Hit counting involves no weights, so the sparse index serves every
+    instance here — including EBS big-int ones.
+    """
+    return instance_index(instance).covered_group_keys(set(user_ids))
 
 
 class CoverageState:
@@ -57,6 +65,7 @@ class CoverageState:
         self._remaining: dict[GroupKey, int] = dict(instance.cov)
         self._selected: list[str] = []
         self._score: Weight = 0
+        self._last_exhausted: tuple[GroupKey, ...] = ()
 
     @property
     def instance(self) -> DiversificationInstance:
@@ -107,9 +116,13 @@ class CoverageState:
                     exhausted.append(key)
         self._selected.append(user_id)
         self._score += gain
-        self._last_exhausted = exhausted
+        self._last_exhausted = tuple(exhausted)
         return gain
 
-    def last_exhausted(self) -> list[GroupKey]:
-        """Groups whose required coverage reached 0 on the latest add."""
-        return list(getattr(self, "_last_exhausted", []))
+    def last_exhausted(self) -> tuple[GroupKey, ...]:
+        """Groups whose required coverage reached 0 on the latest add.
+
+        Returns the cached immutable tuple — the greedy loop reads this
+        once per pick, so no defensive copy is made.
+        """
+        return self._last_exhausted

@@ -15,6 +15,7 @@ and weight computation happen in the offline grouping module (Fig. 1).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,10 +26,15 @@ from ..baselines import (
     PodiumSelector,
     Selector,
 )
+from ..core.greedy import greedy_select
 from ..core.groups import GroupingConfig, build_simple_groups
+from ..core.index import instance_index
 from ..core.instance import build_instance
 from ..datasets.synth import generate_profile_repository
 from .harness import TimingRow, time_selector
+
+#: Backends compared by the selection-backend benchmark, slowest first.
+SELECTION_BACKENDS: tuple[str, ...] = ("eager", "lazy", "matrix")
 
 
 @dataclass(frozen=True)
@@ -103,6 +109,75 @@ def scalability_in_profile_size(
         )
         rows.extend(_measure(repository, setup, mean_size))
     return rows
+
+
+def benchmark_selection_backends(
+    setup: ScalabilitySetup | None = None,
+    backends: tuple[str, ...] = SELECTION_BACKENDS,
+) -> dict:
+    """Time every greedy backend on the Fig. 5 sweep (same instances).
+
+    For each population size the diversification instance is built once
+    (the offline grouping module of Fig. 1), the sparse index is
+    pre-built — its cost is reported separately as
+    ``index_build_seconds``, mirroring the paper's convention of timing
+    the selection step only — and each backend runs ``repetitions``
+    deterministic selections (``rng=None``); the median wall-clock is
+    reported.  Backends must select identical sequences; the row records
+    the check so regressions surface in ``BENCH_selection.json``.
+    """
+    setup = setup or ScalabilitySetup()
+    rows: list[dict] = []
+    for n_users in setup.user_sizes:
+        repository = generate_profile_repository(
+            n_users=n_users,
+            n_properties=setup.n_properties,
+            mean_profile_size=setup.mean_profile_size,
+            seed=setup.seed,
+        )
+        groups = build_simple_groups(repository, GroupingConfig(min_support=2))
+        instance = build_instance(repository, setup.budget, groups=groups)
+        start = time.perf_counter()
+        instance_index(instance)
+        index_seconds = time.perf_counter() - start
+
+        seconds: dict[str, float] = {}
+        selections: dict[str, tuple[str, ...]] = {}
+        for backend in backends:
+            samples = []
+            for _ in range(setup.repetitions):
+                start = time.perf_counter()
+                result = greedy_select(
+                    repository, instance, setup.budget, method=backend
+                )
+                samples.append(time.perf_counter() - start)
+            seconds[backend] = float(np.median(samples))
+            selections[backend] = result.selected
+        reference = selections[backends[0]]
+        row = {
+            "users": n_users,
+            "groups": len(instance.groups),
+            "index_build_seconds": index_seconds,
+            "seconds": seconds,
+            "selections_match": all(
+                s == reference for s in selections.values()
+            ),
+        }
+        if "eager" in seconds and "matrix" in seconds and seconds["matrix"]:
+            row["speedup_matrix_vs_eager"] = (
+                seconds["eager"] / seconds["matrix"]
+            )
+        rows.append(row)
+    return {
+        "experiment": "fig5_selection_backends",
+        "budget": setup.budget,
+        "n_properties": setup.n_properties,
+        "mean_profile_size": setup.mean_profile_size,
+        "repetitions": setup.repetitions,
+        "seed": setup.seed,
+        "backends": list(backends),
+        "rows": rows,
+    }
 
 
 def timing_table(rows: list[TimingRow]) -> str:

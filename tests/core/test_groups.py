@@ -92,6 +92,27 @@ class TestGroupSet:
         assert gs.group(GroupKey("p", "high")).members == frozenset({"c"})
         assert len(gs) == 1
 
+    def test_readd_prunes_emptied_user_entries(self):
+        """Regression: users unlinked from their last group must not
+        linger as empty entries polluting degree/max_degree bookkeeping."""
+        gs = GroupSet([make_group("p", "high", {"a", "b"})])
+        gs.add(make_group("p", "high", {"b"}))
+        assert gs.degree("a") == 0
+        assert gs.max_degree() == 1
+        assert "a" not in gs._user_groups
+        # "b" stays linked: its entry was rewritten, not pruned.
+        assert gs.groups_of("b") == {GroupKey("p", "high")}
+
+    def test_groups_of_returns_cached_immutable_view(self):
+        gs = GroupSet([make_group("p", "high", {"a"})])
+        view = gs.groups_of("a")
+        assert isinstance(view, frozenset)
+        assert gs.groups_of("a") is view  # cached, no per-call copy
+        gs.add(make_group("q", "low", {"a"}))
+        refreshed = gs.groups_of("a")
+        assert refreshed == {GroupKey("p", "high"), GroupKey("q", "low")}
+        assert view == {GroupKey("p", "high")}  # old view unaffected
+
     def test_unknown_group_raises(self):
         with pytest.raises(UnknownGroupError):
             GroupSet().group(GroupKey("p", "x"))
@@ -250,3 +271,40 @@ class TestAugmentWithIntersections:
 
         with _pytest.raises(InvalidInstanceError):
             augment_with_intersections(table2_groups, min_size=0)
+
+    @pytest.mark.parametrize("max_new", (3, 10, 100))
+    def test_prefix_bound_cutoff_emits_same_intersections(self, max_new):
+        """The size-sorted cutoff must emit exactly the intersections the
+        exhaustive pairwise scan picks, on a seeded realistic instance."""
+        from repro.core import augment_with_intersections
+        from repro.datasets.synth import generate_profile_repository
+
+        repo = generate_profile_repository(
+            n_users=80, n_properties=25, mean_profile_size=8.0, seed=7
+        )
+        groups = build_simple_groups(repo, GroupingConfig())
+
+        # Reference: the original exhaustive O(n²) pairwise scan.
+        simple = [g for g in groups if g.bucket is not None]
+        simple.sort(key=lambda g: (-g.size, str(g.key)))
+        reference = []
+        for i in range(len(simple)):
+            if simple[i].size < 2:
+                break
+            for j in range(i + 1, len(simple)):
+                a, b = simple[i], simple[j]
+                if b.size < 2:
+                    break
+                if a.key.property_label == b.key.property_label:
+                    continue
+                common = a.intersect(b)
+                if common.size >= 2:
+                    reference.append(common)
+        reference.sort(key=lambda g: (-g.size, str(g.key)))
+        expected = {g.key for g in reference[:max_new]}
+
+        augmented = augment_with_intersections(
+            groups, min_size=2, max_new=max_new
+        )
+        emitted = {g.key for g in augmented if g.bucket is None}
+        assert emitted == expected

@@ -174,3 +174,27 @@ class TestSelect:
         assert html.startswith("<!DOCTYPE html>")
         # stdout stays pure JSON despite the side output.
         json.loads(capsys.readouterr().out)
+
+
+class TestBench:
+    def test_bench_writes_backend_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_selection.json"
+        code = main(
+            [
+                "bench",
+                "--sizes",
+                "120",
+                "--repetitions",
+                "1",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["backends"] == ["eager", "lazy", "matrix"]
+        (row,) = report["rows"]
+        assert row["users"] == 120
+        assert row["selections_match"] is True
+        assert set(row["seconds"]) == {"eager", "lazy", "matrix"}
+        assert "matrix speedup" in capsys.readouterr().out
