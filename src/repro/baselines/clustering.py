@@ -41,8 +41,15 @@ def _plus_plus_init(
         diff = data - centers[c - 1]
         closest_sq = np.minimum(closest_sq, np.einsum("ij,ij->i", diff, diff))
         total = closest_sq.sum()
-        if total <= 0:  # all points coincide with chosen centers
-            centers[c:] = data[int(rng.integers(n))]
+        if total <= 0:
+            # Every point coincides with a chosen center, so D² sampling
+            # is undefined.  Fill the remaining slots with *distinct*
+            # resampled points (without replacement while the population
+            # allows) rather than one point repeated, which would leave
+            # k - c centers permanently identical.
+            remaining = k - c
+            picks = rng.choice(n, size=remaining, replace=n < remaining)
+            centers[c:] = data[picks]
             return centers
         probs = closest_sq / total
         centers[c] = data[int(rng.choice(n, p=probs))]

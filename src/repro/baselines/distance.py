@@ -12,6 +12,24 @@ users' property sets.  Two objectives are provided:
 As the paper observes (§8.4), this family explicitly avoids property
 overlap between the selected users — which is precisely why it under-
 covers complex (intersection) groups relative to Podium.
+
+Two implementations share the algorithm:
+
+* ``"vector"`` (default) routes the pairwise arithmetic through the
+  user × property incidence matrix of
+  :func:`~repro.core.index.property_incidence`: each greedy step updates
+  the whole distance vector with one matrix–vector product
+  (``incidence @ incidence[chosen]`` gives every ``|P_u ∩ P_chosen|`` at
+  once) instead of one Python set intersection per remaining user;
+* ``"legacy"`` is the original per-pair ``frozenset`` loop, kept as the
+  parity oracle.
+
+Both perform the identical IEEE-754 operations per candidate in the
+identical order (intersection and union counts are exact integers in
+float64), so selections — including seeded RNG tie-breaks — are
+byte-identical; ``tests/baselines/test_distance_parity.py`` sweeps the
+guarantee the way ``tests/core/test_backend_parity.py`` does for the
+greedy backends.
 """
 
 from __future__ import annotations
@@ -19,6 +37,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.errors import InvalidBudgetError, PodiumError
+from ..core.index import property_incidence
 from ..core.instance import DiversificationInstance
 from ..core.profiles import UserRepository
 from .base import Selector
@@ -36,7 +55,26 @@ def mean_pairwise_intersection(
     repository: UserRepository, user_ids: list[str]
 ) -> float:
     """Average ``|P_u ∩ P_v|`` over selected pairs (the §8.4 diagnostic:
-    ~2 for distance-based versus tens for Podium on Yelp)."""
+    ~2 for distance-based versus tens for Podium on Yelp).
+
+    Vectorized: the selected users' incidence rows are densified once and
+    every pairwise count comes out of one Gram product ``A @ A.T``.
+    """
+    user_ids = list(user_ids)
+    if len(user_ids) < 2:
+        return 0.0
+    subset = repository.subset(user_ids)
+    _, incidence, _ = property_incidence(subset)
+    gram = incidence @ incidence.T
+    n = len(user_ids)
+    upper = np.triu_indices(n, 1)
+    return float(gram[upper].sum() / (n * (n - 1) / 2))
+
+
+def _mean_pairwise_intersection_python(
+    repository: UserRepository, user_ids: list[str]
+) -> float:
+    """Pure-Python oracle for :func:`mean_pairwise_intersection`."""
     props = [repository.profile(u).properties for u in user_ids]
     if len(props) < 2:
         return 0.0
@@ -53,12 +91,20 @@ class DistanceSelector(Selector):
 
     name = "Distance"
 
-    def __init__(self, objective: str = "sum") -> None:
+    def __init__(
+        self, objective: str = "sum", implementation: str = "vector"
+    ) -> None:
         if objective not in ("sum", "min"):
             raise PodiumError(
                 f"objective must be 'sum' or 'min', got {objective!r}"
             )
+        if implementation not in ("vector", "legacy"):
+            raise PodiumError(
+                f"implementation must be 'vector' or 'legacy', "
+                f"got {implementation!r}"
+            )
         self._objective = objective
+        self._implementation = implementation
 
     def select(
         self,
@@ -69,34 +115,91 @@ class DistanceSelector(Selector):
     ) -> list[str]:
         if budget < 1:
             raise InvalidBudgetError(f"budget must be >= 1, got {budget}")
-        user_ids = repository.user_ids
-        if not user_ids:
+        if not repository.user_ids:
             return []
-        props = {u: repository.profile(u).properties for u in user_ids}
+        if self._implementation == "vector":
+            return self._select_vector(repository, budget, rng)
+        return self._select_legacy(repository, budget, rng)
+
+    # -- vectorized implementation ----------------------------------------
+
+    def _select_vector(
+        self,
+        repository: UserRepository,
+        budget: int,
+        rng: np.random.Generator | None,
+    ) -> list[str]:
+        user_ids, incidence, sizes = property_incidence(repository)
+        n = len(user_ids)
 
         # Seed with the user of the largest property set: the conventional
         # dispersion-greedy anchor (deterministic unless an rng is given).
-        remaining = set(user_ids)
+        if rng is None:
+            seed = max(range(n), key=lambda i: (int(sizes[i]), user_ids[i]))
+        else:
+            seed = int(rng.integers(n))
+
+        remaining = np.ones(n, dtype=bool)
+        remaining[seed] = False
+        selected = [seed]
+
+        def distances_to(chosen: int) -> np.ndarray:
+            inter = incidence @ incidence[chosen]
+            union = (sizes + int(sizes[chosen])) - inter
+            with np.errstate(invalid="ignore", divide="ignore"):
+                d = 1.0 - inter / union
+            d[union == 0] = 0.0
+            return d
+
+        # Track each candidate's aggregate distance to the subset.
+        agg = distances_to(seed)
+        while remaining.any() and len(selected) < budget:
+            best = float(agg[remaining].max())
+            tied = np.flatnonzero(remaining & (agg == best))
+            if rng is None:
+                chosen = int(min(tied, key=lambda i: user_ids[i]))
+            else:
+                chosen = int(tied[int(rng.integers(len(tied)))])
+            selected.append(chosen)
+            remaining[chosen] = False
+            d = distances_to(chosen)
+            if self._objective == "sum":
+                agg = agg + d
+            else:
+                agg = np.minimum(agg, d)
+        return [user_ids[i] for i in selected]
+
+    # -- legacy (pure-Python) implementation ------------------------------
+
+    def _select_legacy(
+        self,
+        repository: UserRepository,
+        budget: int,
+        rng: np.random.Generator | None,
+    ) -> list[str]:
+        user_ids = repository.user_ids
+        props = {u: repository.profile(u).properties for u in user_ids}
+
         if rng is None:
             seed = max(user_ids, key=lambda u: (len(props[u]), u))
         else:
             seed = user_ids[int(rng.integers(len(user_ids)))]
+        # ``remaining`` keeps repository order so tie lists are ordered
+        # identically to the vectorized dense ids (a plain set's iteration
+        # order would vary with the interpreter's hash seed, making seeded
+        # tie-breaks irreproducible across processes).
+        remaining = [u for u in user_ids if u != seed]
         selected = [seed]
-        remaining.discard(seed)
 
-        # Track each candidate's aggregate distance to the subset.
         agg = {
             u: jaccard_distance(props[u], props[seed]) for u in remaining
         }
         while remaining and len(selected) < budget:
-            if self._objective == "sum":
-                best = max(agg[u] for u in remaining)
-            else:
-                best = max(agg[u] for u in remaining)
+            best = max(agg[u] for u in remaining)
             tied = [u for u in remaining if agg[u] == best]
             chosen = min(tied) if rng is None else tied[int(rng.integers(len(tied)))]
             selected.append(chosen)
-            remaining.discard(chosen)
+            remaining.remove(chosen)
             for u in remaining:
                 d = jaccard_distance(props[u], props[chosen])
                 if self._objective == "sum":

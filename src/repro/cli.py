@@ -7,9 +7,13 @@ Commands mirror the Fig. 1 pipeline:
 * ``select``   — run diverse user selection over a profile document,
   optionally with customization feedback, printing a JSON response;
 * ``serve``    — start the prototype HTTP service on a profile document;
-* ``report``   — regenerate EXPERIMENTS.md;
-* ``bench``    — time the selection backends (eager/lazy/matrix) on the
-  Fig. 5 sweep and write ``BENCH_selection.json``.
+* ``report``   — regenerate EXPERIMENTS.md (``--jobs N`` parallelizes the
+  engine-backed experiments);
+* ``bench``    — benchmark suites: ``--suite selection`` times the greedy
+  backends (eager/lazy/matrix) on the Fig. 5 sweep
+  (``BENCH_selection.json``); ``--suite experiments`` times a fig3-style
+  experiment end-to-end on the parallel engine at several job counts
+  (``BENCH_experiments.json``).
 
 Group keys on the command line use the ``property::bucket`` form, e.g.
 ``--must-have "avgRating Mexican::high"``.
@@ -124,6 +128,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.suite == "experiments":
+        return _bench_experiments(args)
+    return _bench_selection(args)
+
+
+def _bench_experiments(args: argparse.Namespace) -> int:
+    from .experiments.engine import benchmark_experiment_engine
+
+    report = benchmark_experiment_engine(
+        users=args.users,
+        budget=args.budget,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    out = args.out or "BENCH_experiments.json"
+    Path(out).write_text(json.dumps(report, indent=1) + "\n")
+    print(
+        f"build (shared, untimed): {report['build_seconds']:.2f}s; "
+        f"cpu_count={report['cpu_count']}"
+    )
+    matches = True
+    for row in report["rows"]:
+        if row["mode"] == "serial-legacy":
+            print(f"serial-legacy: {row['seconds']:.2f}s (baseline)")
+            continue
+        matches = matches and row["selections_match"] and row["table_matches"]
+        flag = "ok" if row["selections_match"] and row["table_matches"] else "MISMATCH"
+        print(
+            f"engine jobs={row['jobs']}: {row['seconds']:.2f}s "
+            f"({row['speedup_vs_legacy']:.1f}x) [{flag}]"
+        )
+    print(f"wrote {out}")
+    return 0 if matches else 1
+
+
+def _bench_selection(args: argparse.Namespace) -> int:
     from .experiments.scalability import (
         ScalabilitySetup,
         benchmark_selection_backends,
@@ -148,7 +189,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     report = benchmark_selection_backends(setup)
-    Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
+    out = args.out or "BENCH_selection.json"
+    Path(out).write_text(json.dumps(report, indent=1) + "\n")
     for row in report["rows"]:
         timings = ", ".join(
             f"{backend}={row['seconds'][backend]:.4f}s"
@@ -158,14 +200,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         extra = f", matrix speedup {speedup:.1f}x" if speedup else ""
         match = "ok" if row["selections_match"] else "MISMATCH"
         print(f"|U|={row['users']}: {timings}{extra} [{match}]")
-    print(f"wrote {args.out}")
+    print(f"wrote {out}")
     return 0 if all(r["selections_match"] for r in report["rows"]) else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments.report import build_report
 
-    report = build_report(fast=args.fast)
+    report = build_report(fast=args.fast, jobs=args.jobs)
     Path(args.out).write_text(report)
     print(f"wrote {args.out}")
     return 0
@@ -241,19 +283,41 @@ def build_parser() -> argparse.ArgumentParser:
     report = commands.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("--fast", action="store_true")
     report.add_argument("--out", default="EXPERIMENTS.md")
+    report.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for engine-backed experiments (0 = all cores)",
+    )
     report.set_defaults(handler=_cmd_report)
 
     bench = commands.add_parser(
-        "bench", help="time the selection backends on the Fig. 5 sweep"
+        "bench",
+        help="benchmark suites: 'selection' times the greedy backends on "
+        "the Fig. 5 sweep (BENCH_selection.json); 'experiments' times a "
+        "fig3-style experiment end-to-end on the parallel engine "
+        "(BENCH_experiments.json)",
+    )
+    bench.add_argument(
+        "--suite", default="selection", choices=("selection", "experiments")
     )
     bench.add_argument(
         "--sizes", default="500,1000,2000,4000",
-        help="comma-separated population sizes (default: the Fig. 5 sweep)",
+        help="[selection] comma-separated population sizes",
     )
     bench.add_argument("--budget", type=int, default=8)
     bench.add_argument("--repetitions", type=int, default=3)
     bench.add_argument("--seed", type=int, default=3)
-    bench.add_argument("--out", default="BENCH_selection.json")
+    bench.add_argument(
+        "--users", type=int, default=2000,
+        help="[experiments] population size of the fig3-style experiment",
+    )
+    bench.add_argument(
+        "--jobs", type=int, default=4,
+        help="[experiments] worker processes for the parallel engine row",
+    )
+    bench.add_argument(
+        "--out", default=None,
+        help="output path (default: BENCH_<suite>.json)",
+    )
     bench.set_defaults(handler=_cmd_bench)
 
     return parser

@@ -72,6 +72,8 @@ class InstanceIndex:
         Inverse map ``user_id -> dense id``.
     group_keys:
         Dense group id -> :class:`GroupKey`, in group-set iteration order.
+    group_pos:
+        Inverse map ``GroupKey -> dense group id``.
     u_indptr / u_indices:
         CSR rows per user listing the dense ids of its groups.
     g_indptr / g_indices:
@@ -91,6 +93,7 @@ class InstanceIndex:
     users: tuple[str, ...]
     user_pos: dict[str, int]
     group_keys: tuple[GroupKey, ...]
+    group_pos: dict[GroupKey, int]
     u_indptr: np.ndarray
     u_indices: np.ndarray
     g_indptr: np.ndarray
@@ -174,6 +177,7 @@ class InstanceIndex:
             users=users,
             user_pos=user_pos,
             group_keys=group_keys,
+            group_pos={key: gid for gid, key in enumerate(group_keys)},
             u_indptr=u_indptr,
             u_indices=u_indices,
             g_indptr=g_indptr,
@@ -235,6 +239,20 @@ class InstanceIndex:
         covered = np.flatnonzero(hits >= self.cov)
         return {self.group_keys[g] for g in covered}
 
+    def membership_matrix(self, group_dense_ids: Iterable[int]) -> np.ndarray:
+        """Dense boolean rows-per-group × dense-user membership matrix.
+
+        The vectorized intrinsic metrics expand a handful of large groups
+        into masks once, then answer every pairwise intersection question
+        with one matrix product instead of Python set arithmetic.
+        """
+        rows = list(group_dense_ids)
+        matrix = np.zeros((len(rows), self.n_users), dtype=bool)
+        for r, gid in enumerate(rows):
+            lo, hi = self.g_indptr[gid], self.g_indptr[gid + 1]
+            matrix[r, self.g_indices[lo:hi]] = True
+        return matrix
+
 
 def instance_index(instance: DiversificationInstance) -> InstanceIndex:
     """Build (or fetch the cached) :class:`InstanceIndex` of ``instance``.
@@ -248,3 +266,41 @@ def instance_index(instance: DiversificationInstance) -> InstanceIndex:
         cached = InstanceIndex.build(instance)
         object.__setattr__(instance, _CACHE_ATTR, cached)
     return cached
+
+
+#: Attribute caching the densified incidence on a repository; the
+#: repository invalidates it whenever a profile is added.
+_INCIDENCE_CACHE_ATTR = "_property_incidence_cache"
+
+
+def property_incidence(
+    repository,
+) -> tuple[list[str], np.ndarray, np.ndarray]:
+    """User × property boolean incidence of a repository, densified.
+
+    Returns ``(user_ids, incidence, sizes)`` where ``incidence[i, j]`` is
+    1.0 iff user ``i`` (repository order) carries property ``j``
+    (``property_labels`` order) and ``sizes[i] = |P_u|``.  The matrix is
+    float64 so ``incidence @ incidence[i]`` yields exact pairwise
+    intersection counts (0/1 partial sums stay below 2**53): the product
+    the distance baseline uses in place of per-pair Python set
+    intersections.  Scores are irrelevant here — a property present with
+    score 0.0 still counts as carried (open-world semantics, §3.1).
+
+    The result is cached on the repository and invalidated by
+    :meth:`~repro.core.profiles.UserRepository.add`, so repeated
+    selections over one population share a single densification.
+    """
+    cached = repository.__dict__.get(_INCIDENCE_CACHE_ATTR)
+    if cached is not None:
+        return cached
+    user_ids = repository.user_ids
+    labels = repository.property_labels
+    position = {label: j for j, label in enumerate(labels)}
+    incidence = np.zeros((len(user_ids), len(labels)), dtype=np.float64)
+    for i, user_id in enumerate(user_ids):
+        for label in repository.profile(user_id).properties:
+            incidence[i, position[label]] = 1.0
+    built = (user_ids, incidence, incidence.sum(axis=1).astype(np.int64))
+    repository.__dict__[_INCIDENCE_CACHE_ATTR] = built
+    return built

@@ -146,6 +146,9 @@ class UserRepository:
         self._profiles[profile.user_id] = profile
         for label, score in profile.scores.items():
             self._index.setdefault(label, {})[profile.user_id] = score
+        # Drop the densified incidence cached by the vectorized distance
+        # baseline (repro.core.index.property_incidence) — it is stale now.
+        self.__dict__.pop("_property_incidence_cache", None)
 
     # -- basic access ------------------------------------------------------
 

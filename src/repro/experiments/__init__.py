@@ -1,5 +1,16 @@
 """Experiment harness reproducing every table and figure of the paper."""
 
+from .engine import (
+    ExperimentCell,
+    InstanceSpec,
+    IntrinsicEngineResult,
+    benchmark_experiment_engine,
+    cell_rng,
+    make_selector,
+    run_cells,
+    run_intrinsic_experiment,
+    run_procurement_experiment,
+)
 from .fig3 import Fig3Setup, default_selectors, fig3a, fig3b, fig3c, fig3d
 from .fig4 import FIG4_METRICS, Fig4Setup, fig4
 from .harness import (
@@ -23,6 +34,15 @@ from .scalability import (
 from .table1 import DesideratumCheck, check_podium_row, podium_row_markdown
 
 __all__ = [
+    "ExperimentCell",
+    "InstanceSpec",
+    "IntrinsicEngineResult",
+    "benchmark_experiment_engine",
+    "cell_rng",
+    "make_selector",
+    "run_cells",
+    "run_intrinsic_experiment",
+    "run_procurement_experiment",
     "Fig3Setup",
     "default_selectors",
     "fig3a",

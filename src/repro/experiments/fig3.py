@@ -11,6 +11,13 @@ Population sizes default to laptop-scale fractions of the paper's
 (4,475 TripAdvisor / 60K Yelp users); the comparisons' *shape* — who
 wins, who trails — is what the reproduction validates, not absolute
 magnitudes (see EXPERIMENTS.md).
+
+All four panels run on the cell-parallel experiment engine
+(:mod:`repro.experiments.engine`): pass ``jobs=N`` to fan the selector
+runs (3a/3c) or held-out destinations (3b/3d) over worker processes.
+Cells replay the exact RNG streams of the original serial loops
+(``seed_mode="raw"``), so every ``jobs`` value — including the serial
+default — produces byte-identical tables.
 """
 
 from __future__ import annotations
@@ -25,19 +32,22 @@ from ..baselines import (
     Selector,
 )
 from ..core.groups import GroupingConfig
-from ..datasets.derive import (
-    build_repository,
-    tripadvisor_derive_config,
-    yelp_derive_config,
-)
 from ..datasets.schema import ReviewDataset
 from ..datasets.synth import generate, tripadvisor_config, yelp_config
-from ..procurement.simulate import ProcurementConfig, run_procurement
-from .harness import (
-    OPINION_METRICS,
-    ComparisonTable,
-    IntrinsicExperimentConfig,
-    run_intrinsic_comparison,
+from ..procurement.simulate import ProcurementConfig
+from .engine import (
+    InstanceSpec,
+    run_intrinsic_experiment,
+    run_procurement_experiment,
+)
+from .harness import OPINION_METRICS, ComparisonTable
+
+#: The four algorithms of Fig. 3, in the paper's order (engine keys).
+FIG3_SELECTOR_KEYS: tuple[str, ...] = (
+    "podium",
+    "random",
+    "clustering",
+    "distance",
 )
 
 
@@ -63,6 +73,7 @@ class Fig3Setup:
     min_support: int = 3
     ta_destinations: int = 25
     yelp_destinations: int = 40
+    repetitions: int = 3
 
 
 def _tripadvisor_dataset(setup: Fig3Setup) -> ReviewDataset:
@@ -73,61 +84,84 @@ def _yelp_dataset(setup: Fig3Setup) -> ReviewDataset:
     return generate(yelp_config(n_users=setup.yelp_users), seed=setup.seed + 1)
 
 
-def fig3a(setup: Fig3Setup | None = None) -> ComparisonTable:
+def _intrinsic_spec(setup: Fig3Setup, preset: str) -> InstanceSpec:
+    users = setup.ta_users if preset == "tripadvisor" else setup.yelp_users
+    seed = setup.seed if preset == "tripadvisor" else setup.seed + 1
+    return InstanceSpec(
+        kind="reviews",
+        preset=preset,
+        n_users=users,
+        dataset_seed=seed,
+        budget=setup.budget,
+        min_support=setup.min_support,
+    )
+
+
+def _intrinsic_table(
+    title: str, setup: Fig3Setup, preset: str, jobs: int | None
+) -> ComparisonTable:
+    result = run_intrinsic_experiment(
+        title,
+        _intrinsic_spec(setup, preset),
+        FIG3_SELECTOR_KEYS,
+        repetitions=setup.repetitions,
+        top_k=setup.top_k,
+        seed=setup.seed,
+        jobs=jobs,
+        seed_mode="raw",
+    )
+    return result.table
+
+
+def fig3a(
+    setup: Fig3Setup | None = None, jobs: int | None = 1
+) -> ComparisonTable:
     """TripAdvisor intrinsic diversity (Fig. 3a)."""
     setup = setup or Fig3Setup()
-    dataset = _tripadvisor_dataset(setup)
-    repository = build_repository(dataset, tripadvisor_derive_config())
-    config = IntrinsicExperimentConfig(
-        budget=setup.budget,
-        grouping=GroupingConfig(min_support=setup.min_support),
-        top_k=setup.top_k,
-    )
-    return run_intrinsic_comparison(
-        "Fig. 3a — TripAdvisor intrinsic diversity",
-        repository,
-        default_selectors(),
-        config,
-        seed=setup.seed,
+    return _intrinsic_table(
+        "Fig. 3a — TripAdvisor intrinsic diversity", setup, "tripadvisor", jobs
     )
 
 
-def fig3c(setup: Fig3Setup | None = None) -> ComparisonTable:
+def fig3c(
+    setup: Fig3Setup | None = None, jobs: int | None = 1
+) -> ComparisonTable:
     """Yelp intrinsic diversity (Fig. 3c)."""
     setup = setup or Fig3Setup()
-    dataset = _yelp_dataset(setup)
-    repository = build_repository(dataset, yelp_derive_config())
-    config = IntrinsicExperimentConfig(
-        budget=setup.budget,
-        grouping=GroupingConfig(min_support=setup.min_support),
-        top_k=setup.top_k,
-    )
-    return run_intrinsic_comparison(
-        "Fig. 3c — Yelp intrinsic diversity",
-        repository,
-        default_selectors(),
-        config,
-        seed=setup.seed,
+    return _intrinsic_table(
+        "Fig. 3c — Yelp intrinsic diversity", setup, "yelp", jobs
     )
 
 
 def _opinion_table(
     title: str,
-    dataset: ReviewDataset,
+    spec: InstanceSpec,
     config: ProcurementConfig,
     seed: int,
+    jobs: int | None,
 ) -> ComparisonTable:
-    reports = run_procurement(dataset, default_selectors(), config, seed=seed)
+    reports = run_procurement_experiment(
+        spec, FIG3_SELECTOR_KEYS, config, seed=seed, jobs=jobs
+    )
     table = ComparisonTable(title, OPINION_METRICS)
     for name, report in reports.items():
         table.add_row(name, report.as_dict())
     return table
 
 
-def fig3b(setup: Fig3Setup | None = None) -> ComparisonTable:
+def fig3b(
+    setup: Fig3Setup | None = None, jobs: int | None = 1
+) -> ComparisonTable:
     """TripAdvisor opinion diversity (Fig. 3b)."""
+    from ..datasets.derive import tripadvisor_derive_config
+
     setup = setup or Fig3Setup()
-    dataset = _tripadvisor_dataset(setup)
+    spec = InstanceSpec(
+        kind="dataset",
+        preset="tripadvisor",
+        n_users=setup.ta_users,
+        dataset_seed=setup.seed,
+    )
     config = ProcurementConfig(
         budget=setup.budget,
         derive=tripadvisor_derive_config(),
@@ -136,14 +170,24 @@ def fig3b(setup: Fig3Setup | None = None) -> ComparisonTable:
         max_destinations=setup.ta_destinations,
     )
     return _opinion_table(
-        "Fig. 3b — TripAdvisor opinion diversity", dataset, config, setup.seed
+        "Fig. 3b — TripAdvisor opinion diversity",
+        spec, config, setup.seed, jobs,
     )
 
 
-def fig3d(setup: Fig3Setup | None = None) -> ComparisonTable:
+def fig3d(
+    setup: Fig3Setup | None = None, jobs: int | None = 1
+) -> ComparisonTable:
     """Yelp opinion diversity (Fig. 3d), including Usefulness."""
+    from ..datasets.derive import yelp_derive_config
+
     setup = setup or Fig3Setup()
-    dataset = _yelp_dataset(setup)
+    spec = InstanceSpec(
+        kind="dataset",
+        preset="yelp",
+        n_users=setup.yelp_users,
+        dataset_seed=setup.seed + 1,
+    )
     config = ProcurementConfig(
         budget=setup.budget,
         derive=yelp_derive_config(),
@@ -152,5 +196,5 @@ def fig3d(setup: Fig3Setup | None = None) -> ComparisonTable:
         max_destinations=setup.yelp_destinations,
     )
     return _opinion_table(
-        "Fig. 3d — Yelp opinion diversity", dataset, config, setup.seed
+        "Fig. 3d — Yelp opinion diversity", spec, config, setup.seed, jobs
     )

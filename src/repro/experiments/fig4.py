@@ -8,6 +8,11 @@ intrinsic metrics dip slightly as ``|G_d|`` grows (priority coverage
 constrains the standard groups), while the new *Feedback Group Coverage*
 metric — the fraction of priority groups covered — drops markedly,
 because random small groups rarely admit 8 users covering all of them.
+
+The repetitions are independent, so they run as engine cells: pass
+``jobs=N`` to spread them over worker processes.  Cells replay the
+serial loop's ``default_rng((seed, repetition))`` streams
+(``seed_mode="raw"``), so every ``jobs`` value yields the same table.
 """
 
 from __future__ import annotations
@@ -16,16 +21,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.customization import (
-    CustomizationFeedback,
-    custom_select,
-    feedback_group_coverage,
-)
+from ..core.greedy import greedy_select
 from ..core.groups import GroupingConfig
-from ..core.instance import DiversificationInstance, build_instance
-from ..datasets.derive import build_repository, yelp_derive_config
-from ..datasets.synth import generate, yelp_config
+from ..core.instance import DiversificationInstance
 from ..metrics.intrinsic import evaluate_intrinsic
+from .engine import ExperimentCell, InstanceSpec, materialize_cached, run_cells
 from .harness import INTRINSIC_METRICS, ComparisonTable
 
 FIG4_METRICS = INTRINSIC_METRICS + ("feedback_group_coverage",)
@@ -58,43 +58,47 @@ def _nested_priority_sets(
     return [frozenset(ordered[: min(s, len(ordered))]) for s in sizes]
 
 
-def fig4(setup: Fig4Setup | None = None) -> ComparisonTable:
+def fig4(
+    setup: Fig4Setup | None = None, jobs: int | None = 1
+) -> ComparisonTable:
     """Run the Fig. 4 experiment; rows are ``no-customization`` plus one
-    per priority-set size."""
+    per priority-set size.  Each repetition is one engine cell."""
     setup = setup or Fig4Setup()
-    dataset = generate(yelp_config(n_users=setup.n_users), seed=setup.seed)
-    repository = build_repository(dataset, yelp_derive_config())
-    instance = build_instance(
-        repository, setup.budget, grouping=setup.grouping
+    spec = InstanceSpec(
+        kind="reviews",
+        preset="yelp",
+        n_users=setup.n_users,
+        dataset_seed=setup.seed,
+        budget=setup.budget,
+        min_support=setup.grouping.min_support,
     )
+    built = materialize_cached(spec)
 
     table = ComparisonTable(
         "Fig. 4 — Yelp intrinsic diversity with customization", FIG4_METRICS
     )
 
     # Baseline row: no customization.
-    from ..core.greedy import greedy_select
-
-    base = greedy_select(repository, instance, setup.budget)
-    base_metrics = evaluate_intrinsic(instance, base.selected).as_dict()
+    base = greedy_select(built.repository, built.instance, setup.budget)
+    base_metrics = evaluate_intrinsic(built.instance, base.selected).as_dict()
     base_metrics["feedback_group_coverage"] = 1.0
     table.add_row("no-customization", base_metrics)
 
+    cells = [
+        ExperimentCell(
+            runner="fig4",
+            spec=spec,
+            params=(setup.priority_sizes,),
+            seed=(setup.seed, repetition),
+            seed_mode="raw",
+        )
+        for repetition in range(setup.repetitions)
+    ]
     accumulator: dict[int, list[dict[str, float]]] = {
         size: [] for size in setup.priority_sizes
     }
-    for repetition in range(setup.repetitions):
-        rng = np.random.default_rng((setup.seed, repetition))
-        nested = _nested_priority_sets(instance, setup.priority_sizes, rng)
-        for size, priority in zip(setup.priority_sizes, nested):
-            feedback = CustomizationFeedback(priority=priority)
-            custom = custom_select(
-                repository, instance, feedback, setup.budget
-            )
-            metrics = evaluate_intrinsic(instance, custom.selected).as_dict()
-            metrics["feedback_group_coverage"] = feedback_group_coverage(
-                instance, feedback, custom.selected
-            )
+    for cell_result in run_cells(cells, jobs=jobs):
+        for size, metrics in cell_result:
             accumulator[size].append(metrics)
 
     for size in setup.priority_sizes:

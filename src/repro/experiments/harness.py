@@ -40,12 +40,18 @@ class ComparisonTable:
         return max(self.rows, key=lambda name: self.rows[name][metric])
 
     def normalized(self) -> "ComparisonTable":
-        """Rescale every metric so the leading algorithm reads 1.0."""
+        """Rescale every metric so the leading algorithm reads 1.0.
+
+        Columns whose peak is not a positive finite number (all zero,
+        all negative, or NaN-polluted) pass through unscaled: dividing
+        by a negative peak would flip the column's ordering and dividing
+        by zero/NaN would poison it.
+        """
         table = ComparisonTable(self.title + " (normalized)", self.metrics)
-        peaks = {
-            m: max(row[m] for row in self.rows.values()) or 1.0
-            for m in self.metrics
-        }
+        peaks = {}
+        for m in self.metrics:
+            peak = max(row[m] for row in self.rows.values())
+            peaks[m] = peak if peak > 0 and np.isfinite(peak) else 1.0
         for name, row in self.rows.items():
             table.add_row(
                 name, {m: row[m] / peaks[m] for m in self.metrics}

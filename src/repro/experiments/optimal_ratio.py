@@ -61,9 +61,36 @@ def measure_ratio(
     )
 
 
-def mean_ratio(trials: int = 5, seed: int = 0, **kwargs) -> float:
-    """Average ratio over several seeded instances."""
-    ratios = [
-        measure_ratio(seed=seed + t, **kwargs).ratio for t in range(trials)
+def mean_ratio(
+    trials: int = 5,
+    seed: int = 0,
+    jobs: int | None = 1,
+    n_users: int = 40,
+    budget: int = 5,
+    n_properties: int = 30,
+    mean_profile_size: float = 8.0,
+) -> float:
+    """Average ratio over several seeded instances.
+
+    Each trial is one engine cell (the exhaustive search dominates), so
+    ``jobs=N`` runs the trials in parallel; results are identical for
+    every ``jobs`` value — the cells are deterministic.
+    """
+    from .engine import ExperimentCell, InstanceSpec, run_cells
+
+    cells = [
+        ExperimentCell(
+            runner="ratio",
+            spec=InstanceSpec(
+                kind="profiles",
+                n_users=n_users,
+                dataset_seed=seed + trial,
+                budget=budget,
+                n_properties=n_properties,
+                mean_profile_size=mean_profile_size,
+            ),
+        )
+        for trial in range(trials)
     ]
-    return float(np.mean(ratios))
+    results = run_cells(cells, jobs=jobs)
+    return float(np.mean([r["ratio"] for r in results]))

@@ -31,10 +31,18 @@ from ..core.groups import GroupingConfig, build_simple_groups
 from ..core.index import instance_index
 from ..core.instance import build_instance
 from ..datasets.synth import generate_profile_repository
-from .harness import TimingRow, time_selector
+from .engine import SELECTOR_DISPLAY, ExperimentCell, InstanceSpec, run_cells
+from .harness import TimingRow
 
 #: Backends compared by the selection-backend benchmark, slowest first.
 SELECTION_BACKENDS: tuple[str, ...] = ("eager", "lazy", "matrix")
+
+#: Engine keys of the Figs. 5–6 algorithms (Random is immediate, §8.5).
+SCALABILITY_SELECTOR_KEYS: tuple[str, ...] = (
+    "podium",
+    "clustering",
+    "distance",
+)
 
 
 @dataclass(frozen=True)
@@ -56,59 +64,85 @@ def scalability_selectors() -> list[Selector]:
     return [PodiumSelector(), ClusteringSelector(), DistanceSelector()]
 
 
-def _measure(
-    repository, setup: ScalabilitySetup, x: int
+def _timing_sweep(
+    specs: list[tuple[int, InstanceSpec]],
+    setup: ScalabilitySetup,
+    jobs: int | None,
 ) -> list[TimingRow]:
-    groups = build_simple_groups(
-        repository, GroupingConfig(min_support=2)
-    )
-    instance = build_instance(repository, setup.budget, groups=groups)
-    rows = []
-    for selector in scalability_selectors():
-        times = []
-        for repetition in range(setup.repetitions):
-            rng = np.random.default_rng((setup.seed, repetition))
-            times.append(
-                time_selector(
-                    selector, repository, instance, setup.budget, rng
-                )
+    """Run every (x, spec) × selector × repetition as engine timing cells.
+
+    The whole sweep is one cell batch, so with ``jobs > 1`` all sizes
+    progress concurrently; the median per (x, selector) is reported.
+    Timings with ``jobs > 1`` share cores and only indicate relative
+    shape — use the serial default for publishable numbers.
+    """
+    cells = [
+        ExperimentCell(
+            runner="timing",
+            spec=spec,
+            params=(key,),
+            seed=(setup.seed, repetition),
+            seed_mode="raw",
+        )
+        for _, spec in specs
+        for key in SCALABILITY_SELECTOR_KEYS
+        for repetition in range(setup.repetitions)
+    ]
+    seconds = iter(run_cells(cells, jobs=jobs))
+    rows: list[TimingRow] = []
+    for x, _ in specs:
+        for key in SCALABILITY_SELECTOR_KEYS:
+            samples = [next(seconds) for _ in range(setup.repetitions)]
+            rows.append(
+                TimingRow(SELECTOR_DISPLAY[key], x, float(np.median(samples)))
             )
-        rows.append(TimingRow(selector.name, x, float(np.median(times))))
     return rows
 
 
 def scalability_in_users(
-    setup: ScalabilitySetup | None = None,
+    setup: ScalabilitySetup | None = None, jobs: int | None = 1
 ) -> list[TimingRow]:
     """Fig. 5: runtime as ``|U|`` grows (≤200 properties per profile)."""
     setup = setup or ScalabilitySetup()
-    rows: list[TimingRow] = []
-    for n_users in setup.user_sizes:
-        repository = generate_profile_repository(
-            n_users=n_users,
-            n_properties=setup.n_properties,
-            mean_profile_size=setup.mean_profile_size,
-            seed=setup.seed,
+    specs = [
+        (
+            n_users,
+            InstanceSpec(
+                kind="profiles",
+                n_users=n_users,
+                dataset_seed=setup.seed,
+                budget=setup.budget,
+                min_support=2,
+                n_properties=setup.n_properties,
+                mean_profile_size=setup.mean_profile_size,
+            ),
         )
-        rows.extend(_measure(repository, setup, n_users))
-    return rows
+        for n_users in setup.user_sizes
+    ]
+    return _timing_sweep(specs, setup, jobs)
 
 
 def scalability_in_profile_size(
-    setup: ScalabilitySetup | None = None,
+    setup: ScalabilitySetup | None = None, jobs: int | None = 1
 ) -> list[TimingRow]:
     """Fig. 6: runtime as the average profile size grows, fixed ``|U|``."""
     setup = setup or ScalabilitySetup()
-    rows: list[TimingRow] = []
-    for mean_size in setup.profile_sizes:
-        repository = generate_profile_repository(
-            n_users=setup.fixed_users,
-            n_properties=max(setup.n_properties, 2 * mean_size),
-            mean_profile_size=float(mean_size),
-            seed=setup.seed,
+    specs = [
+        (
+            mean_size,
+            InstanceSpec(
+                kind="profiles",
+                n_users=setup.fixed_users,
+                dataset_seed=setup.seed,
+                budget=setup.budget,
+                min_support=2,
+                n_properties=max(setup.n_properties, 2 * mean_size),
+                mean_profile_size=float(mean_size),
+            ),
         )
-        rows.extend(_measure(repository, setup, mean_size))
-    return rows
+        for mean_size in setup.profile_sizes
+    ]
+    return _timing_sweep(specs, setup, jobs)
 
 
 def benchmark_selection_backends(

@@ -19,21 +19,49 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass
 
+import numpy as np
+
+from ..core.errors import PodiumError
 from ..core.groups import Group
+from ..core.index import instance_index
 from ..core.instance import DiversificationInstance
 from ..core.scoring import subset_score
 from .cdsim import cd_sim_from_counts
 
 
+def _check_method(method: str) -> None:
+    if method not in ("vector", "python"):
+        raise PodiumError(
+            f"method must be 'vector' or 'python', got {method!r}"
+        )
+
+
 def top_k_coverage(
-    instance: DiversificationInstance, selected: Iterable[str], k: int = 200
+    instance: DiversificationInstance,
+    selected: Iterable[str],
+    k: int = 200,
+    method: str = "vector",
 ) -> float:
-    """Fraction of the ``k`` largest groups with a selected representative."""
-    selected_set = set(selected)
+    """Fraction of the ``k`` largest groups with a selected representative.
+
+    ``method="vector"`` answers every membership test from the instance's
+    CSR index (one segment-sum over the selection mask); ``"python"`` is
+    the original per-group set-intersection loop, kept as the parity
+    oracle.
+    """
+    _check_method(method)
     top = instance.groups.top_k(k)
     if not top:
         return 1.0
-    covered = sum(1 for g in top if g.members & selected_set)
+    if method == "python":
+        selected_set = set(selected)
+        covered = sum(1 for g in top if g.members & selected_set)
+        return covered / len(top)
+    index = instance_index(instance)
+    hits = index.group_hits(index.selection_mask(selected))
+    covered = int(
+        np.count_nonzero(hits[[index.group_pos[g.key] for g in top]])
+    )
     return covered / len(top)
 
 
@@ -54,6 +82,7 @@ def intersected_property_coverage(
     selected: Iterable[str],
     k: int = 200,
     max_intersections: int = 20000,
+    method: str = "vector",
 ) -> float:
     """Coverage of large pairwise intersections of simple groups.
 
@@ -63,11 +92,22 @@ def intersected_property_coverage(
     examined pairs is capped at ``max_intersections``, scanning the pairs
     of the largest groups first — exactly the region where qualifying
     intersections live.
+
+    ``method="vector"`` densifies the candidate groups into membership
+    masks once and answers every pair's intersection size — and whether a
+    selected user sits in it — with two Gram products, walking the same
+    row-major pair order (and examination cap) as the ``"python"`` oracle
+    so both return identical values.
     """
-    selected_set = set(selected)
+    _check_method(method)
     candidates, threshold = _large_simple_groups(instance, k)
     if not candidates or threshold == 0:
         return 1.0
+    if method == "vector":
+        return _intersected_coverage_vector(
+            instance, selected, candidates, threshold, max_intersections
+        )
+    selected_set = set(selected)
 
     covered = 0
     total = 0
@@ -91,6 +131,42 @@ def intersected_property_coverage(
                 covered += 1
     if total == 0:
         return 1.0
+    return covered / total
+
+
+def _intersected_coverage_vector(
+    instance: DiversificationInstance,
+    selected: Iterable[str],
+    candidates: list[Group],
+    threshold: int,
+    max_intersections: int,
+) -> float:
+    """Membership-mask evaluation of the intersected-coverage metric.
+
+    ``masks @ masks.T`` gives ``|G_a ∩ G_b|`` for every candidate pair at
+    once and ``(masks · sel) @ masks.T`` the number of *selected* members
+    of each pairwise intersection; the row-major upper triangle replays
+    the oracle's examination order, so applying the pair cap to it keeps
+    the examined set identical.
+    """
+    index = instance_index(instance)
+    masks = index.membership_matrix(
+        index.group_pos[g.key] for g in candidates
+    ).astype(np.float64)
+    sel = index.selection_mask(selected).astype(np.float64)
+    inter = masks @ masks.T
+    sel_inter = (masks * sel) @ masks.T
+
+    labels = np.array([g.key.property_label for g in candidates], dtype=object)
+    rows, cols = np.triu_indices(len(candidates), 1)
+    examined = np.flatnonzero(labels[rows] != labels[cols])[:max_intersections]
+    qualifying = inter[rows[examined], cols[examined]] >= threshold
+    total = int(qualifying.sum())
+    if total == 0:
+        return 1.0
+    covered = int(
+        (qualifying & (sel_inter[rows[examined], cols[examined]] > 0)).sum()
+    )
     return covered / total
 
 
@@ -149,13 +225,21 @@ def evaluate_intrinsic(
     selected: Iterable[str],
     k: int = 200,
     top_groups: int = 20,
+    method: str = "vector",
 ) -> IntrinsicReport:
-    """Compute the full intrinsic report of Fig. 3a/3c for one subset."""
+    """Compute the full intrinsic report of Fig. 3a/3c for one subset.
+
+    ``method`` selects the coverage-metric implementation (``"vector"``
+    mask arithmetic or the ``"python"`` set-loop oracle); both yield
+    identical reports.
+    """
     selected = list(selected)
     return IntrinsicReport(
         total_score=float(subset_score(instance, selected)),
-        top_k_coverage=top_k_coverage(instance, selected, k),
-        intersected_coverage=intersected_property_coverage(instance, selected, k),
+        top_k_coverage=top_k_coverage(instance, selected, k, method=method),
+        intersected_coverage=intersected_property_coverage(
+            instance, selected, k, method=method
+        ),
         distribution_similarity=distribution_similarity(
             instance, selected, top_groups
         ),

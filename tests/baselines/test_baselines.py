@@ -96,6 +96,24 @@ class TestKMeans:
         result = kmeans(data, 3, rng=rng)
         assert result.inertia == pytest.approx(0.0)
 
+    def test_degenerate_init_fills_distinct_centers(self, rng):
+        # When D² sampling collapses (all points coincide with the chosen
+        # centers), the remaining centers are resampled as *distinct*
+        # points, not one point repeated k - c times.
+        from repro.baselines.clustering import _plus_plus_init
+
+        data = np.vstack([np.zeros((8, 2)), np.full((4, 2), 3.0)])
+        mixed_fill = False
+        for seed in range(10):
+            centers = _plus_plus_init(data, 4, np.random.default_rng(seed))
+            assert len(centers) == 4
+            assert len({tuple(c) for c in centers}) >= 2
+            mixed_fill = mixed_fill or tuple(centers[2]) != tuple(centers[3])
+        # The old fallback copied ONE resampled point into every
+        # remaining slot, so centers[2] == centers[3] for every seed;
+        # without-replacement resampling yields mixed fills.
+        assert mixed_fill
+
     def test_bad_k(self, rng):
         with pytest.raises(InvalidBudgetError):
             kmeans(np.zeros((3, 2)), 4, rng=rng)

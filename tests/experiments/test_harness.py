@@ -35,6 +35,31 @@ class TestComparisonTable:
         t.add_row("X", {"m": 0.0})
         assert t.normalized().rows["X"]["m"] == 0.0
 
+    def test_normalized_negative_peak_preserves_ordering(self):
+        # An all-negative column must pass through unscaled: dividing by
+        # the (negative) peak would flip which algorithm looks best.
+        t = ComparisonTable("negatives", ("m",))
+        t.add_row("best", {"m": -1.0})
+        t.add_row("worst", {"m": -5.0})
+        normalized = t.normalized()
+        assert normalized.rows["best"]["m"] == -1.0
+        assert normalized.rows["worst"]["m"] == -5.0
+        assert normalized.leader("m") == t.leader("m")
+
+    def test_normalized_mixed_sign_uses_positive_peak(self):
+        t = ComparisonTable("mixed", ("m",))
+        t.add_row("up", {"m": 2.0})
+        t.add_row("down", {"m": -4.0})
+        normalized = t.normalized()
+        assert normalized.rows["up"]["m"] == 1.0
+        assert normalized.rows["down"]["m"] == -2.0
+
+    def test_normalized_nan_peak_passes_through(self):
+        t = ComparisonTable("nan", ("m",))
+        t.add_row("X", {"m": float("nan")})
+        t.add_row("Y", {"m": 3.0})
+        assert t.normalized().rows["Y"]["m"] == 3.0
+
     def test_markdown_rendering(self, table):
         text = table.to_markdown()
         assert "### demo" in text

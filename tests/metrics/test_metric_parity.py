@@ -1,0 +1,84 @@
+"""Vector/python parity for the CSR-backed intrinsic coverage metrics.
+
+``top_k_coverage`` and ``intersected_property_coverage`` run as
+membership-mask arithmetic by default; the original set-loop
+implementations are kept as ``method="python"`` oracles and both must
+return *identical* floats — the mask arithmetic performs the same exact
+integer counts, so no tolerance is needed.
+"""
+
+import pytest
+
+from repro.core import GroupingConfig, build_instance, build_simple_groups
+from repro.core.errors import PodiumError
+from repro.datasets.synth import generate_profile_repository
+from repro.metrics import (
+    evaluate_intrinsic,
+    intersected_property_coverage,
+    top_k_coverage,
+)
+
+
+def _instance(seed, n_users=80, min_support=1):
+    repo = generate_profile_repository(
+        n_users=n_users, n_properties=40, mean_profile_size=12.0, seed=seed
+    )
+    groups = build_simple_groups(
+        repo, GroupingConfig(min_support=min_support)
+    )
+    return repo, build_instance(repo, budget=6, groups=groups)
+
+
+@pytest.mark.parametrize("seed", (0, 1, 2))
+@pytest.mark.parametrize("k", (5, 50, 200))
+class TestCoverageParity:
+    def test_top_k_coverage(self, seed, k):
+        repo, instance = _instance(seed)
+        selected = repo.user_ids[::7]
+        assert top_k_coverage(
+            instance, selected, k=k, method="vector"
+        ) == top_k_coverage(instance, selected, k=k, method="python")
+
+    def test_intersected_property_coverage(self, seed, k):
+        repo, instance = _instance(seed)
+        selected = repo.user_ids[::7]
+        assert intersected_property_coverage(
+            instance, selected, k=k, method="vector"
+        ) == intersected_property_coverage(
+            instance, selected, k=k, method="python"
+        )
+
+
+class TestParityEdges:
+    def test_examination_cap_applies_to_same_pairs(self):
+        # A tiny cap truncates the row-major scan mid-way; both methods
+        # must cut at the identical pair.
+        repo, instance = _instance(3)
+        selected = repo.user_ids[:10]
+        for cap in (1, 5, 17):
+            assert intersected_property_coverage(
+                instance, selected, k=50,
+                max_intersections=cap, method="vector",
+            ) == intersected_property_coverage(
+                instance, selected, k=50,
+                max_intersections=cap, method="python",
+            )
+
+    def test_empty_selection(self):
+        _, instance = _instance(0)
+        for method in ("vector", "python"):
+            assert top_k_coverage(instance, [], k=10, method=method) == 0.0
+
+    def test_full_report_parity(self):
+        repo, instance = _instance(1)
+        selected = repo.user_ids[:8]
+        assert evaluate_intrinsic(
+            instance, selected, method="vector"
+        ) == evaluate_intrinsic(instance, selected, method="python")
+
+    def test_unknown_method_rejected(self):
+        _, instance = _instance(0)
+        with pytest.raises(PodiumError):
+            top_k_coverage(instance, [], method="fast")
+        with pytest.raises(PodiumError):
+            intersected_property_coverage(instance, [], method="fast")
