@@ -24,6 +24,8 @@ Quickstart::
 
 from .core import (
     Bucket,
+    ColumnarInstance,
+    ColumnarProfiles,
     CoverageState,
     CustomizationFeedback,
     CustomSelectionResult,
@@ -43,6 +45,7 @@ from .core import (
     UserProfile,
     UserRepository,
     approximation_ratio,
+    build_columnar_instance,
     build_instance,
     build_simple_groups,
     covered_groups,
@@ -51,13 +54,17 @@ from .core import (
     greedy_select,
     optimal_select,
     refine_users,
+    select_from_index,
     subset_score,
 )
+from .datasets.synth import generate_profile_columns
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Bucket",
+    "ColumnarInstance",
+    "ColumnarProfiles",
     "CoverageState",
     "CustomizationFeedback",
     "CustomSelectionResult",
@@ -77,14 +84,17 @@ __all__ = [
     "UserProfile",
     "UserRepository",
     "approximation_ratio",
+    "build_columnar_instance",
     "build_instance",
     "build_simple_groups",
     "covered_groups",
     "custom_select",
     "explain_selection",
+    "generate_profile_columns",
     "greedy_select",
     "optimal_select",
     "refine_users",
+    "select_from_index",
     "subset_score",
     "__version__",
 ]

@@ -44,13 +44,17 @@ class PodiumSelector(Selector):
     Defaults to the vectorized ``matrix`` backend; instances whose
     weights exceed int64 (EBS big-ints) transparently take the exact
     lazy path inside :func:`~repro.core.greedy.greedy_select`, so the
-    selected sequence is backend-independent either way.
+    selected sequence is backend-independent either way.  Extra keyword
+    ``options`` pass through to :func:`~repro.core.greedy.greedy_select`
+    — e.g. ``shards``/``jobs``/``shard_seed`` for the sharded backend or
+    ``epsilon``/``sample_ratio`` for the stochastic one.
     """
 
     name = "Podium"
 
-    def __init__(self, method: str = "matrix") -> None:
+    def __init__(self, method: str = "matrix", **options) -> None:
         self._method = method
+        self._options = options
 
     def select(
         self,
@@ -60,7 +64,12 @@ class PodiumSelector(Selector):
         rng: np.random.Generator | None = None,
     ) -> list[str]:
         result = greedy_select(
-            repository, instance, budget, method=self._method, rng=rng
+            repository,
+            instance,
+            budget,
+            method=self._method,
+            rng=rng,
+            **self._options,
         )
         return list(result.selected)
 

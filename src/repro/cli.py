@@ -13,7 +13,9 @@ Commands mirror the Fig. 1 pipeline:
   backends (eager/lazy/matrix) on the Fig. 5 sweep
   (``BENCH_selection.json``); ``--suite experiments`` times a fig3-style
   experiment end-to-end on the parallel engine at several job counts
-  (``BENCH_experiments.json``).
+  (``BENCH_experiments.json``); ``--suite scale`` drives the columnar
+  construction + sharded/stochastic selection path to hundreds of
+  thousands of users (``BENCH_scale.json``).
 
 Group keys on the command line use the ``property::bucket`` form, e.g.
 ``--must-have "avgRating Mexican::high"``.
@@ -130,7 +132,70 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.suite == "experiments":
         return _bench_experiments(args)
+    if args.suite == "scale":
+        return _bench_scale(args)
     return _bench_selection(args)
+
+
+def _parse_sizes(text: str) -> tuple[int, ...]:
+    try:
+        sizes = tuple(int(s) for s in text.split(",") if s)
+    except ValueError:
+        sizes = ()
+    if not sizes or any(size <= 0 for size in sizes):
+        raise PodiumError(
+            f"--sizes must be a comma-separated list of positive "
+            f"integers, got {text!r}"
+        )
+    return sizes
+
+
+def _bench_scale(args: argparse.Namespace) -> int:
+    from .experiments.scale import (
+        ScaleSetup,
+        benchmark_scale_path,
+        scale_report_failures,
+    )
+
+    defaults = ScaleSetup()
+    setup = ScaleSetup(
+        user_sizes=(
+            _parse_sizes(args.sizes) if args.sizes else defaults.user_sizes
+        ),
+        budget=args.budget if args.budget is not None else defaults.budget,
+        seed=args.seed,
+        shards=args.shards,
+        jobs=args.jobs if args.jobs is not None else defaults.jobs,
+        epsilon=args.epsilon,
+        dict_cap=args.dict_cap,
+    )
+    report = benchmark_scale_path(setup)
+    out = args.out or "BENCH_scale.json"
+    Path(out).write_text(json.dumps(report, indent=1) + "\n")
+    for row in report["rows"]:
+        speedup = row["columnar_speedup"]
+        dict_note = (
+            f", dict {row['dict_build_seconds']:.2f}s ({speedup:.1f}x)"
+            if speedup is not None
+            else ""
+        )
+        ratios = ", ".join(
+            f"{backend}={ratio:.4f}"
+            for backend, ratio in row["quality_ratio"].items()
+        )
+        print(
+            f"|U|={row['users']}: gen {row['generate_seconds']:.2f}s, "
+            f"columnar build {row['columnar_build_seconds']:.2f}s{dict_note}; "
+            f"select matrix={row['select_seconds']['matrix']:.2f}s "
+            f"sharded={row['select_seconds']['sharded']:.2f}s "
+            f"stochastic={row['select_seconds']['stochastic']:.2f}s; "
+            f"quality {ratios}; peak RSS {row['peak_rss_mb']:.0f} MiB"
+        )
+    failures = scale_report_failures(report)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print(f"wrote {out}")
+    return 0 if not failures else 1
 
 
 def _bench_experiments(args: argparse.Namespace) -> int:
@@ -138,10 +203,10 @@ def _bench_experiments(args: argparse.Namespace) -> int:
 
     report = benchmark_experiment_engine(
         users=args.users,
-        budget=args.budget,
+        budget=args.budget if args.budget is not None else 8,
         repetitions=args.repetitions,
         seed=args.seed,
-        jobs=args.jobs,
+        jobs=args.jobs if args.jobs is not None else 4,
     )
     out = args.out or "BENCH_experiments.json"
     Path(out).write_text(json.dumps(report, indent=1) + "\n")
@@ -170,20 +235,9 @@ def _bench_selection(args: argparse.Namespace) -> int:
         benchmark_selection_backends,
     )
 
-    try:
-        sizes = tuple(int(s) for s in args.sizes.split(",") if s)
-    except ValueError:
-        raise PodiumError(
-            f"--sizes must be a comma-separated list of positive "
-            f"integers, got {args.sizes!r}"
-        ) from None
-    if not sizes or any(size <= 0 for size in sizes):
-        raise PodiumError(
-            f"--sizes must be a comma-separated list of positive "
-            f"integers, got {args.sizes!r}"
-        )
+    sizes = _parse_sizes(args.sizes or "500,1000,2000,4000")
     setup = ScalabilitySetup(
-        budget=args.budget,
+        budget=args.budget if args.budget is not None else 8,
         user_sizes=sizes,
         repetitions=args.repetitions,
         seed=args.seed,
@@ -294,16 +348,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmark suites: 'selection' times the greedy backends on "
         "the Fig. 5 sweep (BENCH_selection.json); 'experiments' times a "
         "fig3-style experiment end-to-end on the parallel engine "
-        "(BENCH_experiments.json)",
+        "(BENCH_experiments.json); 'scale' drives columnar construction "
+        "plus sharded/stochastic selection to 500k+ users "
+        "(BENCH_scale.json)",
     )
     bench.add_argument(
-        "--suite", default="selection", choices=("selection", "experiments")
+        "--suite",
+        default="selection",
+        choices=("selection", "experiments", "scale"),
     )
     bench.add_argument(
-        "--sizes", default="500,1000,2000,4000",
-        help="[selection] comma-separated population sizes",
+        "--sizes", default=None,
+        help="[selection/scale] comma-separated population sizes "
+        "(defaults: 500,1000,2000,4000 / 100000,250000,500000)",
     )
-    bench.add_argument("--budget", type=int, default=8)
+    bench.add_argument(
+        "--budget", type=int, default=None,
+        help="selection budget (default: 8; scale suite: 50)",
+    )
     bench.add_argument("--repetitions", type=int, default=3)
     bench.add_argument("--seed", type=int, default=3)
     bench.add_argument(
@@ -311,8 +373,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="[experiments] population size of the fig3-style experiment",
     )
     bench.add_argument(
-        "--jobs", type=int, default=4,
-        help="[experiments] worker processes for the parallel engine row",
+        "--jobs", type=int, default=None,
+        help="[experiments/scale] worker processes (engine cells / "
+        "shard solves; default: 4; scale suite: 1)",
+    )
+    bench.add_argument(
+        "--shards", type=int, default=4,
+        help="[scale] shard count of the GreeDi backend",
+    )
+    bench.add_argument(
+        "--epsilon", type=float, default=0.1,
+        help="[scale] stochastic-greedy guarantee slack",
+    )
+    bench.add_argument(
+        "--dict-cap", type=int, default=250_000,
+        help="[scale] largest size at which the dict-based construction "
+        "path is also timed for the speedup comparison",
     )
     bench.add_argument(
         "--out", default=None,

@@ -1,0 +1,432 @@
+"""Columnar instance construction — the million-user scale path.
+
+The dict-based pipeline (``UserRepository`` → ``build_simple_groups`` →
+``build_instance`` → ``InstanceIndex.build``) materializes one Python
+dict per profile, one frozenset per group and one link-set per user
+before any array exists.  At a few thousand users that overhead is
+noise; at 10⁵–10⁶ users it *is* the runtime.  This module goes from
+``(user, property, score)`` triple columns straight to the CSR
+:class:`~repro.core.index.InstanceIndex` the vectorized backends run on:
+
+* bucket boundaries per property come from the exact same strategies as
+  the grouping module (:func:`~repro.core.buckets.split_scores`), so the
+  groups are identical to the dict path's;
+* bucket assignment is one :func:`~repro.core.buckets.assign_bucket_indices`
+  call per property (``np.searchsorted``);
+* group keys are deduplicated positionally while scanning properties —
+  no intermediate ``Group`` objects;
+* both CSR directions come from stable ``argsort``/``bincount`` passes
+  over the entry columns — never a per-user Python dict.
+
+``UserRepository``/``GroupSet`` views stay available *lazily*:
+:meth:`ColumnarInstance.to_instance` and
+:meth:`ColumnarInstance.to_repository` materialize the dict-of-dict
+objects on demand for explanations, customization and metrics, and the
+materialized instance carries the already-built index (via
+:func:`~repro.core.index.attach_index`) so nothing is re-encoded.
+
+EBS weights are exact big ints that overflow int64 at realistic ranks;
+the columnar path is array-native and therefore supports the
+int64-representable schemes only (Iden/LBS × Single/Prop).  EBS
+instances must take the dict path, whose exact fallback is unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .buckets import (
+    Bucket,
+    assign_bucket_indices,
+    is_boolean,
+    partition_from_splits,
+    split_scores,
+)
+from .errors import InvalidInstanceError, PodiumError
+from .groups import Group, GroupingConfig, GroupKey, GroupSet
+from .index import InstanceIndex, attach_index, id_dtype
+from .instance import DiversificationInstance
+from .profiles import UserProfile, UserRepository
+
+#: Weight schemes the columnar path can compute as int64 vectors.
+_COLUMNAR_WEIGHTS = ("Iden", "LBS")
+#: Coverage schemes the columnar path can compute as int64 vectors.
+_COLUMNAR_COVERAGES = ("Single", "Prop")
+
+
+@dataclass(frozen=True)
+class ColumnarProfiles:
+    """A population as parallel ``(user, property, score)`` columns.
+
+    Attributes
+    ----------
+    user_ids:
+        One id per user (dense position = row id used in ``user_col``).
+        Users carrying no triples are legal — they count toward
+        ``population_size`` but join no group, like dict-path users whose
+        every property was dropped.
+    property_labels:
+        One label per property (dense position used in ``prop_col``).
+    user_col / prop_col / score_col:
+        Parallel entry columns: user row, property column and score of
+        every known ``(user, property)`` pair.
+    """
+
+    user_ids: np.ndarray
+    property_labels: tuple[str, ...]
+    user_col: np.ndarray
+    prop_col: np.ndarray
+    score_col: np.ndarray
+
+    def __post_init__(self) -> None:
+        m = len(self.user_col)
+        if len(self.prop_col) != m or len(self.score_col) != m:
+            raise InvalidInstanceError(
+                "user_col, prop_col and score_col must be parallel"
+            )
+        if m:
+            if int(self.user_col.min()) < 0 or int(self.user_col.max()) >= len(
+                self.user_ids
+            ):
+                raise InvalidInstanceError("user_col out of range")
+            if int(self.prop_col.min()) < 0 or int(self.prop_col.max()) >= len(
+                self.property_labels
+            ):
+                raise InvalidInstanceError("prop_col out of range")
+            lo, hi = float(self.score_col.min()), float(self.score_col.max())
+            if not (0.0 <= lo and hi <= 1.0) or np.isnan(
+                self.score_col
+            ).any():
+                raise InvalidInstanceError("scores must lie in [0, 1]")
+
+    @property
+    def n_users(self) -> int:
+        return len(self.user_ids)
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.user_col)
+
+    @classmethod
+    def from_repository(cls, repository: UserRepository) -> "ColumnarProfiles":
+        """Flatten a dict-based repository into triple columns.
+
+        This is the migration path for existing data; newly generated
+        populations should be produced column-native (e.g.
+        :func:`repro.datasets.synth.generate_profile_columns`).
+        """
+        labels = tuple(repository.property_labels)
+        position = {label: j for j, label in enumerate(labels)}
+        ids = []
+        users: list[int] = []
+        props: list[int] = []
+        scores: list[float] = []
+        for i, profile in enumerate(repository):
+            ids.append(profile.user_id)
+            for label, score in profile.scores.items():
+                users.append(i)
+                props.append(position[label])
+                scores.append(score)
+        m = len(users)
+        return cls(
+            user_ids=np.asarray(ids, dtype=object),
+            property_labels=labels,
+            user_col=np.fromiter(users, dtype=np.int64, count=m),
+            prop_col=np.fromiter(props, dtype=np.int64, count=m),
+            score_col=np.fromiter(scores, dtype=np.float64, count=m),
+        )
+
+
+@dataclass
+class ColumnarInstance:
+    """A diversification instance built columnar: index-first, dicts lazy.
+
+    The eager product is the CSR :class:`InstanceIndex` (plus per-group
+    buckets and the scheme names used) — everything the vectorized
+    selection backends (``matrix``/``sharded``/``stochastic`` via
+    :func:`~repro.core.greedy.select_from_index`) need.  The dict-of-dict
+    views exist only on demand.
+    """
+
+    index: InstanceIndex
+    budget: int
+    population_size: int
+    buckets: tuple[Bucket | None, ...]
+    weight_scheme: str
+    coverage_scheme: str
+    profiles: ColumnarProfiles
+    _instance: DiversificationInstance | None = field(
+        default=None, repr=False
+    )
+    _repository: UserRepository | None = field(default=None, repr=False)
+
+    def select(self, method: str = "matrix", rng=None, **options):
+        """Run a selection backend directly on the index (no dicts)."""
+        from .greedy import select_from_index
+
+        return select_from_index(
+            self.index, self.budget, method=method, rng=rng, **options
+        )
+
+    def to_instance(self) -> DiversificationInstance:
+        """Materialize (once) the dict-based instance view.
+
+        Costs one pass over the group→user CSR; the result carries the
+        already-built index so matrix selections over it skip re-encoding.
+        Use it for explanations, customization and the exact object-path
+        metrics — never for the construction hot path.
+        """
+        if self._instance is None:
+            index = self.index
+            groups = GroupSet()
+            for gid, key in enumerate(index.group_keys):
+                lo, hi = int(index.g_indptr[gid]), int(index.g_indptr[gid + 1])
+                members = frozenset(
+                    index.users[r] for r in index.g_indices[lo:hi]
+                )
+                groups.add(Group(key, members, self.buckets[gid]))
+            assert index.wei is not None  # columnar indexes vectorize
+            wei = {
+                key: int(index.wei[gid])
+                for gid, key in enumerate(index.group_keys)
+            }
+            cov = {
+                key: int(index.cov[gid])
+                for gid, key in enumerate(index.group_keys)
+            }
+            instance = DiversificationInstance(
+                groups=groups,
+                wei=wei,
+                cov=cov,
+                budget=self.budget,
+                population_size=self.population_size,
+            )
+            attach_index(instance, index)
+            self._instance = instance
+        return self._instance
+
+    def to_repository(self) -> UserRepository:
+        """Materialize (once) the dict-based profile repository view."""
+        if self._repository is None:
+            self._repository = columnar_to_repository(self.profiles)
+        return self._repository
+
+
+def _columnar_weights(
+    scheme: str, sizes: np.ndarray, budget: int, population: int
+) -> list[int]:
+    if scheme == "Iden":
+        return [1] * len(sizes)
+    if scheme == "LBS":
+        weights = [int(s) for s in sizes]
+        if any(w <= 0 for w in weights):
+            raise InvalidInstanceError(
+                "LBS weights must be strictly positive; an empty group "
+                "survived construction (set drop_empty=True)"
+            )
+        return weights
+    raise PodiumError(
+        f"columnar construction supports weight schemes "
+        f"{_COLUMNAR_WEIGHTS}, got {scheme!r}; EBS big-int instances "
+        f"must take the dict-based path"
+    )
+
+
+def _columnar_coverage(
+    scheme: str, sizes: np.ndarray, budget: int, population: int
+) -> np.ndarray:
+    if scheme == "Single":
+        return np.ones(len(sizes), dtype=np.int64)
+    if scheme == "Prop":
+        return np.maximum(budget * sizes // max(population, 1), 1).astype(
+            np.int64
+        )
+    raise PodiumError(
+        f"columnar construction supports coverage schemes "
+        f"{_COLUMNAR_COVERAGES}, got {scheme!r}"
+    )
+
+
+def _scheme_name(scheme, default: str) -> str:
+    """Accept scheme objects (``.name``) or plain names."""
+    if scheme is None:
+        return default
+    return getattr(scheme, "name", None) or str(scheme)
+
+
+def _assign_fallback(
+    buckets: Sequence[Bucket], scores: np.ndarray
+) -> np.ndarray:
+    """Vectorized per-bucket membership when the partition shortcut fails."""
+    assignment = np.full(len(scores), -1, dtype=np.int64)
+    for position, bucket in enumerate(buckets):
+        if bucket.closed_hi:
+            mask = (scores >= bucket.lo) & (scores <= bucket.hi)
+        else:
+            mask = (scores >= bucket.lo) & (scores < bucket.hi)
+        assignment[mask & (assignment < 0)] = position
+    return assignment
+
+
+def build_columnar_instance(
+    profiles: ColumnarProfiles,
+    budget: int,
+    grouping: GroupingConfig | None = None,
+    weight_scheme=None,
+    coverage_scheme=None,
+) -> ColumnarInstance:
+    """Run grouping + weighting + indexing entirely on columns.
+
+    Produces groups identical to
+    ``build_instance(repo, budget, groups=build_simple_groups(repo,
+    grouping))`` on the equivalent repository — same bucket boundaries,
+    same memberships, same weights/coverage — but the only per-object
+    Python work is one ``GroupKey`` per group and the dense id ↔ user-id
+    maps; everything else is array passes over the triple columns.
+    """
+    if budget < 1:
+        raise InvalidInstanceError(f"budget must be >= 1, got {budget}")
+    config = grouping or GroupingConfig()
+    weight_name = _scheme_name(weight_scheme, "LBS")
+    coverage_name = _scheme_name(coverage_scheme, "Single")
+    if weight_name not in _COLUMNAR_WEIGHTS:
+        # Raise before any work: same message as the weight computation.
+        _columnar_weights(weight_name, np.empty(0, dtype=np.int64), 1, 1)
+    if coverage_name not in _COLUMNAR_COVERAGES:
+        _columnar_coverage(coverage_name, np.empty(0, dtype=np.int64), 1, 1)
+
+    n_total = profiles.n_users
+    n_props = len(profiles.property_labels)
+    support = np.bincount(profiles.prop_col, minlength=n_props)
+
+    # Group triples by property: one stable sort, then contiguous slices.
+    by_prop = np.argsort(profiles.prop_col, kind="stable")
+    prop_indptr = np.zeros(n_props + 1, dtype=np.int64)
+    np.cumsum(support, out=prop_indptr[1:])
+    users_sorted = profiles.user_col[by_prop]
+    scores_sorted = profiles.score_col[by_prop]
+
+    entry_user_parts: list[np.ndarray] = []
+    entry_gid_parts: list[np.ndarray] = []
+    group_keys: list[GroupKey] = []
+    group_buckets: list[Bucket] = []
+    group_sizes: list[int] = []
+    for j, label in enumerate(profiles.property_labels):
+        if support[j] < config.min_support:
+            continue
+        lo, hi = int(prop_indptr[j]), int(prop_indptr[j + 1])
+        scores_j = scores_sorted[lo:hi]
+        if config.fixed_splits is not None and not is_boolean(scores_j):
+            buckets = partition_from_splits(config.fixed_splits)
+        else:
+            buckets = split_scores(
+                scores_j,
+                k=config.buckets_per_property,
+                strategy=config.strategy,
+            )
+        assignment = assign_bucket_indices(buckets, scores_j)
+        if assignment is None:
+            assignment = _assign_fallback(buckets, scores_j)
+        counts = np.bincount(
+            assignment[assignment >= 0], minlength=len(buckets)
+        )
+        gid_map = np.full(len(buckets), -1, dtype=np.int64)
+        for position, bucket in enumerate(buckets):
+            if config.drop_empty and counts[position] == 0:
+                continue
+            gid_map[position] = len(group_keys)
+            group_keys.append(GroupKey(label, bucket.label))
+            group_buckets.append(bucket)
+            group_sizes.append(int(counts[position]))
+        gids = np.where(assignment >= 0, gid_map[assignment], -1)
+        keep = gids >= 0
+        entry_user_parts.append(users_sorted[lo:hi][keep])
+        entry_gid_parts.append(gids[keep])
+
+    n_groups = len(group_keys)
+    if entry_user_parts:
+        entry_user = np.concatenate(entry_user_parts)
+        entry_gid = np.concatenate(entry_gid_parts)
+    else:
+        entry_user = np.empty(0, dtype=np.int64)
+        entry_gid = np.empty(0, dtype=np.int64)
+
+    # Dense user ids: users appearing in any group, in sorted id order —
+    # the invariant the matrix backend's argmax tie-break rides on.
+    appears = np.zeros(n_total, dtype=bool)
+    appears[entry_user] = True
+    present = np.flatnonzero(appears)
+    ids_present = profiles.user_ids[present]
+    order = np.argsort(ids_present, kind="stable")
+    sorted_rows = present[order]
+    dense_of_row = np.full(n_total, -1, dtype=np.int64)
+    dense_of_row[sorted_rows] = np.arange(len(sorted_rows), dtype=np.int64)
+    n_users = len(sorted_rows)
+    users = tuple(str(u) for u in profiles.user_ids[sorted_rows])
+    entry_dense = dense_of_row[entry_user]
+
+    # Both CSR directions from stable sorts over the entry columns.
+    u_dtype, g_dtype = id_dtype(n_users), id_dtype(n_groups)
+    by_gid = np.argsort(entry_gid, kind="stable")
+    g_indices = entry_dense[by_gid].astype(u_dtype)
+    g_indptr = np.zeros(n_groups + 1, dtype=np.int64)
+    np.cumsum(
+        np.bincount(entry_gid, minlength=n_groups), out=g_indptr[1:]
+    )
+    by_user = np.argsort(entry_dense, kind="stable")
+    u_indices = entry_gid[by_user].astype(g_dtype)
+    u_indptr = np.zeros(n_users + 1, dtype=np.int64)
+    np.cumsum(
+        np.bincount(entry_dense, minlength=n_users), out=u_indptr[1:]
+    )
+
+    population = max(n_total, 1)
+    sizes = np.asarray(group_sizes, dtype=np.int64)
+    weights = _columnar_weights(weight_name, sizes, budget, population)
+    cov = _columnar_coverage(coverage_name, sizes, budget, population)
+    index = InstanceIndex.from_csr(
+        users=users,
+        group_keys=tuple(group_keys),
+        u_indptr=u_indptr,
+        u_indices=u_indices,
+        g_indptr=g_indptr,
+        g_indices=g_indices,
+        cov=cov,
+        weights=weights,
+    )
+    if not index.vectorizable:
+        raise InvalidInstanceError(
+            "columnar instance weights exceed int64; use the dict-based "
+            "path whose exact big-int fallback handles this"
+        )
+    return ColumnarInstance(
+        index=index,
+        budget=budget,
+        population_size=population,
+        buckets=tuple(group_buckets),
+        weight_scheme=weight_name,
+        coverage_scheme=coverage_name,
+        profiles=profiles,
+    )
+
+
+def columnar_to_repository(profiles: ColumnarProfiles) -> UserRepository:
+    """Materialize the dict-of-dict repository of a triple-column set.
+
+    This *is* the expensive path the columnar pipeline avoids — exposed
+    for migrations, the explanation modules and the scale benchmark's
+    dict-vs-columnar comparison (both paths consume identical columns).
+    """
+    labels = profiles.property_labels
+    scores: list[dict[str, float]] = [{} for _ in range(profiles.n_users)]
+    for u, p, s in zip(
+        profiles.user_col, profiles.prop_col, profiles.score_col
+    ):
+        scores[int(u)][labels[int(p)]] = float(s)
+    return UserRepository(
+        UserProfile(str(user_id), user_scores)
+        for user_id, user_scores in zip(profiles.user_ids, scores)
+    )

@@ -24,6 +24,32 @@ All three achieve the (1 − 1/e) approximation of Prop. 4.4 because the
 score function is monotone submodular for every weight/coverage choice,
 and all three select *identical sequences* when ``rng`` is None.
 
+Two additional backends trade a little quality guarantee for scale:
+
+* ``method="sharded"`` is the GreeDi two-round scheme [Mirzasoleiman et
+  al., "Distributed submodular maximization"]: partition the candidates
+  into S shards (deterministic under ``shard_seed``), solve each shard
+  with the matrix backend (fanned out over a fork-warmed process pool,
+  see :mod:`repro.core.sharding`), then run one exact greedy over the
+  union of the ≤ S·B shard picks.  Worst-case guarantee
+  (1 − 1/e)/min(S, B)·OPT, but on partitionable instances the measured
+  quality ratio vs exact greedy is near 1 (tracked by
+  ``repro bench --suite scale``).  ``shards=1`` reproduces the matrix
+  selections exactly — the final round restricted to greedy's own output
+  re-picks the same sequence.
+* ``method="stochastic"`` is lazier-than-lazy stochastic greedy
+  [Mirzasoleiman et al., AAAI'15]: each step evaluates marginals only on
+  a uniform random sample of ``⌈(n/B)·ln(1/ε)⌉`` remaining candidates,
+  giving (1 − 1/e − ε) in expectation at O(n·ln(1/ε)) total marginal
+  evaluations.  ``sample_ratio=1.0`` degenerates to the exact
+  deterministic greedy for any rng.
+
+Both fall back to the exact lazy path on non-vectorizable instances,
+like ``matrix``.  :func:`select_from_index` exposes the vectorized
+backends directly on an :class:`~repro.core.index.InstanceIndex`, so the
+columnar construction path can select without ever materializing
+dict-based ``UserRepository``/``GroupSet`` objects.
+
 Ties between candidates with equal marginal gain are broken
 deterministically by user id unless an ``rng`` is supplied, in which case
 they are broken uniformly at random — the controlled randomness the paper
@@ -33,15 +59,17 @@ mentions in §10.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from .errors import InvalidBudgetError, PodiumError
-from .index import instance_index
+from .index import InstanceIndex, instance_index
 from .instance import DiversificationInstance
 from .profiles import UserRepository
 from .scoring import CoverageState
+from .sharding import solve_shards
 from .weights import Weight
 
 
@@ -59,13 +87,16 @@ class SelectionResult:
         Realized marginal gain of each pick, parallel to ``selected``.
     instance:
         The diversification instance the selection ran against (used by
-        explanations and metrics downstream).
+        explanations and metrics downstream).  ``None`` for selections
+        produced straight from an :class:`InstanceIndex`
+        (:func:`select_from_index`), where no dict-based instance was
+        ever materialized.
     """
 
     selected: tuple[str, ...]
     score: Weight
     gains: tuple[Weight, ...]
-    instance: DiversificationInstance
+    instance: DiversificationInstance | None = None
 
     def __post_init__(self) -> None:
         if len(self.selected) != len(self.gains):
@@ -101,6 +132,12 @@ def greedy_select(
     candidates: list[str] | None = None,
     method: str = "eager",
     rng: np.random.Generator | None = None,
+    *,
+    shards: int = 4,
+    jobs: int | None = 1,
+    shard_seed: int = 0,
+    epsilon: float = 0.1,
+    sample_ratio: float | None = None,
 ) -> SelectionResult:
     """Select up to ``budget`` users maximizing ``score_G`` greedily.
 
@@ -117,10 +154,23 @@ def greedy_select(
         refined user set ``U'`` here); ids absent from the repository are
         ignored.
     method:
-        ``"eager"`` (paper Algorithm 1), ``"lazy"`` (heap accelerant) or
-        ``"matrix"`` (vectorized sparse backend with exact fallback).
+        ``"eager"`` (paper Algorithm 1), ``"lazy"`` (heap accelerant),
+        ``"matrix"`` (vectorized sparse backend with exact fallback),
+        ``"sharded"`` (GreeDi two-round over ``shards`` user shards) or
+        ``"stochastic"`` (per-step sampled marginals).
     rng:
-        Optional generator for random tie-breaking.
+        Optional generator for random tie-breaking (eager/lazy/matrix and
+        the sharded merge round) or for per-step candidate sampling
+        (stochastic; defaults to a seed-0 generator so runs are
+        reproducible by default).
+    shards / jobs / shard_seed:
+        Sharded backend only: shard count, worker processes for the
+        shard solves and the seed of the deterministic user → shard
+        permutation.
+    epsilon / sample_ratio:
+        Stochastic backend only: the guarantee slack ε fixing the sample
+        size ``⌈(n/B)·ln(1/ε)⌉``, or an explicit sample fraction of the
+        pool overriding it (``1.0`` → exact deterministic greedy).
     """
     budget = instance.budget if budget is None else budget
     if budget < 1:
@@ -132,8 +182,19 @@ def greedy_select(
         return _greedy_lazy(pool, instance, budget, rng)
     if method == "matrix":
         return _greedy_matrix(pool, instance, budget, rng)
+    if method == "sharded":
+        return _greedy_sharded(
+            pool, instance, budget, rng,
+            shards=shards, jobs=jobs, shard_seed=shard_seed,
+        )
+    if method == "stochastic":
+        return _greedy_stochastic(
+            pool, instance, budget, rng,
+            epsilon=epsilon, sample_ratio=sample_ratio,
+        )
     raise PodiumError(
-        f"unknown greedy method {method!r}; use 'eager', 'lazy' or 'matrix'"
+        f"unknown greedy method {method!r}; use 'eager', 'lazy', "
+        f"'matrix', 'sharded' or 'stochastic'"
     )
 
 
@@ -233,28 +294,25 @@ def _greedy_lazy(
     )
 
 
-def _greedy_matrix(
-    pool: list[str],
-    instance: DiversificationInstance,
+def _matrix_loop(
+    index: InstanceIndex,
+    ordered: list[str],
     budget: int,
     rng: np.random.Generator | None,
-) -> SelectionResult:
-    """Vectorized eager greedy over the sparse instance index.
+    sample_size: int | None = None,
+    sample_rng: np.random.Generator | None = None,
+) -> tuple[list[str], list[Weight], int]:
+    """The vectorized eager recurrence shared by the array backends.
 
-    Maintains the same ``marg_{u,U}`` recurrence as the eager
-    implementation, but as one int64 gain vector: picking is an
-    ``argmax`` (candidates sit in sorted user-id order, so the first
-    maximum is the minimal tied id — the eager tie-break), coverage
-    decrements are CSR row gathers and exhausted-group propagation is a
-    single ``np.subtract.at`` scatter.  Instances whose weights are not
-    exactly representable in int64 fall back to the exact lazy path.
+    ``ordered`` must be sorted ascending so the first ``argmax`` is the
+    minimal tied user id — the eager tie-break.  When ``sample_size`` is
+    given, each step restricts the argmax to a uniform ``sample_rng``
+    sample of that many remaining candidates (stochastic greedy); a
+    sample covering every remaining candidate degenerates to the exact
+    deterministic argmax, so ``sample_size >= n`` reproduces the plain
+    matrix selections for any ``sample_rng``.
     """
-    index = instance_index(instance)
-    if not index.vectorizable:
-        return _greedy_lazy(pool, instance, budget, rng)
     assert index.wei is not None and index.initial_gains is not None
-
-    ordered = sorted(pool)
     n = len(ordered)
     # Dense position of each candidate in the index (-1: in no group).
     pos = np.fromiter(
@@ -275,13 +333,26 @@ def _greedy_matrix(
     for _ in range(budget):
         if not active.any():
             break
-        masked = np.where(active, gain, np.int64(-1))
-        if rng is None:
+        if sample_size is not None:
+            candidates = np.flatnonzero(active)
+            if sample_size < candidates.size:
+                assert sample_rng is not None
+                pick = sample_rng.choice(
+                    candidates.size, size=sample_size, replace=False
+                )
+                # Sorted sample keeps argmax ties on the minimal user id.
+                candidates = candidates[np.sort(pick)]
+            row = int(candidates[int(np.argmax(gain[candidates]))])
+            realized = int(gain[row])
+        elif rng is None:
+            masked = np.where(active, gain, np.int64(-1))
             row = int(np.argmax(masked))
+            realized = int(masked[row])
         else:
+            masked = np.where(active, gain, np.int64(-1))
             tied = np.flatnonzero(masked == masked.max())
             row = int(tied[int(rng.integers(tied.size))])
-        realized = int(masked[row])
+            realized = int(masked[row])
         active[row] = False
         selected.append(ordered[row])
         gains.append(realized)
@@ -300,9 +371,240 @@ def _greedy_matrix(
             keep = rows >= 0
             np.subtract.at(gain, rows[keep], weights[keep])
 
+    return selected, gains, score
+
+
+def _greedy_matrix(
+    pool: list[str],
+    instance: DiversificationInstance,
+    budget: int,
+    rng: np.random.Generator | None,
+) -> SelectionResult:
+    """Vectorized eager greedy over the sparse instance index.
+
+    Maintains the same ``marg_{u,U}`` recurrence as the eager
+    implementation, but as one int64 gain vector: picking is an
+    ``argmax`` (candidates sit in sorted user-id order, so the first
+    maximum is the minimal tied id — the eager tie-break), coverage
+    decrements are CSR row gathers and exhausted-group propagation is a
+    single ``np.subtract.at`` scatter.  Instances whose weights are not
+    exactly representable in int64 fall back to the exact lazy path.
+    """
+    index = instance_index(instance)
+    if not index.vectorizable:
+        return _greedy_lazy(pool, instance, budget, rng)
+    selected, gains, score = _matrix_loop(index, sorted(pool), budget, rng)
     return SelectionResult(
         selected=tuple(selected),
         score=score,
         gains=tuple(gains),
         instance=instance,
+    )
+
+
+def _shard_pools(
+    ordered: list[str], shards: int, shard_seed: int
+) -> list[list[str]]:
+    """Deterministically partition sorted candidates into sorted shards.
+
+    A seeded permutation deals users round-robin so shard sizes differ by
+    at most one and shard composition is independent of the original
+    clustering of ids — the random partition GreeDi's analysis assumes.
+    """
+    if shards < 1:
+        raise PodiumError(f"shards must be >= 1, got {shards}")
+    shards = min(shards, len(ordered)) or 1
+    perm = np.random.default_rng(shard_seed).permutation(len(ordered))
+    return [
+        sorted(ordered[p] for p in perm[i::shards]) for i in range(shards)
+    ]
+
+
+def _greedy_sharded(
+    pool: list[str],
+    instance: DiversificationInstance,
+    budget: int,
+    rng: np.random.Generator | None,
+    shards: int,
+    jobs: int | None,
+    shard_seed: int,
+) -> SelectionResult:
+    """GreeDi two-round greedy: solve shards, exact greedy on the union.
+
+    Round 1 solves every shard independently with the deterministic
+    matrix backend (fanned out over forked workers when ``jobs > 1``);
+    round 2 runs one exact greedy over the ≤ 2·shards·budget shard picks
+    (each shard over-returns 2B winners to enrich the union).
+    ``rng`` only affects round-2 tie-breaks — shard solves stay
+    deterministic so the union, and hence the result under ``rng=None``,
+    depends only on ``(pool, instance, budget, shards, shard_seed)``.
+
+    With ``shards=1`` the union is greedy's own 2B-pick run, whose first
+    B picks are exactly the B-budget sequence; greedy re-run restricted
+    to a pool containing its own output re-picks the same sequence (each
+    pick is still the max-gain, min-id candidate in any subset
+    containing it), so the matrix selections are reproduced exactly.  Non-vectorizable instances run both rounds on the exact
+    lazy path — the scheme, not the backend, is what shards.
+    """
+    index = instance_index(instance)
+    if index.vectorizable:
+        selected, gains, score = _sharded_loop(
+            index, sorted(pool), budget, rng,
+            shards=shards, jobs=jobs, shard_seed=shard_seed,
+        )
+        return SelectionResult(
+            selected=tuple(selected),
+            score=score,
+            gains=tuple(gains),
+            instance=instance,
+        )
+    pools = _shard_pools(sorted(pool), shards, shard_seed)
+    shard_budget = 2 * budget
+
+    def solve(shard_pool: list[str]) -> list[str]:
+        return list(
+            _greedy_lazy(shard_pool, instance, shard_budget, None).selected
+        )
+
+    shard_picks = solve_shards(solve, pools, jobs=jobs)
+    union = sorted({u for picks in shard_picks for u in picks})
+    return _greedy_lazy(union, instance, budget, rng)
+
+
+def _sharded_loop(
+    index: InstanceIndex,
+    ordered: list[str],
+    budget: int,
+    rng: np.random.Generator | None,
+    shards: int,
+    jobs: int | None,
+    shard_seed: int,
+) -> tuple[list[str], list[Weight], int]:
+    """Both GreeDi rounds on the vectorized backend.
+
+    Each shard over-returns up to 2B winners (its B-budget sequence is
+    the prefix, so shards=1 exactness is unaffected): the richer union
+    measurably lifts the merge round's quality for a ~2x round-1 cost.
+    """
+    pools = _shard_pools(ordered, shards, shard_seed)
+    shard_budget = 2 * budget
+
+    def solve(shard_pool: list[str]) -> list[str]:
+        return _matrix_loop(index, shard_pool, shard_budget, None)[0]
+
+    shard_picks = solve_shards(solve, pools, jobs=jobs)
+    union = sorted({u for picks in shard_picks for u in picks})
+    return _matrix_loop(index, union, budget, rng)
+
+
+def _stochastic_sample_size(
+    n: int, budget: int, epsilon: float, sample_ratio: float | None
+) -> int:
+    """Per-step sample size ``⌈(n/B)·ln(1/ε)⌉``, clamped to ``[1, n]``."""
+    if sample_ratio is not None:
+        if not 0.0 < sample_ratio <= 1.0:
+            raise PodiumError(
+                f"sample_ratio must lie in (0, 1], got {sample_ratio}"
+            )
+        size = math.ceil(sample_ratio * n)
+    else:
+        if not 0.0 < epsilon < 1.0:
+            raise PodiumError(f"epsilon must lie in (0, 1), got {epsilon}")
+        size = math.ceil((n / budget) * math.log(1.0 / epsilon))
+    return max(1, min(size, n))
+
+
+def _greedy_stochastic(
+    pool: list[str],
+    instance: DiversificationInstance,
+    budget: int,
+    rng: np.random.Generator | None,
+    epsilon: float,
+    sample_ratio: float | None,
+) -> SelectionResult:
+    """Stochastic greedy: each step argmaxes over a random sample.
+
+    ``rng`` drives the sampling only; ties within a sample always break
+    deterministically on the minimal user id.  When ``rng`` is ``None`` a
+    seed-0 generator is used so repeated calls reproduce the same
+    selections by default.  Non-vectorizable instances take the exact
+    lazy path (sampling a path that exists for speed would be pointless
+    when exactness is already forced).
+    """
+    index = instance_index(instance)
+    if not index.vectorizable:
+        return _greedy_lazy(pool, instance, budget, rng)
+    ordered = sorted(pool)
+    size = _stochastic_sample_size(len(ordered), budget, epsilon, sample_ratio)
+    sample_rng = rng if rng is not None else np.random.default_rng(0)
+    selected, gains, score = _matrix_loop(
+        index, ordered, budget, None, sample_size=size, sample_rng=sample_rng
+    )
+    return SelectionResult(
+        selected=tuple(selected),
+        score=score,
+        gains=tuple(gains),
+        instance=instance,
+    )
+
+
+def select_from_index(
+    index: InstanceIndex,
+    budget: int,
+    method: str = "matrix",
+    candidates: list[str] | None = None,
+    rng: np.random.Generator | None = None,
+    *,
+    shards: int = 4,
+    jobs: int | None = 1,
+    shard_seed: int = 0,
+    epsilon: float = 0.1,
+    sample_ratio: float | None = None,
+) -> SelectionResult:
+    """Run a vectorized backend straight on an :class:`InstanceIndex`.
+
+    This is the scale path's entry point: a columnar build (or a loaded
+    ``.npz`` checkpoint) holds only the index, and selection should not
+    force the dict-based instance into existence.  Only the array
+    backends are available — the index must be :attr:`vectorizable`
+    (columnar builds always are) — and the returned
+    :class:`SelectionResult` carries ``instance=None``.
+
+    ``candidates`` defaults to every indexed user; ids the index does not
+    know are ignored (they sit in no group, so they can never contribute).
+    """
+    if budget < 1:
+        raise InvalidBudgetError(f"budget must be >= 1, got {budget}")
+    if not index.vectorizable:
+        raise PodiumError(
+            "select_from_index requires a vectorizable index; big-int or "
+            "non-integer weights need the dict-based greedy_select paths"
+        )
+    if candidates is None:
+        ordered = list(index.users)  # already sorted ascending
+    else:
+        ordered = sorted(u for u in set(candidates) if u in index.user_pos)
+    if method == "matrix":
+        selected, gains, score = _matrix_loop(index, ordered, budget, rng)
+    elif method == "sharded":
+        selected, gains, score = _sharded_loop(
+            index, ordered, budget, rng,
+            shards=shards, jobs=jobs, shard_seed=shard_seed,
+        )
+    elif method == "stochastic":
+        size = _stochastic_sample_size(
+            len(ordered), budget, epsilon, sample_ratio
+        )
+        sample_rng = rng if rng is not None else np.random.default_rng(0)
+        selected, gains, score = _matrix_loop(
+            index, ordered, budget, None,
+            sample_size=size, sample_rng=sample_rng,
+        )
+    else:
+        raise PodiumError(
+            f"unknown index selection method {method!r}; use 'matrix', "
+            f"'sharded' or 'stochastic'"
+        )
+    return SelectionResult(
+        selected=tuple(selected), score=score, gains=tuple(gains)
     )

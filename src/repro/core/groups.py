@@ -107,8 +107,24 @@ class GroupSet:
         #: Lazily-built immutable views handed out by :meth:`groups_of`;
         #: entries are invalidated whenever a user's link set changes.
         self._views: dict[str, frozenset[GroupKey]] = {}
+        #: Mutation counter consumed by derived caches (the sparse
+        #: :class:`~repro.core.index.InstanceIndex` keyed on an instance
+        #: drops its cached build when this moves).
+        self._version = 0
         for group in groups:
             self.add(group)
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by every mutation of the group set.
+
+        Derived structures (e.g. the cached sparse index of an instance
+        built over this group set) compare the version they were built at
+        against the current one to detect staleness — the same
+        invalidation contract ``property_incidence`` has with
+        :meth:`~repro.core.profiles.UserRepository.add`.
+        """
+        return self._version
 
     def add(self, group: Group) -> None:
         """Insert ``group``; re-adding the same key replaces it.
@@ -129,6 +145,7 @@ class GroupSet:
         for user_id in group.members:
             self._user_groups.setdefault(user_id, set()).add(group.key)
             self._views.pop(user_id, None)
+        self._version += 1
 
     def __len__(self) -> int:
         return len(self._groups)

@@ -13,8 +13,8 @@ integer ids plus CSR-style incidence arrays so the selection hot paths
   user-id order, so ``argmax`` over a gain vector breaks ties by minimal
   user id exactly like the eager/lazy implementations;
 * the user → group and group → user incidence is stored twice as CSR
-  (``indptr``/``indices``, int32 indices) for O(degree) row slicing in
-  both directions;
+  (``indptr``/``indices``; indices are int32 whenever the id space fits,
+  int64 otherwise) for O(degree) row slicing in both directions;
 * ``wei``/``cov`` are materialized as dense int64 vectors.
 
 EBS weights are exact Python integers ``(B + 1)^ord(G)`` that overflow
@@ -45,8 +45,24 @@ from .weights import Weight
 #: Largest value an int64 cell may hold; sums bounded by this stay exact.
 _INT64_MAX = np.iinfo(np.int64).max
 
-#: Attribute used to cache the built index on a (frozen) instance.
+#: Largest dense id an int32 CSR indices array may store.
+_INT32_MAX = np.iinfo(np.int32).max
+
+#: Attribute used to cache the built index on a (frozen) instance.  The
+#: cached value is a ``(groups_version, index)`` pair so mutations of the
+#: underlying group set invalidate the build.
 _CACHE_ATTR = "_instance_index_cache"
+
+
+def id_dtype(n: int) -> type:
+    """Smallest integer dtype able to hold dense ids ``0..n-1``.
+
+    CSR ``indices`` arrays dominate index memory at scale, so they are
+    stored as int32 whenever the id space fits (halving their footprint);
+    the int64 ``wei``/``cov`` accumulators and the exact big-int fallback
+    are unaffected — only ids shrink, never arithmetic.
+    """
+    return np.int32 if n <= _INT32_MAX else np.int64
 
 
 def _segment_sums(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
@@ -133,14 +149,14 @@ class InstanceIndex:
         total = int(g_indptr[-1])
         g_indices = np.fromiter(
             (user_pos[u] for g in groups for u in g.members),
-            dtype=np.int32,
+            dtype=id_dtype(n_users),
             count=total,
         )
 
         # User -> group CSR: transpose the (group, user) entry list with a
         # stable counting-style sort on the user column.
         entry_group = np.repeat(
-            np.arange(n_groups, dtype=np.int32), sizes
+            np.arange(n_groups, dtype=id_dtype(n_groups)), sizes
         )
         order = np.argsort(g_indices, kind="stable")
         u_indices = entry_group[order]
@@ -188,6 +204,57 @@ class InstanceIndex:
             vectorizable=vectorizable,
         )
 
+    @classmethod
+    def from_csr(
+        cls,
+        users: tuple[str, ...],
+        group_keys: tuple[GroupKey, ...],
+        u_indptr: np.ndarray,
+        u_indices: np.ndarray,
+        g_indptr: np.ndarray,
+        g_indices: np.ndarray,
+        cov: np.ndarray,
+        weights: list | None,
+    ) -> "InstanceIndex":
+        """Assemble an index from pre-built CSR arrays.
+
+        The columnar construction path lands here: it produces the arrays
+        directly from triple columns without materializing dict-of-dict
+        repositories or group sets.  ``weights`` are exact Python ints (or
+        ``None`` for a non-vectorizable index); the same
+        ``Σ_G wei(G)·|G|`` int64-representability check as :meth:`build`
+        decides whether the vectorized fast path is safe.
+        """
+        n_groups = len(group_keys)
+        vectorizable = weights is not None and all(
+            isinstance(w, int) and not isinstance(w, bool) for w in weights
+        )
+        if vectorizable:
+            assert weights is not None
+            mass = sum(
+                w * int(g_indptr[gid + 1] - g_indptr[gid])
+                for gid, w in enumerate(weights)
+            )
+            vectorizable = mass <= _INT64_MAX
+        wei = initial_gains = None
+        if vectorizable:
+            wei = np.fromiter(weights, dtype=np.int64, count=n_groups)
+            initial_gains = _segment_sums(wei[u_indices], u_indptr)
+        return cls(
+            users=users,
+            user_pos={u: i for i, u in enumerate(users)},
+            group_keys=group_keys,
+            group_pos={key: gid for gid, key in enumerate(group_keys)},
+            u_indptr=u_indptr,
+            u_indices=u_indices,
+            g_indptr=g_indptr,
+            g_indices=g_indices,
+            cov=cov,
+            wei=wei,
+            initial_gains=initial_gains,
+            vectorizable=vectorizable,
+        )
+
     # -- row access --------------------------------------------------------
 
     def groups_of_row(self, user_dense_id: int) -> np.ndarray:
@@ -198,7 +265,7 @@ class InstanceIndex:
     def members_of_rows(self, group_dense_ids: np.ndarray) -> np.ndarray:
         """Concatenated member ids of several groups (parallel to repeats)."""
         if group_dense_ids.size == 0:
-            return np.empty(0, dtype=np.int32)
+            return np.empty(0, dtype=self.g_indices.dtype)
         return np.concatenate(
             [
                 self.g_indices[self.g_indptr[g]:self.g_indptr[g + 1]]
@@ -257,15 +324,36 @@ class InstanceIndex:
 def instance_index(instance: DiversificationInstance) -> InstanceIndex:
     """Build (or fetch the cached) :class:`InstanceIndex` of ``instance``.
 
-    Instances are frozen dataclasses documented as immutable for their
-    lifetime, so the index is computed once and stashed on the instance;
-    every selection backend, score and coverage query then shares it.
+    Instances are frozen dataclasses, so the index is computed once and
+    stashed on the instance; every selection backend, score and coverage
+    query then shares one build.  The group set an instance wraps *is*
+    mutable, however (``GroupSet.add`` replaces groups in place), so the
+    cache records the group set's version at build time and rebuilds
+    whenever the set has mutated since — the same invalidation contract
+    :func:`property_incidence` has with ``UserRepository.add``.
     """
+    version = instance.groups.version
     cached = instance.__dict__.get(_CACHE_ATTR)
-    if cached is None:
-        cached = InstanceIndex.build(instance)
-        object.__setattr__(instance, _CACHE_ATTR, cached)
-    return cached
+    if cached is not None and cached[0] == version:
+        return cached[1]
+    index = InstanceIndex.build(instance)
+    object.__setattr__(instance, _CACHE_ATTR, (version, index))
+    return index
+
+
+def attach_index(
+    instance: DiversificationInstance, index: InstanceIndex
+) -> None:
+    """Install a pre-built ``index`` as ``instance``'s cached index.
+
+    Used by paths that already hold the index — a columnar build handing
+    out its lazily materialized instance view, or an ``.npz`` checkpoint
+    loaded next to a persisted instance — so selections over the instance
+    skip the re-encode entirely.
+    """
+    object.__setattr__(
+        instance, _CACHE_ATTR, (instance.groups.version, index)
+    )
 
 
 #: Attribute caching the densified incidence on a repository; the

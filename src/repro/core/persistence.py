@@ -6,6 +6,15 @@ persisting so the selection module can restart without re-bucketing.
 These functions serialize both to plain JSON.  EBS weights are exact
 (arbitrary-precision) Python integers and JSON round-trips them
 losslessly.
+
+For million-user indexes the JSON formats are the wrong tool — the CSR
+arrays of a 500k-user instance are tens of megabytes of integers that
+JSON would serialize as text and rebuild through Python objects.
+:func:`save_index_npz` / :func:`load_index_npz` round-trip an
+:class:`~repro.core.index.InstanceIndex` through one ``.npz`` file
+instead: the arrays are stored verbatim (no recompute on load, no
+re-derivation of groups), user ids and group keys as fixed-width
+unicode arrays, so a saved index selects byte-identically after reload.
 """
 
 from __future__ import annotations
@@ -14,13 +23,17 @@ import json
 from pathlib import Path
 from typing import Any
 
+import numpy as np
+
 from .buckets import Bucket
 from .errors import DatasetError
 from .groups import Group, GroupKey, GroupSet
+from .index import InstanceIndex
 from .instance import DiversificationInstance
 
 _GROUPS_FORMAT = "podium-groups-v1"
 _INSTANCE_FORMAT = "podium-instance-v1"
+_INDEX_FORMAT = "podium-index-npz-v1"
 
 
 def _bucket_to_dict(bucket: Bucket | None) -> dict[str, Any] | None:
@@ -137,3 +150,72 @@ def save_instance(
 def load_instance(path: str | Path) -> DiversificationInstance:
     """Read an instance checkpoint written by :func:`save_instance`."""
     return instance_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_index_npz(index: InstanceIndex, path: str | Path) -> None:
+    """Write an :class:`InstanceIndex` checkpoint as one ``.npz`` file.
+
+    Everything needed to reconstruct the index exactly is stored —
+    including ``wei``/``initial_gains`` and the ``vectorizable`` flag, so
+    loading never recomputes the big-int mass check.  Non-vectorizable
+    indexes (EBS big-ints) are rejected: their exact weights live in the
+    instance, not the index, and belong in the JSON checkpoint.
+    """
+    if not index.vectorizable:
+        raise DatasetError(
+            "only vectorizable indexes can be saved as .npz; big-int "
+            "weights are not array-representable — persist the instance "
+            "as JSON instead"
+        )
+    assert index.wei is not None and index.initial_gains is not None
+    np.savez_compressed(
+        Path(path),
+        format=np.asarray(_INDEX_FORMAT),
+        users=np.asarray(index.users, dtype=np.str_),
+        key_property=np.asarray(
+            [k.property_label for k in index.group_keys], dtype=np.str_
+        ),
+        key_bucket=np.asarray(
+            [k.bucket_label for k in index.group_keys], dtype=np.str_
+        ),
+        u_indptr=index.u_indptr,
+        u_indices=index.u_indices,
+        g_indptr=index.g_indptr,
+        g_indices=index.g_indices,
+        cov=index.cov,
+        wei=index.wei,
+        initial_gains=index.initial_gains,
+    )
+
+
+def load_index_npz(path: str | Path) -> InstanceIndex:
+    """Read an index checkpoint written by :func:`save_index_npz`.
+
+    The CSR arrays come back verbatim (dtypes included), so selections
+    over the loaded index are byte-identical to the original's.
+    """
+    with np.load(Path(path), allow_pickle=False) as data:
+        if str(data["format"]) != _INDEX_FORMAT:
+            raise DatasetError(
+                f"expected format {_INDEX_FORMAT!r}, "
+                f"got {str(data['format'])!r}"
+            )
+        users = tuple(str(u) for u in data["users"])
+        group_keys = tuple(
+            GroupKey(str(p), str(b))
+            for p, b in zip(data["key_property"], data["key_bucket"])
+        )
+        return InstanceIndex(
+            users=users,
+            user_pos={u: i for i, u in enumerate(users)},
+            group_keys=group_keys,
+            group_pos={key: gid for gid, key in enumerate(group_keys)},
+            u_indptr=data["u_indptr"],
+            u_indices=data["u_indices"],
+            g_indptr=data["g_indptr"],
+            g_indices=data["g_indices"],
+            cov=data["cov"],
+            wei=data["wei"],
+            initial_gains=data["initial_gains"],
+            vectorizable=True,
+        )

@@ -1,0 +1,79 @@
+"""Fork-warmed shard executor for GreeDi-style distributed selection.
+
+The sharded greedy backend solves S independent sub-problems (one per
+user shard) before its exact merge round.  This module runs those
+sub-solves, in parallel when the platform makes it cheap: like the
+experiment engine (PR 2), the parent process stashes the heavy shared
+state — the instance or index plus every shard's candidate pool — in a
+module global *before* creating a fork-based ``ProcessPoolExecutor``, so
+workers inherit it copy-on-write and each task payload is a single shard
+number.  Nothing heavyweight is ever pickled.
+
+When forking is unavailable (non-fork start method), ``jobs <= 1`` or
+there is only one shard, the shards are solved serially in-process —
+same results, since every shard solve is deterministic.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+
+#: Parent-process payload inherited copy-on-write by forked workers:
+#: ``{"solve": pool -> result, "pools": [shard pools]}``.  Set only for
+#: the lifetime of one executor; workers read it, the parent clears it.
+_PARENT: dict | None = None
+
+
+def normalize_jobs(jobs: int | None) -> int:
+    """``None``/``0``/negative → every core; otherwise ``jobs``."""
+    if not jobs or jobs < 1:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _fork_available() -> bool:
+    try:
+        return multiprocessing.get_start_method(allow_none=True) in (
+            "fork",
+            None,
+        ) and hasattr(os, "fork")
+    except ValueError:  # pragma: no cover - defensive
+        return False
+
+
+def _solve_shard(shard: int):
+    """Worker entry point: solve one shard from the inherited payload."""
+    assert _PARENT is not None, "worker forked without parent payload"
+    return _PARENT["solve"](_PARENT["pools"][shard])
+
+
+def solve_shards(
+    solve: Callable,
+    pools: Sequence,
+    jobs: int | None = 1,
+) -> list:
+    """Apply ``solve`` to every shard pool, fanning out when safe.
+
+    ``solve`` must be deterministic (the sharded backend's sub-solves
+    are), so serial and parallel execution return identical lists and the
+    parallel path is purely a wall-clock optimization.  Results come back
+    in shard order regardless of completion order.
+    """
+    pools = list(pools)
+    jobs = normalize_jobs(jobs)
+    if jobs <= 1 or len(pools) <= 1 or not _fork_available():
+        return [solve(pool) for pool in pools]
+
+    global _PARENT
+    _PARENT = {"solve": solve, "pools": pools}
+    try:
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(pools)), mp_context=context
+        ) as executor:
+            return list(executor.map(_solve_shard, range(len(pools))))
+    finally:
+        _PARENT = None

@@ -362,6 +362,87 @@ def generate_profile_repository(
     return UserRepository(profiles)
 
 
+def generate_profile_columns(
+    n_users: int,
+    n_properties: int,
+    mean_profile_size: float,
+    seed: int = 0,
+    boolean_fraction: float = 0.3,
+    chunk: int = 16384,
+):
+    """Generate a population directly as triple columns — the scale path.
+
+    Returns a :class:`~repro.core.columnar.ColumnarProfiles` with the
+    same structural traits as :func:`generate_profile_repository` (Zipf
+    property popularity with exponent 0.8, Poisson profile sizes clipped
+    to ``[1, n_properties]``, a ``boolean_fraction`` of 0/1 properties,
+    Beta(2, 2) scores elsewhere) but without instantiating a single
+    Python dict, so a million users materialize in seconds.
+
+    Per-user without-replacement popularity-weighted property draws are
+    vectorized with the Gumbel top-k trick: adding i.i.d. Gumbel noise to
+    log-popularities and taking the ``size`` largest keys per row samples
+    exactly ``size`` distinct properties with the correct (successive
+    softmax) probabilities.  Users are processed in ``chunk``-row blocks
+    to bound the ``(chunk, n_properties)`` noise matrix.
+
+    Deterministic for a given ``(args, seed)`` pair, but the stream
+    differs from :func:`generate_profile_repository` — the two generators
+    produce statistically matched, not identical, populations.  Pipelines
+    comparing dict vs columnar construction must feed both the *same*
+    columns (see :func:`~repro.core.columnar.columnar_to_repository`).
+    """
+    from ..core.columnar import ColumnarProfiles
+
+    if not 0 < mean_profile_size <= n_properties:
+        raise DatasetError(
+            f"mean_profile_size must be in (0, {n_properties}]"
+        )
+    if chunk < 1:
+        raise DatasetError(f"chunk must be >= 1, got {chunk}")
+    rng = np.random.default_rng(seed)
+    labels = tuple(f"prop{p:05d}" for p in range(n_properties))
+    is_bool = rng.random(n_properties) < boolean_fraction
+    popularity = 1.0 / np.arange(1, n_properties + 1) ** 0.8
+    popularity /= popularity.sum()
+    log_pop = np.log(popularity)
+
+    user_parts: list[np.ndarray] = []
+    prop_parts: list[np.ndarray] = []
+    for start in range(0, n_users, chunk):
+        rows = min(chunk, n_users - start)
+        sizes = np.clip(
+            rng.poisson(mean_profile_size, size=rows), 1, n_properties
+        )
+        keys = log_pop[None, :] + rng.gumbel(size=(rows, n_properties))
+        order = np.argsort(-keys, axis=1, kind="stable")
+        take = np.arange(n_properties)[None, :] < sizes[:, None]
+        prop_parts.append(order[take].astype(np.int64))
+        user_parts.append(
+            np.repeat(np.arange(start, start + rows, dtype=np.int64), sizes)
+        )
+    user_col = np.concatenate(user_parts) if user_parts else np.empty(0, np.int64)
+    prop_col = np.concatenate(prop_parts) if prop_parts else np.empty(0, np.int64)
+    m = len(prop_col)
+    score_col = np.where(
+        is_bool[prop_col],
+        rng.integers(0, 2, size=m).astype(np.float64),
+        rng.beta(2.0, 2.0, size=m),
+    )
+
+    width = max(6, len(str(max(n_users - 1, 0))))
+    user_ids = np.char.add(
+        "u", np.char.zfill(np.arange(n_users).astype(str), width)
+    )
+    return ColumnarProfiles(
+        user_ids=user_ids.astype(object),
+        property_labels=labels,
+        user_col=user_col,
+        prop_col=prop_col,
+        score_col=score_col,
+    )
+
+
 def _sample_useful_votes(
     rng: np.random.Generator, business: Business, rating: int
 ) -> int:

@@ -24,6 +24,12 @@ from .harness import (
     time_selector,
 )
 from .optimal_ratio import GREEDY_BOUND, RatioResult, mean_ratio, measure_ratio
+from .scale import (
+    QUALITY_FLOOR,
+    ScaleSetup,
+    benchmark_scale_path,
+    scale_report_failures,
+)
 from .scalability import (
     ScalabilitySetup,
     linear_fit_r2,
@@ -64,6 +70,10 @@ __all__ = [
     "RatioResult",
     "mean_ratio",
     "measure_ratio",
+    "QUALITY_FLOOR",
+    "ScaleSetup",
+    "benchmark_scale_path",
+    "scale_report_failures",
     "ScalabilitySetup",
     "linear_fit_r2",
     "scalability_in_profile_size",

@@ -195,6 +195,8 @@ def materialize_cached(spec: InstanceSpec) -> MaterializedSpec:
 _SELECTOR_FACTORIES: dict[str, Callable[[], Selector]] = {
     "podium": PodiumSelector,
     "podium-eager": lambda: PodiumSelector(method="eager"),
+    "podium-sharded": lambda: PodiumSelector(method="sharded"),
+    "podium-stochastic": lambda: PodiumSelector(method="stochastic"),
     "random": RandomSelector,
     "clustering": ClusteringSelector,
     "distance": DistanceSelector,
@@ -209,6 +211,8 @@ _SELECTOR_FACTORIES: dict[str, Callable[[], Selector]] = {
 SELECTOR_DISPLAY = {
     "podium": "Podium",
     "podium-eager": "Podium",
+    "podium-sharded": "Podium-sharded",
+    "podium-stochastic": "Podium-stochastic",
     "random": "Random",
     "clustering": "Clustering",
     "distance": "Distance",

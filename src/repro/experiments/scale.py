@@ -1,0 +1,206 @@
+"""The million-user scale benchmark (`repro bench --suite scale`).
+
+Drives the three layers of the scale path end-to-end on synthetic
+populations of growing size:
+
+1. **Columnar construction** — triple columns
+   (:func:`~repro.datasets.synth.generate_profile_columns`) straight to
+   an :class:`~repro.core.index.InstanceIndex` via
+   :func:`~repro.core.columnar.build_columnar_instance`, timed against
+   the dict-based pipeline (columns → ``UserRepository`` →
+   ``build_simple_groups`` → ``build_instance`` → index) fed the *same*
+   columns, with a selection-equality check between the two.
+2. **Sharded (GreeDi) selection** and 3. **stochastic greedy**, both run
+   straight on the index (:func:`~repro.core.greedy.select_from_index`)
+   and scored against the exact matrix greedy: the report records
+   wall-clock per stage, peak RSS and the quality ratio of each
+   approximate backend.
+
+The dict path is only exercised up to ``dict_cap`` users (it is the slow
+path the columnar pipeline replaces; running it at 500k+ would dominate
+the benchmark's own runtime) — the speedup figure is therefore reported
+at the largest *common* size.
+"""
+
+from __future__ import annotations
+
+import gc
+import resource
+import sys
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.columnar import build_columnar_instance, columnar_to_repository
+from ..core.greedy import select_from_index
+from ..core.groups import GroupingConfig, build_simple_groups
+from ..core.index import instance_index
+from ..core.instance import build_instance
+from ..datasets.synth import generate_profile_columns
+
+#: Minimum acceptable score ratio of an approximate backend vs exact
+#: greedy — the floor the acceptance tests and the CLI enforce.
+QUALITY_FLOOR = 0.95
+
+
+@dataclass(frozen=True)
+class ScaleSetup:
+    """Knobs of the scale-path benchmark."""
+
+    user_sizes: tuple[int, ...] = (100_000, 250_000, 500_000)
+    budget: int = 50
+    n_properties: int = 60
+    mean_profile_size: float = 8.0
+    seed: int = 3
+    shards: int = 4
+    jobs: int | None = 1
+    epsilon: float = 0.1
+    #: Largest size at which the dict-based pipeline is also run (the
+    #: columnar-vs-dict speedup is measured at the largest common size).
+    dict_cap: int = 250_000
+    grouping: GroupingConfig = field(default_factory=GroupingConfig)
+
+
+def _peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MiB (Linux: KiB units)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss in bytes
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+def benchmark_scale_path(setup: ScaleSetup | None = None) -> dict:
+    """Run the scale benchmark and return the ``BENCH_scale.json`` payload."""
+    setup = setup or ScaleSetup()
+    rows: list[dict] = []
+    for n_users in setup.user_sizes:
+        # Previous rows leave millions of collectable profile/group
+        # objects behind; reclaim them so GC churn and allocator
+        # fragmentation don't bleed into this row's timings.
+        gc.collect()
+        start = time.perf_counter()
+        columns = generate_profile_columns(
+            n_users=n_users,
+            n_properties=setup.n_properties,
+            mean_profile_size=setup.mean_profile_size,
+            seed=setup.seed,
+        )
+        generate_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        columnar = build_columnar_instance(
+            columns, setup.budget, grouping=setup.grouping
+        )
+        columnar_seconds = time.perf_counter() - start
+        index = columnar.index
+
+        dict_seconds = None
+        selections_match = None
+        if n_users <= setup.dict_cap:
+            # The dict pipeline consumes the *same* columns, so both
+            # paths build the same instance and must select identically.
+            start = time.perf_counter()
+            repository = columnar_to_repository(columns)
+            groups = build_simple_groups(repository, setup.grouping)
+            instance = build_instance(
+                repository, setup.budget, groups=groups
+            )
+            dict_index = instance_index(instance)
+            dict_seconds = time.perf_counter() - start
+            dict_result = select_from_index(dict_index, setup.budget)
+            del repository, groups, instance, dict_index
+            gc.collect()
+
+        select_seconds: dict[str, float] = {}
+        start = time.perf_counter()
+        exact = select_from_index(index, setup.budget, method="matrix")
+        select_seconds["matrix"] = time.perf_counter() - start
+        if n_users <= setup.dict_cap:
+            selections_match = dict_result.selected == exact.selected
+
+        start = time.perf_counter()
+        sharded = select_from_index(
+            index,
+            setup.budget,
+            method="sharded",
+            shards=setup.shards,
+            jobs=setup.jobs,
+            shard_seed=setup.seed,
+        )
+        select_seconds["sharded"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        stochastic = select_from_index(
+            index,
+            setup.budget,
+            method="stochastic",
+            epsilon=setup.epsilon,
+            rng=np.random.default_rng(setup.seed),
+        )
+        select_seconds["stochastic"] = time.perf_counter() - start
+
+        exact_score = int(exact.score)
+        quality_ratio = {
+            "sharded": (
+                sharded.score / exact_score if exact_score else 1.0
+            ),
+            "stochastic": (
+                stochastic.score / exact_score if exact_score else 1.0
+            ),
+        }
+        row = {
+            "users": n_users,
+            "entries": columns.n_entries,
+            "groups": index.n_groups,
+            "generate_seconds": generate_seconds,
+            "columnar_build_seconds": columnar_seconds,
+            "dict_build_seconds": dict_seconds,
+            "columnar_speedup": (
+                dict_seconds / columnar_seconds
+                if dict_seconds is not None and columnar_seconds
+                else None
+            ),
+            "selections_match": selections_match,
+            "select_seconds": select_seconds,
+            "exact_score": exact_score,
+            "quality_ratio": quality_ratio,
+            "peak_rss_mb": _peak_rss_mb(),
+        }
+        rows.append(row)
+    return {
+        "experiment": "scale_path",
+        "budget": setup.budget,
+        "n_properties": setup.n_properties,
+        "mean_profile_size": setup.mean_profile_size,
+        "seed": setup.seed,
+        "shards": setup.shards,
+        "jobs": setup.jobs,
+        "epsilon": setup.epsilon,
+        "dict_cap": setup.dict_cap,
+        "quality_floor": QUALITY_FLOOR,
+        "rows": rows,
+    }
+
+
+def scale_report_failures(report: dict) -> list[str]:
+    """Acceptance checks over a scale report; empty list means all green.
+
+    Enforced: every approximate backend stays at or above
+    :data:`QUALITY_FLOOR` of the exact greedy score on every row, and the
+    dict-vs-columnar selection check (where run) agrees.
+    """
+    failures: list[str] = []
+    for row in report["rows"]:
+        users = row["users"]
+        if row["selections_match"] is False:
+            failures.append(
+                f"users={users}: dict and columnar selections differ"
+            )
+        for backend, ratio in row["quality_ratio"].items():
+            if ratio < QUALITY_FLOOR:
+                failures.append(
+                    f"users={users}: {backend} quality ratio "
+                    f"{ratio:.4f} < {QUALITY_FLOOR}"
+                )
+    return failures

@@ -105,3 +105,24 @@ class TestParitySweep:
         result = greedy_select(repo, instance, method="matrix", rng=rng)
         assert len(result.selected) == len(set(result.selected))
         assert subset_score(instance, result.selected) == result.score
+
+
+class TestIndexDtypes:
+    """Small populations store CSR indices as int32; wei/cov stay int64."""
+
+    @pytest.mark.parametrize("weight_cls", (IdenWeights, LBSWeights))
+    def test_small_instances_use_int32_indices(self, weight_cls):
+        _, instance = _sweep_instance(weight_cls, SingleCoverage, seed=0)
+        index = instance_index(instance)
+        assert index.u_indices.dtype == np.int32
+        assert index.g_indices.dtype == np.int32
+        # Accumulators must not narrow with the ids.
+        assert index.wei.dtype == np.int64
+        assert index.cov.dtype == np.int64
+
+    def test_id_dtype_boundary(self):
+        from repro.core.index import id_dtype
+
+        assert id_dtype(10) is np.int32
+        assert id_dtype(np.iinfo(np.int32).max) is np.int32
+        assert id_dtype(2**31) is np.int64

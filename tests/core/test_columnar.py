@@ -1,0 +1,185 @@
+"""Columnar construction parity: columns → index ≡ dicts → index.
+
+The columnar path promises the *same* instance as the dict pipeline fed
+equivalent data — same group keys, memberships, weights and coverage —
+and therefore identical selections, while never materializing per-user
+Python dicts.  These tests pin that equivalence, the lazy dict views and
+the column-native synth generator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ColumnarProfiles,
+    GroupingConfig,
+    InvalidInstanceError,
+    PodiumError,
+    build_columnar_instance,
+    build_instance,
+    build_simple_groups,
+    columnar_to_repository,
+    greedy_select,
+    instance_index,
+    select_from_index,
+    subset_score,
+)
+from repro.datasets.synth import (
+    generate_profile_columns,
+    generate_profile_repository,
+)
+
+
+@pytest.fixture(scope="module")
+def columns():
+    return generate_profile_columns(
+        n_users=400, n_properties=25, mean_profile_size=6.0, seed=11
+    )
+
+
+def _dict_index(columns, budget, grouping=None, **schemes):
+    repository = columnar_to_repository(columns)
+    groups = build_simple_groups(repository, grouping or GroupingConfig())
+    instance = build_instance(repository, budget, groups=groups, **schemes)
+    return repository, instance, instance_index(instance)
+
+
+class TestColumnarParity:
+    @pytest.mark.parametrize("weights", ("Iden", "LBS"))
+    @pytest.mark.parametrize("coverage", ("Single", "Prop"))
+    def test_groups_weights_coverage_match_dict_path(
+        self, columns, weights, coverage
+    ):
+        from repro.core.weights import coverage_scheme, weight_scheme
+
+        columnar = build_columnar_instance(
+            columns, budget=10, weight_scheme=weights, coverage_scheme=coverage
+        )
+        _, _, dict_index = _dict_index(
+            columns,
+            10,
+            weight_scheme=weight_scheme(weights),
+            coverage_scheme=coverage_scheme(coverage),
+        )
+        index = columnar.index
+        assert set(index.group_keys) == set(dict_index.group_keys)
+        assert index.users == dict_index.users
+        for key in index.group_keys:
+            gid = index.group_pos[key]
+            other = dict_index.group_pos[key]
+            mine = {
+                index.users[r]
+                for r in index.g_indices[
+                    index.g_indptr[gid]:index.g_indptr[gid + 1]
+                ]
+            }
+            theirs = {
+                dict_index.users[r]
+                for r in dict_index.g_indices[
+                    dict_index.g_indptr[other]:dict_index.g_indptr[other + 1]
+                ]
+            }
+            assert mine == theirs, key
+            assert index.wei[gid] == dict_index.wei[other], key
+            assert index.cov[gid] == dict_index.cov[other], key
+
+    def test_selection_matches_dict_matrix_and_eager(self, columns):
+        columnar = build_columnar_instance(columns, budget=10)
+        repository, instance, _ = _dict_index(columns, 10)
+        from_index = select_from_index(columnar.index, 10)
+        eager = greedy_select(repository, instance, method="eager")
+        matrix = greedy_select(repository, instance, method="matrix")
+        assert from_index.selected == eager.selected == matrix.selected
+        assert from_index.score == eager.score
+        assert from_index.gains == eager.gains
+        assert from_index.instance is None
+
+    def test_from_repository_roundtrip(self):
+        repository = generate_profile_repository(
+            n_users=80, n_properties=15, mean_profile_size=5.0, seed=4
+        )
+        columns = ColumnarProfiles.from_repository(repository)
+        back = columnar_to_repository(columns)
+        assert back.user_ids == repository.user_ids
+        for user_id in repository.user_ids:
+            assert (
+                back.profile(user_id).scores
+                == repository.profile(user_id).scores
+            )
+
+    def test_min_support_and_fixed_splits_respected(self, columns):
+        grouping = GroupingConfig(min_support=50, fixed_splits=(0.4, 0.65))
+        columnar = build_columnar_instance(columns, budget=5, grouping=grouping)
+        _, _, dict_index = _dict_index(columns, 5, grouping=grouping)
+        assert set(columnar.index.group_keys) == set(dict_index.group_keys)
+        assert (
+            select_from_index(columnar.index, 5).selected
+            == select_from_index(dict_index, 5).selected
+        )
+
+
+class TestColumnarViews:
+    def test_to_instance_carries_prebuilt_index(self, columns):
+        columnar = build_columnar_instance(columns, budget=8)
+        instance = columnar.to_instance()
+        # The lazy view reuses the columnar index — no re-encode.
+        assert instance_index(instance) is columnar.index
+        assert instance.population_size == columns.n_users
+        assert (
+            subset_score(instance, columnar.select().selected)
+            == columnar.select().score
+        )
+
+    def test_view_selection_matches_index_selection(self, columns):
+        columnar = build_columnar_instance(columns, budget=8)
+        eager = greedy_select(
+            columnar.to_repository(), columnar.to_instance(), method="eager"
+        )
+        assert eager.selected == columnar.select().selected
+
+    def test_ebs_rejected(self, columns):
+        with pytest.raises(PodiumError, match="EBS"):
+            build_columnar_instance(columns, budget=5, weight_scheme="EBS")
+
+    def test_bad_budget_rejected(self, columns):
+        with pytest.raises(InvalidInstanceError):
+            build_columnar_instance(columns, budget=0)
+
+
+class TestColumnGenerator:
+    def test_deterministic_per_seed(self):
+        a = generate_profile_columns(200, 12, 4.0, seed=5)
+        b = generate_profile_columns(200, 12, 4.0, seed=5)
+        assert np.array_equal(a.user_col, b.user_col)
+        assert np.array_equal(a.prop_col, b.prop_col)
+        assert np.array_equal(a.score_col, b.score_col)
+        c = generate_profile_columns(200, 12, 4.0, seed=6)
+        assert not np.array_equal(a.score_col, c.score_col)
+
+    def test_small_chunks_still_deterministic_and_complete(self):
+        a = generate_profile_columns(300, 10, 3.0, seed=9, chunk=64)
+        b = generate_profile_columns(300, 10, 3.0, seed=9, chunk=64)
+        assert np.array_equal(a.user_col, b.user_col)
+        assert np.array_equal(a.score_col, b.score_col)
+        assert np.bincount(a.user_col, minlength=300).min() >= 1
+
+    def test_profiles_valid(self):
+        cols = generate_profile_columns(500, 20, 6.0, seed=1)
+        assert cols.n_users == 500
+        # Every user draws at least one property, no duplicates per user.
+        sizes = np.bincount(cols.user_col, minlength=500)
+        assert sizes.min() >= 1
+        pairs = set(zip(cols.user_col.tolist(), cols.prop_col.tolist()))
+        assert len(pairs) == cols.n_entries
+        assert 0.0 <= cols.score_col.min() <= cols.score_col.max() <= 1.0
+
+    def test_parallel_column_validation(self):
+        cols = generate_profile_columns(50, 8, 3.0, seed=2)
+        with pytest.raises(InvalidInstanceError):
+            ColumnarProfiles(
+                user_ids=cols.user_ids,
+                property_labels=cols.property_labels,
+                user_col=cols.user_col,
+                prop_col=cols.prop_col,
+                score_col=cols.score_col[:-1],
+            )

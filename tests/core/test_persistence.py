@@ -1,7 +1,8 @@
-"""Unit tests for grouping-module checkpoints (JSON persistence)."""
+"""Unit tests for grouping-module checkpoints (JSON + ``.npz`` persistence)."""
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.core import (
@@ -9,6 +10,8 @@ from repro.core import (
     EBSWeights,
     build_instance,
     greedy_select,
+    instance_index,
+    select_from_index,
     subset_score,
 )
 from repro.core.persistence import (
@@ -16,7 +19,9 @@ from repro.core.persistence import (
     group_set_to_dict,
     instance_from_dict,
     instance_to_dict,
+    load_index_npz,
     load_instance,
+    save_index_npz,
     save_instance,
 )
 
@@ -83,3 +88,56 @@ class TestInstanceRoundtrip:
         document["cov"] = {"broken": "much"}
         with pytest.raises(DatasetError):
             instance_from_dict(document)
+
+
+class TestIndexNpzRoundtrip:
+    def test_selection_identical_after_roundtrip(
+        self, table2_instance, tmp_path
+    ):
+        index = instance_index(table2_instance)
+        path = tmp_path / "index.npz"
+        save_index_npz(index, path)
+        restored = load_index_npz(path)
+        original = select_from_index(index, table2_instance.budget)
+        replay = select_from_index(restored, table2_instance.budget)
+        assert replay.selected == original.selected
+        assert replay.score == original.score
+        assert replay.gains == original.gains
+
+    def test_arrays_and_keys_survive(self, table2_instance, tmp_path):
+        index = instance_index(table2_instance)
+        path = tmp_path / "index.npz"
+        save_index_npz(index, path)
+        restored = load_index_npz(path)
+        assert restored.users == index.users
+        assert restored.group_keys == index.group_keys
+        assert restored.vectorizable
+        for name in ("u_indptr", "u_indices", "g_indptr", "g_indices"):
+            assert np.array_equal(getattr(restored, name), getattr(index, name))
+        assert np.array_equal(restored.wei, index.wei)
+        assert np.array_equal(restored.cov, index.cov)
+        assert np.array_equal(restored.initial_gains, index.initial_gains)
+
+    def test_non_vectorizable_index_rejected(self, tmp_path):
+        from repro.core import GroupingConfig, build_simple_groups
+        from repro.datasets.synth import generate_profile_repository
+
+        # EBS weights over dozens of ranked groups overflow int64, so the
+        # index refuses to vectorize — and refuses to serialize.
+        repo = generate_profile_repository(
+            n_users=60, n_properties=30, mean_profile_size=10.0, seed=2
+        )
+        groups = build_simple_groups(repo, GroupingConfig())
+        instance = build_instance(
+            repo, 6, groups=groups, weight_scheme=EBSWeights()
+        )
+        index = instance_index(instance)
+        assert not index.vectorizable
+        with pytest.raises(DatasetError):
+            save_index_npz(index, tmp_path / "index.npz")
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, format=np.asarray("not-an-index"))
+        with pytest.raises(DatasetError):
+            load_index_npz(path)

@@ -9,8 +9,9 @@ from repro.core import (
     build_instance,
     build_simple_groups,
     greedy_select,
+    instance_index,
 )
-from repro.core.groups import GroupKey
+from repro.core.groups import Group, GroupKey
 from repro.core.updates import (
     IncrementalPodium,
     ProfileDelta,
@@ -181,9 +182,79 @@ class TestIncrementalPodium:
         assert "Gina" in updated.selected
         assert len(podium.repository) == 6
 
+    def test_update_then_matrix_selection_matches_eager(
+        self, table2_repo, table2_groups
+    ):
+        """The matrix backend after ``update`` must see the new instance,
+        not a stale cached index warmed before the update."""
+        podium = IncrementalPodium(table2_repo, table2_groups, budget=2)
+        greedy_select(podium.repository, podium.instance, method="matrix")
+        gina = UserProfile(
+            "Gina",
+            {
+                "livesIn Paris": 1.0,
+                "avgRating Mexican": 0.8,
+                "visitFreq Mexican": 0.5,
+                "avgRating CheapEats": 0.5,
+                "visitFreq CheapEats": 0.25,
+                "ageGroup 50-64": 1.0,
+            },
+        )
+        podium.update(ProfileDelta(upserts=(gina,)))
+        eager = greedy_select(podium.repository, podium.instance, method="eager")
+        matrix = greedy_select(
+            podium.repository, podium.instance, method="matrix"
+        )
+        assert matrix.selected == eager.selected
+        assert matrix.score == eager.score
+        assert "Gina" in matrix.selected
+
     def test_rebucket_refreshes_boundaries(self, table2_repo, table2_groups):
         podium = IncrementalPodium(table2_repo, table2_groups, budget=2)
         podium.rebucket(GroupingConfig(fixed_splits=(0.4, 0.65)))
         assert len(podium.groups) == 16
         result = greedy_select(podium.repository, podium.instance)
         assert result.score == 17
+
+
+class TestIndexCacheInvalidation:
+    """The cached sparse index must drop when the group set mutates.
+
+    Regression: the index was cached on the instance without a version
+    check, so a matrix selection warmed before an in-place ``GroupSet``
+    mutation silently replayed the pre-mutation incidence.
+    """
+
+    def test_in_place_group_mutation_invalidates_cache(self, table2_repo):
+        # Private group set: the shared fixture is session-scoped and must
+        # not be mutated.
+        groups = build_simple_groups(table2_repo, example_grouping_config())
+        instance = build_instance(table2_repo, 2, groups=groups)
+        greedy_select(table2_repo, instance, method="matrix")  # warm cache
+        stale = instance_index(instance)
+
+        # Re-adding under the same key replaces the group in place: the
+        # instance object is untouched but its incidence changed.
+        mexican = groups.group(GroupKey("avgRating Mexican", "high"))
+        assert "Eve" in mexican.members
+        groups.add(
+            Group(
+                mexican.key,
+                mexican.members - {"Eve"},
+                mexican.bucket,
+                mexican.label,
+            )
+        )
+
+        fresh = instance_index(instance)
+        assert fresh is not stale
+        eager = greedy_select(table2_repo, instance, method="eager")
+        matrix = greedy_select(table2_repo, instance, method="matrix")
+        assert matrix.selected == eager.selected
+        assert matrix.score == eager.score
+
+    def test_unmutated_group_set_keeps_cached_index(
+        self, table2_repo, table2_groups
+    ):
+        instance = build_instance(table2_repo, 2, groups=table2_groups)
+        assert instance_index(instance) is instance_index(instance)
