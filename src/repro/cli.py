@@ -124,8 +124,18 @@ def _cmd_select(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import logging
+
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper(), logging.INFO),
+        format="%(asctime)s %(name)s %(message)s",
+        stream=sys.stderr,
+    )
     service = _load_service(args.profiles, args)
-    serve(service, host=args.host, port=args.port)
+    snapshot = serve(service, host=args.host, port=args.port)
+    from .service.viz import render_metrics_text
+
+    print(render_metrics_text(snapshot), file=sys.stderr)
     return 0
 
 
@@ -332,6 +342,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_selection_flags(server)
     server.add_argument("--host", default="127.0.0.1")
     server.add_argument("--port", type=int, default=8808)
+    server.add_argument(
+        "--log-level",
+        default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="per-request structured log verbosity",
+    )
     server.set_defaults(handler=_cmd_serve)
 
     report = commands.add_parser("report", help="regenerate EXPERIMENTS.md")

@@ -24,12 +24,14 @@ from __future__ import annotations
 import math
 from collections.abc import Iterable
 from dataclasses import dataclass
+from fractions import Fraction
 
 import numpy as np
 
 from .errors import InfeasibleSelectionError, InvalidFeedbackError
 from .greedy import SelectionResult, greedy_select
 from .groups import GroupKey, GroupSet
+from .index import InstanceIndex, attach_index, instance_index
 from .instance import DiversificationInstance
 from .profiles import UserRepository
 from .scoring import subset_score
@@ -110,11 +112,93 @@ def refine_users(
     return eligible
 
 
-def _integer_weight_scale(standard_max: Weight) -> int:
-    """An exact integer strictly greater than the max standard score."""
+def _refine_users_index(
+    index: InstanceIndex,
+    repository: UserRepository,
+    feedback: CustomizationFeedback,
+) -> list[str]:
+    """Vectorized :func:`refine_users`: boolean masks over CSR incidence.
+
+    Must-not groups clear their members' bits with one row gather; each
+    must-have property sets an "in some must-have bucket" mask the same
+    way and AND-s it in.  Users the index does not know sit in no group:
+    they can never violate must-not and only pass when there is no
+    must-have constraint — exactly the eager loop's semantics.  The
+    returned pool preserves repository iteration order, like the eager
+    implementation.
+    """
+    eligible = np.ones(index.n_users, dtype=bool)
+    if feedback.must_not:
+        forbidden = np.fromiter(
+            (index.group_pos[k] for k in feedback.must_not),
+            dtype=np.int64,
+            count=len(feedback.must_not),
+        )
+        eligible[index.members_of_rows(forbidden)] = False
+    must_have_by_property: dict[str, list[GroupKey]] = {}
+    for key in feedback.must_have:
+        must_have_by_property.setdefault(key.property_label, []).append(key)
+    for keys in must_have_by_property.values():
+        wanted = np.fromiter(
+            (index.group_pos[k] for k in keys), dtype=np.int64, count=len(keys)
+        )
+        in_some_bucket = np.zeros(index.n_users, dtype=bool)
+        in_some_bucket[index.members_of_rows(wanted)] = True
+        eligible &= in_some_bucket
+    eligible_ids = {index.users[i] for i in np.flatnonzero(eligible)}
+    if must_have_by_property:
+        return [u for u in repository.user_ids if u in eligible_ids]
+    indexed = index.user_pos
+    return [
+        u
+        for u in repository.user_ids
+        if u in eligible_ids or u not in indexed
+    ]
+
+
+def _exact_weight(weight: Weight) -> int | Fraction:
+    """Lift a weight into exact arithmetic (floats become exact binary
+    rationals, so no information is invented or lost)."""
+    if isinstance(weight, int) and not isinstance(weight, bool):
+        return weight
+    if isinstance(weight, Fraction):
+        return weight
+    return Fraction(weight)
+
+
+def _integer_weight_scale(
+    standard_max: Weight, priority_weights: Iterable[Weight] = ()
+) -> int:
+    """An exact integer scale enforcing lexicographic priority dominance.
+
+    With integer weights any positive priority-score difference is >= 1,
+    so ``floor(standard_max) + 1`` suffices.  With non-integer weights
+    the smallest positive difference between two priority scores is
+    ``1/D`` where ``D`` is the lcm of the (exact rational) priority
+    weights' denominators, so the scale is multiplied by ``D`` — the
+    pre-scaling that keeps ``scale · Δpriority > standard_max`` exact
+    instead of trusting float rounding.
+    """
+    denominator = 1
+    for weight in priority_weights:
+        exact = _exact_weight(weight)
+        if isinstance(exact, Fraction):
+            denominator = math.lcm(denominator, exact.denominator)
     if isinstance(standard_max, int):
-        return standard_max + 1
-    return math.floor(standard_max) + 1
+        base = standard_max + 1
+    else:
+        base = math.floor(_exact_weight(standard_max)) + 1
+    return base * denominator
+
+
+def _exact_standard_max(
+    instance: DiversificationInstance, standard: frozenset[GroupKey]
+) -> Weight:
+    """``Σ_{G in G_d?} wei(G)·cov(G)`` in exact arithmetic."""
+    total: int | Fraction = 0
+    for key in standard:
+        total += _exact_weight(instance.wei[key]) * instance.cov[key]
+    return total
 
 
 def customized_instance(
@@ -127,24 +211,47 @@ def customized_instance(
     ignored per Def. 6.1); priority groups get their weight multiplied by
     ``MAX_SCORE``, an integer exceeding the best achievable standard
     score ``Σ_{G in G_d?} wei(G)·cov(G)``.
+
+    All arithmetic is exact: integer weights stay integers (the common
+    LBS/Iden/EBS case), while float weights are lifted into
+    :class:`~fractions.Fraction` and the scale absorbs their common
+    denominator, so the lexicographic order survives even adversarially
+    close scores that float multiplication would collapse.
     """
     feedback.validate(instance.groups)
     standard = feedback.resolve_standard(instance.groups)
     active = feedback.priority | standard
     restricted = instance.restricted_to_groups(active)
 
-    standard_max: Weight = sum(
-        instance.wei[k] * instance.cov[k] for k in standard
+    standard_max = _exact_standard_max(instance, standard)
+    all_int = all(
+        isinstance(instance.wei[k], int)
+        and not isinstance(instance.wei[k], bool)
+        for k in restricted.groups.keys
     )
-    scale = _integer_weight_scale(standard_max)
-    wei = {
-        key: (
-            instance.wei[key] * scale
-            if key in feedback.priority
-            else instance.wei[key]
+    if all_int:
+        scale = _integer_weight_scale(standard_max)
+        wei: dict[GroupKey, Weight] = {
+            key: (
+                instance.wei[key] * scale
+                if key in feedback.priority
+                else instance.wei[key]
+            )
+            for key in restricted.groups.keys
+        }
+    else:
+        scale = _integer_weight_scale(
+            standard_max,
+            (instance.wei[k] for k in feedback.priority),
         )
-        for key in restricted.groups.keys
-    }
+        wei = {
+            key: (
+                _exact_weight(instance.wei[key]) * scale
+                if key in feedback.priority
+                else _exact_weight(instance.wei[key])
+            )
+            for key in restricted.groups.keys
+        }
     return DiversificationInstance(
         groups=restricted.groups,
         wei=wei,
@@ -152,6 +259,70 @@ def customized_instance(
         budget=instance.budget,
         population_size=instance.population_size,
     )
+
+
+def customized_index(
+    instance: DiversificationInstance,
+    feedback: CustomizationFeedback,
+) -> InstanceIndex | None:
+    """Build the rescaled instance's sparse index by pure array ops.
+
+    Rather than re-encoding the rescaled dict instance from scratch, the
+    active groups are sliced out of the base instance's cached index and
+    the priority rows' weights multiplied by the exact integer scale —
+    the same numbers :func:`customized_instance` materializes, so matrix
+    selections over the derived index match the eager path bit for bit.
+    Returns ``None`` when the base index is not vectorizable (EBS
+    big-ints, float weights); callers then fall back to the dict path.
+    """
+    index = instance_index(instance)
+    if not index.vectorizable:
+        return None
+    assert index.wei is not None
+    standard = feedback.resolve_standard(instance.groups)
+    active_keys = feedback.priority | standard
+    active = np.fromiter(
+        sorted(index.group_pos[k] for k in active_keys),
+        dtype=np.int64,
+        count=len(active_keys),
+    )
+    standard_max = sum(
+        int(index.wei[index.group_pos[k]]) * int(instance.cov[k])
+        for k in standard
+    )
+    scale = _integer_weight_scale(standard_max)
+    priority_ids = {index.group_pos[k] for k in feedback.priority}
+    weights = [
+        int(index.wei[g]) * (scale if int(g) in priority_ids else 1)
+        for g in active
+    ]
+    return index.restricted_scaled(active, weights)
+
+
+def _score_over_keys(
+    instance: DiversificationInstance,
+    index: InstanceIndex | None,
+    keys: frozenset[GroupKey],
+    selected: Iterable[str],
+) -> Weight:
+    """``score`` of ``selected`` restricted to the groups in ``keys``.
+
+    On a vectorizable index this is a masked gather over the cached hit
+    counts — no restricted dict instance (and hence no throwaway index
+    build) is materialized per request.
+    """
+    if not keys:
+        return 0
+    if index is not None and index.vectorizable:
+        assert index.wei is not None
+        ids = np.fromiter(
+            (index.group_pos[k] for k in keys), dtype=np.int64, count=len(keys)
+        )
+        hits = index.group_hits(index.selection_mask(selected))
+        return int(
+            np.sum(index.wei[ids] * np.minimum(hits[ids], index.cov[ids]))
+        )
+    return subset_score(instance.restricted_to_groups(keys), selected)
 
 
 @dataclass(frozen=True)
@@ -179,20 +350,43 @@ def custom_select(
     instance: DiversificationInstance,
     feedback: CustomizationFeedback,
     budget: int | None = None,
-    method: str = "eager",
+    method: str = "matrix",
     rng: np.random.Generator | None = None,
 ) -> CustomSelectionResult:
     """Solve CUSTOM-DIVERSITY greedily (Prop. 6.5).
 
+    The default ``method="matrix"`` runs the whole pipeline on the sparse
+    index when the instance is vectorizable: the refined pool ``U'`` is a
+    boolean mask over the CSR incidence and the rescaled instance's index
+    is derived by integer ops on the base index's ``wei`` array
+    (:func:`customized_index`), so no per-request dict re-encode happens.
+    Selections are identical to ``method="eager"`` for every feedback —
+    non-vectorizable instances transparently take the exact dict path.
+
     Raises :class:`InfeasibleSelectionError` when the must-have/must-not
     filters eliminate every candidate.
     """
-    pool = refine_users(repository, instance.groups, feedback)
+    base_index = (
+        instance_index(instance)
+        if method in ("matrix", "sharded", "stochastic")
+        else None
+    )
+    if base_index is not None and base_index.vectorizable:
+        feedback.validate(instance.groups)
+        pool = _refine_users_index(base_index, repository, feedback)
+    else:
+        pool = refine_users(repository, instance.groups, feedback)
     if not pool:
         raise InfeasibleSelectionError(
             "customization feedback filtered out every user"
         )
     rescaled = customized_instance(instance, feedback)
+    if base_index is not None and base_index.vectorizable:
+        derived = customized_index(instance, feedback)
+        if derived is not None:
+            # greedy_select's array backends fetch the cached index, so
+            # pre-attaching the derived build avoids the dict re-encode.
+            attach_index(rescaled, derived)
     result = greedy_select(
         repository,
         rescaled,
@@ -202,12 +396,12 @@ def custom_select(
         rng=rng,
     )
     standard = feedback.resolve_standard(instance.groups)
-    priority_score = subset_score(
-        instance.restricted_to_groups(feedback.priority), result.selected
-    ) if feedback.priority else 0
-    standard_score = subset_score(
-        instance.restricted_to_groups(standard), result.selected
-    ) if standard else 0
+    priority_score = _score_over_keys(
+        instance, base_index, feedback.priority, result.selected
+    )
+    standard_score = _score_over_keys(
+        instance, base_index, standard, result.selected
+    )
     return CustomSelectionResult(
         result=result,
         feedback=feedback,

@@ -560,6 +560,7 @@ def select_from_index(
     shard_seed: int = 0,
     epsilon: float = 0.1,
     sample_ratio: float | None = None,
+    instance: DiversificationInstance | None = None,
 ) -> SelectionResult:
     """Run a vectorized backend straight on an :class:`InstanceIndex`.
 
@@ -568,7 +569,10 @@ def select_from_index(
     force the dict-based instance into existence.  Only the array
     backends are available — the index must be :attr:`vectorizable`
     (columnar builds always are) — and the returned
-    :class:`SelectionResult` carries ``instance=None``.
+    :class:`SelectionResult` carries ``instance=None`` unless the caller
+    passes the dict-based ``instance`` the index encodes (the serving
+    path does, so explanations can run on the result without the backend
+    ever touching the dict structures).
 
     ``candidates`` defaults to every indexed user; ids the index does not
     know are ignored (they sit in no group, so they can never contribute).
@@ -606,5 +610,8 @@ def select_from_index(
             f"'sharded' or 'stochastic'"
         )
     return SelectionResult(
-        selected=tuple(selected), score=score, gains=tuple(gains)
+        selected=tuple(selected),
+        score=score,
+        gains=tuple(gains),
+        instance=instance,
     )

@@ -255,6 +255,48 @@ class InstanceIndex:
             vectorizable=vectorizable,
         )
 
+    def restricted_scaled(
+        self, group_dense_ids: np.ndarray, weights: list
+    ) -> "InstanceIndex":
+        """Derived index over a group subset with replacement weights.
+
+        The customization path (paper §6) restricts an instance to the
+        active groups ``G_d ∪ G_d?`` and rescales priority weights; doing
+        that on the dict-based instance re-walks every membership set in
+        Python.  Here the restriction is pure array work on the existing
+        CSR arrays: group rows are sliced and re-numbered, the user-side
+        CSR is rebuilt with the same stable counting sort as
+        :meth:`build`, and ``weights`` (exact Python ints, parallel to
+        ``group_dense_ids``) replace the originals.  The user id space is
+        kept whole — users left with no active group simply have empty
+        rows and zero initial gain, which selects identically to absent
+        users.
+        """
+        group_dense_ids = np.asarray(group_dense_ids, dtype=np.int64)
+        m = len(group_dense_ids)
+        sizes = self.row_sizes(group_dense_ids)
+        g_indptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(sizes, out=g_indptr[1:])
+        g_indices = self.members_of_rows(group_dense_ids)
+        entry_group = np.repeat(np.arange(m, dtype=id_dtype(m)), sizes)
+        order = np.argsort(g_indices, kind="stable")
+        u_indices = entry_group[order]
+        degree = np.bincount(
+            g_indices, minlength=self.n_users
+        ).astype(np.int64)
+        u_indptr = np.zeros(self.n_users + 1, dtype=np.int64)
+        np.cumsum(degree, out=u_indptr[1:])
+        return InstanceIndex.from_csr(
+            users=self.users,
+            group_keys=tuple(self.group_keys[g] for g in group_dense_ids),
+            u_indptr=u_indptr,
+            u_indices=u_indices,
+            g_indptr=g_indptr,
+            g_indices=g_indices,
+            cov=self.cov[group_dense_ids].copy(),
+            weights=weights,
+        )
+
     # -- row access --------------------------------------------------------
 
     def groups_of_row(self, user_dense_id: int) -> np.ndarray:

@@ -1,22 +1,45 @@
-"""Prototype service: configurations, selection API, visualization."""
+"""Production service: configurations, cached selection API, metrics."""
 
-from .app import PodiumService, make_wsgi_app, parse_feedback, serve
+from .app import (
+    PodiumService,
+    ThreadingWSGIServer,
+    make_http_server,
+    make_wsgi_app,
+    parse_feedback,
+    parse_profile_delta,
+    serve,
+)
+from .concurrency import ReadWriteLock
 from .config import (
     ConfigurationStore,
     DiversificationConfiguration,
     default_configuration,
 )
-from .viz import explanation_payload, render_html, render_text
+from .metrics import ServiceMetrics, StageTimer, request_log_record
+from .viz import (
+    explanation_payload,
+    render_html,
+    render_metrics_text,
+    render_text,
+)
 
 __all__ = [
     "PodiumService",
+    "ThreadingWSGIServer",
+    "make_http_server",
     "make_wsgi_app",
     "parse_feedback",
+    "parse_profile_delta",
     "serve",
+    "ReadWriteLock",
     "ConfigurationStore",
     "DiversificationConfiguration",
     "default_configuration",
+    "ServiceMetrics",
+    "StageTimer",
+    "request_log_record",
     "explanation_payload",
     "render_html",
+    "render_metrics_text",
     "render_text",
 ]

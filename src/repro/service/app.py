@@ -1,4 +1,4 @@
-"""The Podium prototype service (paper §7, Fig. 1).
+"""The Podium production service (paper §7, Fig. 1).
 
 The original system is a Flask app; offline we provide the same
 architecture on the standard library: a :class:`PodiumService` facade
@@ -7,12 +7,38 @@ configuration), the Selection Module (greedy / customized selection) and
 the Visualization module (explanation payloads), plus a plain WSGI
 adapter exposing it over HTTP.
 
+Unlike the prototype, the serving path is built for sustained traffic:
+
+* **Artifact cache** — every configuration's ``(GroupSet,
+  DiversificationInstance, InstanceIndex)`` triple is built once and
+  reused across requests, keyed on the repository generation, the
+  configuration object and ``GroupSet.version``; repeated ``/select``
+  calls against an unchanged repository perform zero instance rebuilds.
+* **Vectorized selection** — plain selections run
+  :func:`~repro.core.greedy.select_from_index` over the cached sparse
+  index, and customized selections use the matrix customization path
+  (CSR-mask refinement + integer-rescaled derived index).
+* **Incremental updates** — ``POST /profiles/delta`` applies a
+  :class:`~repro.core.updates.ProfileDelta` through the §9 incremental
+  machinery (frozen buckets, re-assigned members, re-materialized
+  weights) instead of a full reload + regroup.
+* **Concurrency** — requests are served by a
+  :class:`ThreadingWSGIServer`; a writer-preferring
+  :class:`~repro.service.concurrency.ReadWriteLock` lets selections run
+  concurrently while repository/cache swaps are exclusive, so in-flight
+  requests always see a consistent snapshot.
+* **Observability** — per-request structured JSON logs and a
+  ``GET /metrics`` endpoint (request/error counts per route, cache
+  hit/miss counters, per-stage timings).
+
 Routes
 ------
 ``GET  /health``          — liveness + corpus stats
+``GET  /metrics``         — request metrics, cache counters, timings
 ``GET  /configurations``  — list stored configurations
 ``POST /configurations``  — add a configuration (JSON body)
 ``POST /profiles``        — load a profile document (JSON body)
+``POST /profiles/delta``  — apply an incremental profile delta
 ``GET  /groups``          — group explanations for ``?configuration=``
 ``POST /select``          — run a selection request (JSON body)
 ``GET  /explain.html``    — the Fig. 2 explanation page as static HTML
@@ -24,30 +50,51 @@ A selection request body::
      "feedback": {"must_have": [["avgRating Mexican", "high"]],
                   "must_not": [], "priority": [], "standard": null},
      "distribution_properties": ["avgRating Mexican"]}
+
+A profile delta body::
+
+    {"upserts": {"Alice": {"avgRating Mexican": 0.9}},
+     "removals": ["Bob"]}
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from socketserver import ThreadingMixIn
 from typing import Any, Callable
-from wsgiref.simple_server import make_server
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
 from ..core.customization import CustomizationFeedback, custom_select
-from ..core.errors import PodiumError, ServiceError
+from ..core.errors import InvalidBudgetError, PodiumError, ServiceError
 from ..core.explanations import explain_selection
-from ..core.greedy import greedy_select
+from ..core.greedy import SelectionResult, greedy_select, select_from_index
 from ..core.groups import GroupKey, GroupSet, build_simple_groups
+from ..core.index import InstanceIndex, instance_index
 from ..core.instance import DiversificationInstance, build_instance
-from ..core.profiles import UserRepository
+from ..core.profiles import UserProfile, UserRepository
+from ..core.updates import (
+    ProfileDelta,
+    apply_delta_to_repository,
+    reassign_groups,
+    rebuild_instance,
+)
+from .concurrency import ReadWriteLock
 from .config import (
     ConfigurationStore,
     DiversificationConfiguration,
     default_configuration,
 )
+from .metrics import ServiceMetrics, StageTimer, request_log_record
 from .viz import explanation_payload
 
+logger = logging.getLogger("repro.service")
 
-def _parse_group_keys(pairs: Any, field: str) -> frozenset[GroupKey]:
+
+def _parse_group_keys(pairs: Any, field_name: str) -> frozenset[GroupKey]:
     if pairs is None:
         return frozenset()
     try:
@@ -56,7 +103,7 @@ def _parse_group_keys(pairs: Any, field: str) -> frozenset[GroupKey]:
         )
     except (TypeError, ValueError) as exc:
         raise ServiceError(
-            f"feedback field {field!r} must be a list of "
+            f"feedback field {field_name!r} must be a list of "
             f"[property, bucket] pairs: {exc}"
         ) from exc
 
@@ -78,19 +125,77 @@ def parse_feedback(data: dict[str, Any] | None) -> CustomizationFeedback:
     )
 
 
+def parse_profile_delta(document: dict[str, Any]) -> ProfileDelta:
+    """Parse the ``/profiles/delta`` JSON body into a :class:`ProfileDelta`."""
+    upserts_raw = document.get("upserts") or {}
+    if not isinstance(upserts_raw, dict):
+        raise ServiceError(
+            "delta field 'upserts' must map user ids to {property: score}"
+        )
+    upserts = []
+    for user_id, scores in upserts_raw.items():
+        if not isinstance(scores, dict):
+            raise ServiceError(
+                f"upsert for user {user_id!r} must be a "
+                f"{{property: score}} object"
+            )
+        upserts.append(UserProfile(str(user_id), scores))
+    removals_raw = document.get("removals") or []
+    if not isinstance(removals_raw, list):
+        raise ServiceError("delta field 'removals' must be a list of user ids")
+    return ProfileDelta(
+        upserts=tuple(upserts),
+        removals=frozenset(str(u) for u in removals_raw),
+    )
+
+
+@dataclass
+class _ConfigArtifacts:
+    """Cached serving artifacts of one configuration.
+
+    An entry is valid while the repository generation it was built at is
+    current, the configuration object is still the stored one (re-putting
+    a configuration replaces the object) and the group set has not been
+    mutated in place (``GroupSet.version``).  ``instances`` maps the
+    effective budget to its built instance; the instance's sparse index
+    is pre-warmed at build time and cached on the instance itself.
+    """
+
+    config: DiversificationConfiguration
+    generation: int
+    groups: GroupSet
+    groups_version: int
+    instances: dict[int, DiversificationInstance] = field(
+        default_factory=dict
+    )
+
+
 class PodiumService:
-    """Facade over the grouping, selection and visualization modules."""
+    """Facade over the grouping, selection and visualization modules.
+
+    Thread-safe: public entry points take a reader–writer lock — reads
+    (selections, listings, metrics) run concurrently, mutations
+    (profile loads, deltas, configuration changes) are exclusive and
+    invalidate or refresh the artifact cache.
+    """
 
     def __init__(
         self,
         repository: UserRepository | None = None,
         configurations: ConfigurationStore | None = None,
+        metrics: ServiceMetrics | None = None,
     ) -> None:
         self._repository = repository
         self._configurations = configurations or ConfigurationStore(
             (default_configuration(),)
         )
-        self._group_cache: dict[str, GroupSet] = {}
+        self._cache: dict[str, _ConfigArtifacts] = {}
+        self._generation = 0
+        self._lock = ReadWriteLock()
+        # Builds happen under the shared (read) lock: double-checked
+        # against this mutex so concurrent cold starts build once.
+        self._build_lock = threading.Lock()
+        self.metrics = metrics or ServiceMetrics()
 
     # -- repository management -------------------------------------------
 
@@ -101,48 +206,235 @@ class PodiumService:
         return self._repository
 
     def load_repository(self, repository: UserRepository) -> None:
-        """Swap the user repository; invalidates all cached groupings."""
-        self._repository = repository
-        self._group_cache.clear()
+        """Swap the user repository; invalidates all cached artifacts."""
+        with self._lock.write():
+            self._repository = repository
+            self._generation += 1
+            self._cache.clear()
+
+    def apply_profile_delta(self, delta: ProfileDelta) -> dict[str, Any]:
+        """Apply a batch of upserts/removals incrementally (paper §9).
+
+        Instead of a full reload + regroup, cached group sets are kept
+        with frozen bucket boundaries: touched users are re-assigned to
+        the existing buckets and weights/coverage re-materialized, so the
+        expensive offline bucketing step is skipped for every cached
+        configuration.
+        """
+        with self._lock.write():
+            if self._repository is None:
+                raise ServiceError("no profiles loaded")
+            repository = apply_delta_to_repository(self._repository, delta)
+            self._repository = repository
+            self._generation += 1
+            refreshed: list[str] = []
+            for name, entry in list(self._cache.items()):
+                current = (
+                    self._configurations.get(name)
+                    if name in self._configurations
+                    else None
+                )
+                if (
+                    current is None
+                    or entry.config is not current
+                    or entry.groups_version != entry.groups.version
+                ):
+                    del self._cache[name]
+                    continue
+                groups = reassign_groups(entry.groups, repository, delta)
+                weight, coverage = entry.config.schemes()
+                instances: dict[int, DiversificationInstance] = {}
+                for budget in entry.instances:
+                    instance = rebuild_instance(
+                        groups, repository, budget, weight, coverage
+                    )
+                    instance_index(instance)
+                    instances[budget] = instance
+                self._cache[name] = _ConfigArtifacts(
+                    config=current,
+                    generation=self._generation,
+                    groups=groups,
+                    groups_version=groups.version,
+                    instances=instances,
+                )
+                refreshed.append(name)
+            return {
+                "users": len(repository),
+                "upserts": len(delta.upserts),
+                "removals": len(delta.removals),
+                "generation": self._generation,
+                "refreshed_configurations": sorted(refreshed),
+            }
 
     @property
     def configurations(self) -> ConfigurationStore:
         return self._configurations
 
+    def put_configuration(
+        self, config: DiversificationConfiguration
+    ) -> None:
+        """Insert or replace a configuration, dropping its stale artifacts."""
+        with self._lock.write():
+            self._configurations.put(config)
+            self._cache.pop(config.name, None)
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Public corpus/cache statistics (used by ``/health``, ``/metrics``)."""
+        with self._lock.read():
+            return self._stats()
+
+    def _stats(self) -> dict[str, Any]:
+        return {
+            "users": len(self._repository) if self._repository else 0,
+            "configurations": self._configurations.names(),
+            "cached_configurations": sorted(self._cache),
+            "generation": self._generation,
+        }
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The ``GET /metrics`` document: counters + service stats."""
+        snapshot = self.metrics.snapshot()
+        snapshot["service"] = self.stats()
+        return snapshot
+
     # -- grouping module (offline step of Fig. 1) -------------------------
 
     def groups_for(self, config_name: str) -> GroupSet:
         """Bucketing + group materialization, cached per configuration."""
-        if config_name not in self._group_cache:
-            config = self._configurations.get(config_name)
-            repository = self.repository
-            if config.property_prefixes is not None:
-                repository = UserRepository(
-                    profile.restricted_to(
-                        label
-                        for label in profile.properties
-                        if config.matches_property(label)
-                    )
-                    for profile in repository
-                )
-            self._group_cache[config_name] = build_simple_groups(
-                repository, config.grouping_config()
-            )
-        return self._group_cache[config_name]
+        with self._lock.read():
+            return self._artifacts(config_name, StageTimer()).groups
 
     def instance_for(
         self, config_name: str, budget: int | None = None
     ) -> DiversificationInstance:
         """Resolve a configuration into a diversification instance."""
-        config = self._configurations.get(config_name)
-        weight, coverage = config.schemes()
-        return build_instance(
-            self.repository,
-            budget or config.budget,
-            groups=self.groups_for(config_name),
-            weight_scheme=weight,
-            coverage_scheme=coverage,
+        with self._lock.read():
+            timer = StageTimer()
+            entry = self._artifacts(config_name, timer)
+            return self._instance(entry, self._effective_budget(
+                entry.config, budget
+            ), timer)
+
+    # -- unlocked internals ------------------------------------------------
+
+    def _repository_or_raise(self) -> UserRepository:
+        if self._repository is None:
+            raise ServiceError("no profiles loaded")
+        return self._repository
+
+    @staticmethod
+    def _effective_budget(
+        config: DiversificationConfiguration, budget: int | None
+    ) -> int:
+        """Resolve the request budget against the configuration default.
+
+        The comparison is explicitly against ``None``: an explicit
+        ``budget=0`` must be rejected, not silently replaced by the
+        configuration default.
+        """
+        effective = config.budget if budget is None else budget
+        if effective < 1:
+            raise InvalidBudgetError(
+                f"budget must be >= 1, got {effective}"
+            )
+        return effective
+
+    def _entry_valid(
+        self,
+        entry: _ConfigArtifacts | None,
+        config: DiversificationConfiguration,
+    ) -> bool:
+        return (
+            entry is not None
+            and entry.config is config
+            and entry.generation == self._generation
+            and entry.groups_version == entry.groups.version
         )
+
+    def _artifacts(
+        self, config_name: str, timer: StageTimer
+    ) -> _ConfigArtifacts:
+        """Fetch (or build) the cached artifacts of one configuration."""
+        config = self._configurations.get(config_name)
+        entry = self._cache.get(config_name)
+        if self._entry_valid(entry, config):
+            return entry
+        with self._build_lock:
+            entry = self._cache.get(config_name)
+            if self._entry_valid(entry, config):
+                return entry
+            repository = self._repository_or_raise()
+            with timer.stage("grouping"):
+                if config.property_prefixes is not None:
+                    repository = UserRepository(
+                        profile.restricted_to(
+                            label
+                            for label in profile.properties
+                            if config.matches_property(label)
+                        )
+                        for profile in repository
+                    )
+                groups = build_simple_groups(
+                    repository, config.grouping_config()
+                )
+            entry = _ConfigArtifacts(
+                config=config,
+                generation=self._generation,
+                groups=groups,
+                groups_version=groups.version,
+            )
+            self._cache[config_name] = entry
+            return entry
+
+    def _instance(
+        self, entry: _ConfigArtifacts, budget: int, timer: StageTimer
+    ) -> DiversificationInstance:
+        """Fetch (or build + index) the instance for an effective budget."""
+        instance = entry.instances.get(budget)
+        if instance is not None:
+            self.metrics.observe_cache(hit=True)
+            return instance
+        with self._build_lock:
+            instance = entry.instances.get(budget)
+            if instance is not None:
+                self.metrics.observe_cache(hit=True)
+                return instance
+            self.metrics.observe_cache(hit=False)
+            weight, coverage = entry.config.schemes()
+            with timer.stage("instance"):
+                instance = build_instance(
+                    self._repository_or_raise(),
+                    budget,
+                    groups=entry.groups,
+                    weight_scheme=weight,
+                    coverage_scheme=coverage,
+                )
+                # Pre-warm the sparse index so no request pays the encode.
+                instance_index(instance)
+            entry.instances[budget] = instance
+            return instance
+
+    def _plain_select(
+        self,
+        instance: DiversificationInstance,
+        budget: int,
+        timer: StageTimer,
+    ) -> SelectionResult:
+        """BASE-DIVERSITY through the vectorized backend when possible."""
+        repository = self._repository_or_raise()
+        with timer.stage("selection"):
+            index: InstanceIndex = instance_index(instance)
+            if index.vectorizable and index.n_users == len(repository):
+                return select_from_index(
+                    index, budget, method="matrix", instance=instance
+                )
+            # Users outside every group (or non-int64 weights) need the
+            # repository-wide pool; matrix falls back exactly as needed.
+            return greedy_select(
+                repository, instance, budget, method="matrix"
+            )
 
     # -- selection module --------------------------------------------------
 
@@ -153,20 +445,48 @@ class PodiumService:
         feedback: CustomizationFeedback | None = None,
         distribution_properties: tuple[str, ...] = (),
         explain: bool = True,
+        timer: StageTimer | None = None,
     ) -> dict[str, Any]:
         """Run a selection request and return the response document."""
-        instance = self.instance_for(config_name, budget)
+        timer = timer if timer is not None else StageTimer()
+        with self._lock.read():
+            return self._select(
+                config_name,
+                budget,
+                feedback,
+                distribution_properties,
+                explain,
+                timer,
+            )
+
+    def _select(
+        self,
+        config_name: str,
+        budget: int | None,
+        feedback: CustomizationFeedback | None,
+        distribution_properties: tuple[str, ...],
+        explain: bool,
+        timer: StageTimer,
+    ) -> dict[str, Any]:
+        entry = self._artifacts(config_name, timer)
+        effective = self._effective_budget(entry.config, budget)
+        instance = self._instance(entry, effective, timer)
         if feedback is None or feedback == CustomizationFeedback.none():
-            result = greedy_select(self.repository, instance, budget)
+            result = self._plain_select(instance, effective, timer)
             response: dict[str, Any] = {
                 "configuration": config_name,
                 "selected": list(result.selected),
                 "score": float(result.score),
             }
         else:
-            custom = custom_select(
-                self.repository, instance, feedback, budget
-            )
+            with timer.stage("selection"):
+                custom = custom_select(
+                    self._repository_or_raise(),
+                    instance,
+                    feedback,
+                    effective,
+                    method="matrix",
+                )
             result = custom.result
             response = {
                 "configuration": config_name,
@@ -177,41 +497,58 @@ class PodiumService:
                 "refined_pool_size": custom.refined_pool_size,
             }
         if explain:
-            explanation = explain_selection(
-                result, distribution_properties=distribution_properties
-            )
-            response["explanation"] = explanation_payload(explanation)
+            with timer.stage("explanation"):
+                explanation = explain_selection(
+                    result, distribution_properties=distribution_properties
+                )
+                response["explanation"] = explanation_payload(explanation)
         return response
 
     def explanation_page(
-        self, config_name: str = "default", budget: int | None = None
+        self,
+        config_name: str = "default",
+        budget: int | None = None,
+        timer: StageTimer | None = None,
     ) -> str:
         """Render the Fig. 2 explanation page for a fresh selection."""
         from .viz import render_html
 
-        instance = self.instance_for(config_name, budget)
-        result = greedy_select(self.repository, instance, budget)
-        # Show distributions for the three heaviest properties.
-        heaviest: list[str] = []
-        for key in sorted(
-            instance.groups.keys, key=lambda k: (-float(instance.wei[k]), str(k))
-        ):
-            if key.property_label not in heaviest:
-                heaviest.append(key.property_label)
-            if len(heaviest) == 3:
-                break
-        explanation = explain_selection(
-            result, distribution_properties=tuple(heaviest)
-        )
-        return render_html(
-            result,
-            explanation,
-            title=f"Podium — {config_name} selection",
-        )
+        timer = timer if timer is not None else StageTimer()
+        with self._lock.read():
+            entry = self._artifacts(config_name, timer)
+            effective = self._effective_budget(entry.config, budget)
+            instance = self._instance(entry, effective, timer)
+            result = self._plain_select(instance, effective, timer)
+            # Show distributions for the three heaviest properties.
+            heaviest: list[str] = []
+            for key in sorted(
+                instance.groups.keys,
+                key=lambda k: (-float(instance.wei[k]), str(k)),
+            ):
+                if key.property_label not in heaviest:
+                    heaviest.append(key.property_label)
+                if len(heaviest) == 3:
+                    break
+            with timer.stage("explanation"):
+                explanation = explain_selection(
+                    result, distribution_properties=tuple(heaviest)
+                )
+                return render_html(
+                    result,
+                    explanation,
+                    title=f"Podium — {config_name} selection",
+                )
 
-    def group_listing(self, config_name: str = "default") -> list[dict[str, Any]]:
+    def group_listing(
+        self, config_name: str = "default", timer: StageTimer | None = None
+    ) -> list[dict[str, Any]]:
         """Group explanations ordered by decreasing weight (Fig. 2 list)."""
-        instance = self.instance_for(config_name)
+        timer = timer if timer is not None else StageTimer()
+        with self._lock.read():
+            entry = self._artifacts(config_name, timer)
+            instance = self._instance(
+                entry, self._effective_budget(entry.config, None), timer
+            )
         ordered = sorted(
             instance.groups,
             key=lambda g: (-float(instance.wei[g.key]), str(g.key)),
@@ -234,17 +571,15 @@ class PodiumService:
 # ---------------------------------------------------------------------------
 
 _JSON = "application/json"
+_HTML = "text/html; charset=utf-8"
 
-
-def _response(
-    start_response: Callable, status: str, payload: dict[str, Any] | list
-) -> list[bytes]:
-    body = json.dumps(payload).encode()
-    start_response(
-        status,
-        [("Content-Type", _JSON), ("Content-Length", str(len(body)))],
-    )
-    return [body]
+_STATUS_LINES = {
+    200: "200 OK",
+    201: "201 Created",
+    400: "400 Bad Request",
+    404: "404 Not Found",
+    500: "500 Internal Server Error",
+}
 
 
 def _read_json(environ: dict[str, Any]) -> dict[str, Any]:
@@ -268,104 +603,187 @@ def _query(environ: dict[str, Any]) -> dict[str, str]:
     return dict(parse_qsl(environ.get("QUERY_STRING", "")))
 
 
+def _int_field(value: Any, name: str) -> int:
+    """Parse an integer request field; malformed input is a 400, not a 500."""
+    try:
+        if isinstance(value, bool):
+            raise TypeError("booleans are not budgets")
+        return int(value)
+    except (TypeError, ValueError):
+        raise ServiceError(
+            f"field {name!r} must be an integer, got {value!r}"
+        ) from None
+
+
+def _dispatch(
+    service: PodiumService,
+    method: str,
+    path: str,
+    environ: dict[str, Any],
+    timer: StageTimer,
+) -> tuple[int, Any, str]:
+    """Resolve one request to ``(status, payload, content_type)``."""
+    if method == "GET" and path == "/health":
+        return 200, {"status": "ok", **service.stats()}, _JSON
+    if method == "GET" and path == "/metrics":
+        return 200, service.metrics_snapshot(), _JSON
+    if method == "GET" and path == "/configurations":
+        return (
+            200,
+            [
+                service.configurations.get(name).to_dict()
+                for name in service.configurations.names()
+            ],
+            _JSON,
+        )
+    if method == "POST" and path == "/configurations":
+        config = DiversificationConfiguration.from_dict(_read_json(environ))
+        service.put_configuration(config)
+        return 201, config.to_dict(), _JSON
+    if method == "POST" and path == "/profiles":
+        from ..datasets.io import profiles_from_dict
+
+        service.load_repository(profiles_from_dict(_read_json(environ)))
+        return 200, {"loaded_users": len(service.repository)}, _JSON
+    if method == "POST" and path == "/profiles/delta":
+        delta = parse_profile_delta(_read_json(environ))
+        return 200, service.apply_profile_delta(delta), _JSON
+    if method == "GET" and path == "/explain.html":
+        query = _query(environ)
+        html = service.explanation_page(
+            query.get("configuration", "default"),
+            (
+                _int_field(query["budget"], "budget")
+                if "budget" in query
+                else None
+            ),
+            timer=timer,
+        )
+        return 200, html.encode(), _HTML
+    if method == "GET" and path == "/groups":
+        name = _query(environ).get("configuration", "default")
+        return 200, service.group_listing(name, timer=timer), _JSON
+    if method == "POST" and path == "/select":
+        body = _read_json(environ)
+        response = service.select(
+            config_name=str(body.get("configuration", "default")),
+            budget=(
+                _int_field(body["budget"], "budget")
+                if "budget" in body
+                else None
+            ),
+            feedback=parse_feedback(body.get("feedback")),
+            distribution_properties=tuple(
+                str(p) for p in body.get("distribution_properties", ())
+            ),
+            explain=bool(body.get("explain", True)),
+            timer=timer,
+        )
+        return 200, response, _JSON
+    return 404, {"error": f"no route {method} {path}"}, _JSON
+
+
 def make_wsgi_app(service: PodiumService) -> Callable:
-    """Build the WSGI callable exposing ``service`` over HTTP."""
+    """Build the WSGI callable exposing ``service`` over HTTP.
+
+    Every response — including malformed input (400) and unexpected
+    failures (500) — is JSON; a raw interpreter traceback never reaches
+    the client.  Each request is timed, counted in ``service.metrics``
+    and logged as a one-line JSON document.
+    """
 
     def app(environ: dict[str, Any], start_response: Callable) -> list[bytes]:
         method = environ.get("REQUEST_METHOD", "GET")
         path = environ.get("PATH_INFO", "/")
+        timer = StageTimer()
+        started = time.perf_counter()
+        error: str | None = None
+        matched = True
         try:
-            if method == "GET" and path == "/health":
-                users = (
-                    len(service.repository)
-                    if service._repository is not None
-                    else 0
-                )
-                return _response(
-                    start_response,
-                    "200 OK",
-                    {
-                        "status": "ok",
-                        "users": users,
-                        "configurations": service.configurations.names(),
-                    },
-                )
-            if method == "GET" and path == "/configurations":
-                return _response(
-                    start_response,
-                    "200 OK",
-                    [
-                        service.configurations.get(name).to_dict()
-                        for name in service.configurations.names()
-                    ],
-                )
-            if method == "POST" and path == "/configurations":
-                config = DiversificationConfiguration.from_dict(
-                    _read_json(environ)
-                )
-                service.configurations.put(config)
-                return _response(
-                    start_response, "201 Created", config.to_dict()
-                )
-            if method == "POST" and path == "/profiles":
-                from ..datasets.io import profiles_from_dict
-
-                service.load_repository(
-                    profiles_from_dict(_read_json(environ))
-                )
-                return _response(
-                    start_response,
-                    "200 OK",
-                    {"loaded_users": len(service.repository)},
-                )
-            if method == "GET" and path == "/explain.html":
-                query = _query(environ)
-                html = service.explanation_page(
-                    query.get("configuration", "default"),
-                    int(query["budget"]) if "budget" in query else None,
-                ).encode()
-                start_response(
-                    "200 OK",
-                    [
-                        ("Content-Type", "text/html; charset=utf-8"),
-                        ("Content-Length", str(len(html))),
-                    ],
-                )
-                return [html]
-            if method == "GET" and path == "/groups":
-                name = _query(environ).get("configuration", "default")
-                return _response(
-                    start_response, "200 OK", service.group_listing(name)
-                )
-            if method == "POST" and path == "/select":
-                body = _read_json(environ)
-                response = service.select(
-                    config_name=str(body.get("configuration", "default")),
-                    budget=(
-                        int(body["budget"]) if "budget" in body else None
-                    ),
-                    feedback=parse_feedback(body.get("feedback")),
-                    distribution_properties=tuple(
-                        body.get("distribution_properties", ())
-                    ),
-                    explain=bool(body.get("explain", True)),
-                )
-                return _response(start_response, "200 OK", response)
-            return _response(
-                start_response,
-                "404 Not Found",
-                {"error": f"no route {method} {path}"},
+            status, payload, content_type = _dispatch(
+                service, method, path, environ, timer
             )
+            matched = status != 404
         except PodiumError as exc:
-            return _response(
-                start_response, "400 Bad Request", {"error": str(exc)}
+            status, payload, content_type = 400, {"error": str(exc)}, _JSON
+            error = str(exc)
+        except (KeyError, TypeError, ValueError) as exc:
+            # Malformed input that slipped past explicit validation.
+            status, content_type = 400, _JSON
+            payload = {"error": f"malformed request: {exc}"}
+            error = str(exc)
+        except Exception as exc:  # noqa: BLE001 — the JSON-500 boundary
+            logger.exception("unhandled error serving %s %s", method, path)
+            status, content_type = 500, _JSON
+            payload = {
+                "error": f"internal server error: {type(exc).__name__}"
+            }
+            error = f"{type(exc).__name__}: {exc}"
+        seconds = time.perf_counter() - started
+        # Unmatched paths share one metrics bucket so arbitrary probes
+        # cannot grow the counter map without bound.
+        route = f"{method} {path}" if matched else "<unmatched>"
+        service.metrics.observe_request(route, status, seconds, timer.seconds)
+        logger.info(
+            request_log_record(
+                f"{method} {path}", status, seconds, timer.seconds, error
             )
+        )
+        body = payload if isinstance(payload, bytes) else (
+            json.dumps(payload).encode()
+        )
+        start_response(
+            _STATUS_LINES[status],
+            [
+                ("Content-Type", content_type),
+                ("Content-Length", str(len(body))),
+            ],
+        )
+        return [body]
 
     return app
 
 
-def serve(service: PodiumService, host: str = "127.0.0.1", port: int = 8808):
-    """Run the service with wsgiref (development server, Fig. 1 demo)."""
-    httpd = make_server(host, port, make_wsgi_app(service))
-    print(f"Podium service listening on http://{host}:{port}")
-    httpd.serve_forever()
+class ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
+    """WSGI server handling each request on its own daemon thread."""
+
+    daemon_threads = True
+
+
+class _QuietHandler(WSGIRequestHandler):
+    """Route wsgiref's per-request stderr lines through ``logging``."""
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        logging.getLogger("repro.service.http").debug(format, *args)
+
+
+def make_http_server(
+    service: PodiumService, host: str = "127.0.0.1", port: int = 8808
+) -> WSGIServer:
+    """Build the threaded HTTP server (``port=0`` picks an ephemeral port)."""
+    return make_server(
+        host,
+        port,
+        make_wsgi_app(service),
+        server_class=ThreadingWSGIServer,
+        handler_class=_QuietHandler,
+    )
+
+
+def serve(
+    service: PodiumService, host: str = "127.0.0.1", port: int = 8808
+) -> dict[str, Any]:
+    """Run the threaded service until interrupted; return final metrics."""
+    httpd = make_http_server(service, host, port)
+    bound_host, bound_port = httpd.server_address[:2]
+    print(
+        f"Podium service listening on http://{bound_host}:{bound_port} "
+        f"(threaded; request stats at /metrics)"
+    )
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        httpd.server_close()
+    return service.metrics_snapshot()

@@ -1,0 +1,79 @@
+"""Reader–writer locking for the threaded serving path.
+
+The service caches ``(GroupSet, DiversificationInstance, InstanceIndex)``
+artifacts per configuration and swaps the whole repository on profile
+(re)loads.  Selections are pure reads over those structures, so many may
+run concurrently; a repository swap or delta application must instead see
+no in-flight readers, or a selection could observe a half-invalidated
+cache.  :class:`ReadWriteLock` provides exactly that discipline:
+
+* any number of readers hold the lock together;
+* a writer holds it exclusively;
+* writers are preferred — once a writer is waiting, new readers queue
+  behind it, so heavy read traffic cannot starve updates.
+
+The lock is deliberately not re-entrant: service entry points acquire it
+once and call only unlocked internals (the ``_``-prefixed methods in
+:mod:`repro.service.app`).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ReadWriteLock:
+    """A writer-preferring readers–writer lock."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """Acquire the lock in shared (reader) mode."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """Acquire the lock in exclusive (writer) mode."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()

@@ -117,12 +117,19 @@ class ConfigurationStore:
         self, configurations: tuple[DiversificationConfiguration, ...] = ()
     ) -> None:
         self._configs: dict[str, DiversificationConfiguration] = {}
+        self._version = 0
         for config in configurations:
             self.put(config)
+
+    @property
+    def version(self) -> int:
+        """Bumped on every :meth:`put`; cache layers key on it."""
+        return self._version
 
     def put(self, config: DiversificationConfiguration) -> None:
         """Insert or replace a configuration under its name."""
         self._configs[config.name] = config
+        self._version += 1
 
     def get(self, name: str) -> DiversificationConfiguration:
         try:

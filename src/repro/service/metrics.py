@@ -1,0 +1,171 @@
+"""Request metrics and structured logging for the serving path.
+
+The production serving loop (threaded WSGI adapter + cached selection
+artifacts) reports its behaviour through one :class:`ServiceMetrics`
+object:
+
+* **per-route counters** — request and error counts keyed by
+  ``"METHOD /path"``;
+* **cache counters** — hits/misses of the per-configuration
+  ``(GroupSet, instance, index)`` artifact cache;
+* **stage timings** — cumulative/max seconds per pipeline stage
+  (``grouping``, ``instance``, ``selection``, ``explanation``), so a slow
+  layer is visible without a profiler.
+
+All mutators take an internal lock: the WSGI adapter serves concurrent
+requests from a thread pool, and counter increments must not be lost.
+:meth:`snapshot` returns a plain JSON-ready dict — the body of
+``GET /metrics``.
+
+:func:`request_log_record` builds the one-line JSON document the adapter
+logs per request (route, status, duration, stage breakdown), keeping log
+parsing trivial for any structured-log shipper.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any
+
+
+class StageTimer:
+    """Accumulates named stage durations for one request.
+
+    Used as ``with timer.stage("selection"): ...``; re-entering a stage
+    adds to its total, so e.g. two selection passes in one request are
+    reported as one stage.
+    """
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+
+    def stage(self, name: str) -> "_StageContext":
+        return _StageContext(self, name)
+
+    def record(self, name: str, seconds: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+
+
+class _StageContext:
+    def __init__(self, timer: StageTimer, name: str) -> None:
+        self._timer = timer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_StageContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._timer.record(self._name, time.perf_counter() - self._start)
+
+
+class ServiceMetrics:
+    """Thread-safe request/cache/stage counters behind ``GET /metrics``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests: dict[str, dict[str, int]] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._stages: dict[str, dict[str, float]] = {}
+        self._started = time.time()
+
+    # -- observation -------------------------------------------------------
+
+    def observe_request(
+        self,
+        route: str,
+        status: int,
+        seconds: float,
+        stages: dict[str, float] | None = None,
+    ) -> None:
+        """Record one served request and its per-stage breakdown."""
+        with self._lock:
+            entry = self._requests.setdefault(
+                route, {"count": 0, "errors": 0}
+            )
+            entry["count"] += 1
+            if status >= 400:
+                entry["errors"] += 1
+            self._observe_stage("request", seconds)
+            for name, stage_seconds in (stages or {}).items():
+                self._observe_stage(name, stage_seconds)
+
+    def observe_cache(self, hit: bool) -> None:
+        """Record an artifact-cache lookup outcome."""
+        with self._lock:
+            if hit:
+                self._cache_hits += 1
+            else:
+                self._cache_misses += 1
+
+    def _observe_stage(self, name: str, seconds: float) -> None:
+        stage = self._stages.setdefault(
+            name, {"count": 0, "total_seconds": 0.0, "max_seconds": 0.0}
+        )
+        stage["count"] += 1
+        stage["total_seconds"] += seconds
+        stage["max_seconds"] = max(stage["max_seconds"], seconds)
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        with self._lock:
+            return self._cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        with self._lock:
+            return self._cache_misses
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready view of every counter (the ``/metrics`` body)."""
+        with self._lock:
+            requests = {
+                route: dict(entry) for route, entry in self._requests.items()
+            }
+            stages = {
+                name: {
+                    "count": int(stage["count"]),
+                    "total_seconds": round(stage["total_seconds"], 6),
+                    "max_seconds": round(stage["max_seconds"], 6),
+                }
+                for name, stage in self._stages.items()
+            }
+            return {
+                "uptime_seconds": round(time.time() - self._started, 3),
+                "requests": requests,
+                "request_count": sum(e["count"] for e in requests.values()),
+                "error_count": sum(e["errors"] for e in requests.values()),
+                "cache": {
+                    "instance_hits": self._cache_hits,
+                    "instance_misses": self._cache_misses,
+                },
+                "stages": stages,
+            }
+
+
+def request_log_record(
+    route: str,
+    status: int,
+    seconds: float,
+    stages: dict[str, float] | None = None,
+    error: str | None = None,
+) -> str:
+    """One-line JSON log document for a served request."""
+    record: dict[str, Any] = {
+        "route": route,
+        "status": status,
+        "duration_ms": round(seconds * 1000.0, 3),
+    }
+    if stages:
+        record["stages_ms"] = {
+            name: round(value * 1000.0, 3) for name, value in stages.items()
+        }
+    if error:
+        record["error"] = error
+    return json.dumps(record, sort_keys=True)

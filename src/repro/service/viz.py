@@ -195,3 +195,52 @@ def render_text(
                     f"subset {_bar(sub)} {sub:5.1%}"
                 )
     return "\n".join(lines)
+
+
+def render_metrics_text(snapshot: dict[str, Any]) -> str:
+    """Terminal rendering of a :meth:`ServiceMetrics.snapshot` document.
+
+    Printed by ``repro serve`` when the server shuts down, so a demo run
+    ends with a readable traffic/cache/timing summary.
+    """
+    lines: list[str] = []
+    lines.append("=" * 72)
+    lines.append(
+        f"Service metrics — {snapshot.get('request_count', 0)} requests, "
+        f"{snapshot.get('error_count', 0)} errors, "
+        f"uptime {snapshot.get('uptime_seconds', 0.0):.1f}s"
+    )
+    lines.append("=" * 72)
+    requests = snapshot.get("requests", {})
+    if requests:
+        lines.append("-- Requests per route " + "-" * 50)
+        for route in sorted(requests):
+            entry = requests[route]
+            lines.append(
+                f"  {route:28s} count {entry.get('count', 0):6d}   "
+                f"errors {entry.get('errors', 0):6d}"
+            )
+    cache = snapshot.get("cache", {})
+    if cache:
+        hits = cache.get("instance_hits", 0)
+        misses = cache.get("instance_misses", 0)
+        total = hits + misses
+        ratio = hits / total if total else 0.0
+        lines.append(
+            f"-- Artifact cache: {hits} hits / {misses} misses "
+            f"({ratio:.1%} hit rate) " + "-" * 10
+        )
+    stages = snapshot.get("stages", {})
+    if stages:
+        lines.append("-- Stage timings " + "-" * 55)
+        for name in sorted(stages):
+            stage = stages[name]
+            count = stage.get("count", 0)
+            total_s = stage.get("total_seconds", 0.0)
+            mean_ms = 1000.0 * total_s / count if count else 0.0
+            lines.append(
+                f"  {name:14s} count {count:6d}   "
+                f"total {total_s:8.3f}s   mean {mean_ms:8.2f}ms   "
+                f"max {1000.0 * stage.get('max_seconds', 0.0):8.2f}ms"
+            )
+    return "\n".join(lines)

@@ -10,8 +10,14 @@ from repro.core import (
     refine_users,
     subset_score,
 )
-from repro.core.customization import customized_instance, feedback_group_coverage
-from repro.core.groups import GroupKey
+from repro.core.customization import (
+    _integer_weight_scale,
+    customized_instance,
+    feedback_group_coverage,
+)
+from repro.core.groups import Group, GroupKey, GroupSet
+from repro.core.instance import DiversificationInstance
+from repro.core.profiles import UserProfile, UserRepository
 
 
 @pytest.fixture()
@@ -208,3 +214,172 @@ class TestFeedbackGroupCoverage:
             feedback_group_coverage(table2_instance, feedback, ["Alice"])
             == 0.5
         )
+
+
+def _feedback_combos(instance):
+    """A sweep of feedback shapes derived from the instance's own groups."""
+    by_property = {}
+    for key in sorted(instance.groups.keys, key=str):
+        by_property.setdefault(key.property_label, []).append(key)
+    labels = sorted(by_property)
+    first = frozenset(by_property[labels[0]])
+    last = frozenset(by_property[labels[-1]])
+    one_key = next(iter(sorted(last, key=str)))
+    combos = [
+        CustomizationFeedback(must_have=first),
+        CustomizationFeedback(must_not=frozenset({one_key})),
+        CustomizationFeedback(priority=last),
+        CustomizationFeedback(priority=first, standard=last),
+        CustomizationFeedback(
+            must_have=first,
+            must_not=frozenset({one_key}),
+            priority=last - {one_key} or last,
+        ),
+    ]
+    if len(labels) >= 3:
+        combos.append(
+            CustomizationFeedback(
+                must_have=frozenset(by_property[labels[1]]),
+                priority=first | last,
+            )
+        )
+    return combos
+
+
+class TestMatrixParity:
+    """custom_select(method="matrix") must match the eager dict path."""
+
+    def _assert_parity(self, repo, instance, feedback, budget=None):
+        try:
+            eager = custom_select(
+                repo, instance, feedback, budget, method="eager"
+            )
+        except InfeasibleSelectionError:
+            with pytest.raises(InfeasibleSelectionError):
+                custom_select(
+                    repo, instance, feedback, budget, method="matrix"
+                )
+            return
+        matrix = custom_select(
+            repo, instance, feedback, budget, method="matrix"
+        )
+        assert matrix.selected == eager.selected
+        assert matrix.result.score == eager.result.score
+        assert matrix.priority_score == eager.priority_score
+        assert matrix.standard_score == eager.standard_score
+        assert matrix.refined_pool_size == eager.refined_pool_size
+
+    def test_table2_sweep(self, table2_repo, table2_instance):
+        for feedback in _feedback_combos(table2_instance):
+            self._assert_parity(table2_repo, table2_instance, feedback)
+
+    def test_table2_budget_sweep(
+        self, table2_repo, table2_instance, example_62_feedback
+    ):
+        for budget in (1, 2, 3, 4):
+            self._assert_parity(
+                table2_repo, table2_instance, example_62_feedback, budget
+            )
+
+    def test_small_repo_sweep(self, small_profile_repo, small_instance):
+        for feedback in _feedback_combos(small_instance):
+            self._assert_parity(
+                small_profile_repo, small_instance, feedback
+            )
+
+    def test_example_6_4_matrix(
+        self, table2_repo, table2_instance, example_62_feedback
+    ):
+        custom = custom_select(
+            table2_repo,
+            table2_instance,
+            example_62_feedback,
+            method="matrix",
+        )
+        assert set(custom.selected) == {"Alice", "Eve"}
+        assert custom.refined_pool_size == 4
+
+
+class TestExactLexicographicScale:
+    """Float weights must not break priority dominance (exact rescaling)."""
+
+    @staticmethod
+    def _float_instance():
+        groups = GroupSet(
+            [
+                Group(GroupKey("rating", "a"), frozenset({"u1"})),
+                Group(GroupKey("rating", "b"), frozenset({"u1"})),
+                Group(GroupKey("rating", "c"), frozenset({"u2"})),
+                Group(GroupKey("volume", "big"), frozenset({"u2"})),
+            ]
+        )
+        # Adversarially close: exactly, 0.1 + 0.2 exceeds 0.3 by ~5.5e-17
+        # (binary rationals), so u1's priority score wins — but only by
+        # an amount a float rescale multiplied into a 1e8 standard score
+        # would wash out entirely.
+        wei = {
+            GroupKey("rating", "a"): 0.1,
+            GroupKey("rating", "b"): 0.2,
+            GroupKey("rating", "c"): 0.3,
+            GroupKey("volume", "big"): 1e8,
+        }
+        cov = {key: 1 for key in wei}
+        instance = DiversificationInstance(
+            groups=groups, wei=wei, cov=cov, budget=1, population_size=2
+        )
+        repo = UserRepository(
+            [UserProfile("u1", {"x": 1.0}), UserProfile("u2", {"x": 1.0})]
+        )
+        return repo, instance
+
+    def test_priority_dominates_despite_floats(self):
+        repo, instance = self._float_instance()
+        feedback = CustomizationFeedback(
+            priority=frozenset(
+                {
+                    GroupKey("rating", "a"),
+                    GroupKey("rating", "b"),
+                    GroupKey("rating", "c"),
+                }
+            )
+        )
+        for method in ("eager", "matrix"):
+            custom = custom_select(
+                repo, instance, feedback, budget=1, method=method
+            )
+            # u1's exact priority score 0.1+0.2 beats u2's 0.3, so the
+            # 1e8 standard-tier gain of u2 must not flip the choice.
+            assert custom.selected == ("u1",)
+        # A naive float scale would have picked u2: the priority edge
+        # times (standard_max + 1) is dwarfed by the standard score.
+        naive_gap = (0.1 + 0.2 - 0.3) * (1e8 + 1)
+        assert naive_gap < 1e8
+
+    def test_rescaled_weights_are_exact(self):
+        _, instance = self._float_instance()
+        feedback = CustomizationFeedback(
+            priority=frozenset({GroupKey("rating", "a")})
+        )
+        rescaled = customized_instance(instance, feedback)
+        from fractions import Fraction
+
+        scaled = rescaled.wei[GroupKey("rating", "a")]
+        assert isinstance(scaled, Fraction)
+        # Dominance bound: the smallest representable priority gain,
+        # scaled, exceeds the best achievable standard score.
+        standard_max = (
+            Fraction(0.2) + Fraction(0.3) + Fraction(100000000.0)
+        )
+        assert scaled > standard_max
+
+    def test_integer_weight_scale_int_fast_path(self):
+        assert _integer_weight_scale(14) == 15
+        assert _integer_weight_scale(0) == 1
+
+    def test_integer_weight_scale_float_dominance(self):
+        from fractions import Fraction
+
+        scale = _integer_weight_scale(1e8, [0.1, 0.2, 0.3])
+        delta = Fraction(0.1) + Fraction(0.2) - Fraction(0.3)
+        assert delta > 0
+        assert delta * scale > Fraction(10**8)

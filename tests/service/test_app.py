@@ -91,8 +91,12 @@ class TestServiceFacade:
 
     def test_load_repository_clears_cache(self, service):
         service.groups_for("two")
+        assert "two" in service.stats()["cached_configurations"]
+        generation = service.stats()["generation"]
         service.load_repository(example_repository())
-        assert service._group_cache == {}
+        stats = service.stats()
+        assert stats["cached_configurations"] == []
+        assert stats["generation"] == generation + 1
 
     def test_no_profiles_loaded_raises(self):
         empty = PodiumService()

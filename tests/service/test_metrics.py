@@ -1,0 +1,200 @@
+"""Unit tests for service metrics, stage timing and the RW lock."""
+
+import json
+import threading
+import time
+
+from repro.service import (
+    ReadWriteLock,
+    ServiceMetrics,
+    StageTimer,
+    render_metrics_text,
+    request_log_record,
+)
+
+
+class TestStageTimer:
+    def test_stages_accumulate(self):
+        timer = StageTimer()
+        with timer.stage("selection"):
+            pass
+        with timer.stage("selection"):
+            pass
+        with timer.stage("grouping"):
+            pass
+        assert set(timer.seconds) == {"selection", "grouping"}
+        assert timer.seconds["selection"] >= 0.0
+
+    def test_record_direct(self):
+        timer = StageTimer()
+        timer.record("x", 0.25)
+        timer.record("x", 0.25)
+        assert timer.seconds["x"] == 0.5
+
+
+class TestServiceMetrics:
+    def test_request_counts(self):
+        metrics = ServiceMetrics()
+        metrics.observe_request("POST /select", 200, 0.01)
+        metrics.observe_request("POST /select", 400, 0.01)
+        metrics.observe_request("GET /health", 200, 0.001)
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"]["POST /select"] == {
+            "count": 2,
+            "errors": 1,
+        }
+        assert snapshot["request_count"] == 3
+        assert snapshot["error_count"] == 1
+
+    def test_stage_aggregation(self):
+        metrics = ServiceMetrics()
+        metrics.observe_request(
+            "POST /select", 200, 0.5, {"selection": 0.2}
+        )
+        metrics.observe_request(
+            "POST /select", 200, 0.3, {"selection": 0.4}
+        )
+        stages = metrics.snapshot()["stages"]
+        assert stages["selection"]["count"] == 2
+        assert abs(stages["selection"]["total_seconds"] - 0.6) < 1e-9
+        assert abs(stages["selection"]["max_seconds"] - 0.4) < 1e-9
+        assert stages["request"]["count"] == 2
+
+    def test_cache_counters(self):
+        metrics = ServiceMetrics()
+        metrics.observe_cache(hit=False)
+        metrics.observe_cache(hit=True)
+        metrics.observe_cache(hit=True)
+        assert metrics.cache_hits == 2
+        assert metrics.cache_misses == 1
+        cache = metrics.snapshot()["cache"]
+        assert cache == {"instance_hits": 2, "instance_misses": 1}
+
+    def test_snapshot_is_json_ready(self):
+        metrics = ServiceMetrics()
+        metrics.observe_request("GET /x", 200, 0.1, {"a": 0.1})
+        json.dumps(metrics.snapshot())
+
+    def test_concurrent_observations_not_lost(self):
+        metrics = ServiceMetrics()
+
+        def worker():
+            for _ in range(200):
+                metrics.observe_request("POST /select", 200, 0.001)
+                metrics.observe_cache(hit=True)
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"]["POST /select"]["count"] == 1600
+        assert metrics.cache_hits == 1600
+
+
+class TestRequestLogRecord:
+    def test_is_one_json_line(self):
+        line = request_log_record(
+            "POST /select", 200, 0.0123, {"selection": 0.01}
+        )
+        assert "\n" not in line
+        record = json.loads(line)
+        assert record["route"] == "POST /select"
+        assert record["status"] == 200
+        assert record["duration_ms"] == 12.3
+        assert record["stages_ms"]["selection"] == 10.0
+        assert "error" not in record
+
+    def test_error_included(self):
+        record = json.loads(
+            request_log_record("GET /x", 500, 0.1, None, "boom")
+        )
+        assert record["error"] == "boom"
+
+
+class TestRenderMetricsText:
+    def test_summary_sections(self):
+        metrics = ServiceMetrics()
+        metrics.observe_request(
+            "POST /select", 200, 0.5, {"selection": 0.2}
+        )
+        metrics.observe_request("GET /metrics", 400, 0.1)
+        metrics.observe_cache(hit=False)
+        metrics.observe_cache(hit=True)
+        text = render_metrics_text(metrics.snapshot())
+        assert "2 requests" in text
+        assert "1 errors" in text
+        assert "POST /select" in text
+        assert "1 hits / 1 misses" in text
+        assert "selection" in text
+
+    def test_empty_snapshot(self):
+        text = render_metrics_text(ServiceMetrics().snapshot())
+        assert "0 requests" in text
+
+
+class TestReadWriteLock:
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        entered = threading.Barrier(2, timeout=5)
+
+        def reader():
+            with lock.read():
+                entered.wait()  # both readers inside together
+
+        threads = [
+            threading.Thread(target=reader) for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        order = []
+        lock.acquire_write()
+
+        def reader():
+            with lock.read():
+                order.append("reader")
+
+        t = threading.Thread(target=reader)
+        t.start()
+        time.sleep(0.05)
+        order.append("writer-release")
+        lock.release_write()
+        t.join(timeout=5)
+        assert order == ["writer-release", "reader"]
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        writer_done = threading.Event()
+        reader_done = threading.Event()
+
+        def writer():
+            lock.acquire_write()
+            lock.release_write()
+            writer_done.set()
+
+        def late_reader():
+            with lock.read():
+                reader_done.set()
+
+        wt = threading.Thread(target=writer)
+        wt.start()
+        time.sleep(0.05)  # writer now queued behind the reader
+        rt = threading.Thread(target=late_reader)
+        rt.start()
+        time.sleep(0.05)
+        # Writer preference: the late reader waits behind the writer.
+        assert not reader_done.is_set()
+        lock.release_read()
+        wt.join(timeout=5)
+        rt.join(timeout=5)
+        assert writer_done.is_set() and reader_done.is_set()

@@ -1,0 +1,429 @@
+"""Route-level coverage of the WSGI serving path.
+
+Happy paths for every route, JSON error payloads for malformed input,
+budget validation at the service boundary, delta-update invalidation,
+cache hit/miss accounting via ``/metrics`` and a concurrent-select smoke
+test against the threaded HTTP server.
+"""
+
+import io
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.datasets import example_repository, profiles_to_dict
+from repro.service import (
+    DiversificationConfiguration,
+    PodiumService,
+    make_http_server,
+    make_wsgi_app,
+)
+
+
+@pytest.fixture()
+def service():
+    svc = PodiumService(example_repository())
+    svc.configurations.put(
+        DiversificationConfiguration(name="two", budget=2)
+    )
+    return svc
+
+
+@pytest.fixture()
+def client(service):
+    app = make_wsgi_app(service)
+
+    def call(method, path, body=None, query="", raw=None):
+        payload = (
+            raw
+            if raw is not None
+            else json.dumps(body or {}).encode()
+        )
+        environ = {
+            "REQUEST_METHOD": method,
+            "PATH_INFO": path,
+            "QUERY_STRING": query,
+            "CONTENT_LENGTH": str(len(payload)),
+            "wsgi.input": io.BytesIO(payload),
+        }
+        captured = {}
+
+        def start_response(status, headers):
+            captured["status"] = int(status.split()[0])
+            captured["headers"] = dict(headers)
+
+        body_bytes = b"".join(app(environ, start_response))
+        if captured["headers"]["Content-Type"].startswith(
+            "application/json"
+        ):
+            return captured["status"], json.loads(body_bytes)
+        return captured["status"], body_bytes
+
+    return call
+
+
+class TestHappyPaths:
+    def test_health(self, client):
+        status, body = client("GET", "/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["users"] == 5
+        assert "two" in body["configurations"]
+        assert "generation" in body
+
+    def test_metrics(self, client):
+        client("POST", "/select", {"configuration": "two"})
+        status, body = client("GET", "/metrics")
+        assert status == 200
+        assert body["requests"]["POST /select"]["count"] == 1
+        assert body["requests"]["POST /select"]["errors"] == 0
+        assert body["request_count"] >= 1
+        assert "selection" in body["stages"]
+        assert body["service"]["users"] == 5
+
+    def test_configurations_roundtrip(self, client):
+        status, body = client(
+            "POST",
+            "/configurations",
+            {"name": "tiny", "budget": 1},
+        )
+        assert status == 201
+        status, listing = client("GET", "/configurations")
+        assert status == 200
+        assert "tiny" in [c["name"] for c in listing]
+
+    def test_profiles_load(self, client):
+        document = profiles_to_dict(example_repository())
+        status, body = client("POST", "/profiles", document)
+        assert status == 200
+        assert body["loaded_users"] == 5
+
+    def test_groups(self, client):
+        status, listing = client(
+            "GET", "/groups", query="configuration=two"
+        )
+        assert status == 200
+        assert len(listing) >= 9
+        weights = [e["weight"] for e in listing]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_select_plain(self, client):
+        status, body = client(
+            "POST", "/select", {"configuration": "two"}
+        )
+        assert status == 200
+        assert set(body["selected"]) == {"Alice", "Eve"}
+        assert body["score"] == 17.0
+        assert "explanation" in body
+
+    def test_select_with_feedback(self, client):
+        status, body = client(
+            "POST",
+            "/select",
+            {
+                "configuration": "two",
+                "feedback": {
+                    "must_have": [["avgRating Mexican", "high"]],
+                },
+            },
+        )
+        assert status == 200
+        # Only Alice rates Mexican highly; the refined pool is smaller
+        # than the budget, so the selection stops early.
+        assert body["selected"] == ["Alice"]
+        assert body["refined_pool_size"] == 1
+
+    def test_explain_html(self, client):
+        status, body = client(
+            "GET", "/explain.html", query="configuration=two"
+        )
+        assert status == 200
+        assert body.startswith(b"<!DOCTYPE html>") or b"<html" in body
+
+
+class TestErrorPayloads:
+    def test_malformed_json_is_json_400(self, client):
+        status, body = client("POST", "/select", raw=b"{not json")
+        assert status == 400
+        assert "error" in body
+
+    def test_unknown_configuration_is_json_400(self, client):
+        status, body = client(
+            "POST", "/select", {"configuration": "nope"}
+        )
+        assert status == 400
+        assert "unknown configuration" in body["error"]
+
+    def test_infeasible_feedback_is_json_400(self, client):
+        status, body = client(
+            "POST",
+            "/select",
+            {
+                "configuration": "two",
+                "feedback": {
+                    "must_have": [["avgRating Mexican", "high"]],
+                    "must_not": [["avgRating Mexican", "high"]],
+                },
+            },
+        )
+        assert status == 400
+        assert "error" in body
+
+    def test_budget_zero_rejected(self, client):
+        status, body = client(
+            "POST", "/select", {"configuration": "two", "budget": 0}
+        )
+        assert status == 400
+        assert "budget" in body["error"]
+
+    def test_non_integer_budget_rejected(self, client):
+        status, body = client(
+            "POST",
+            "/select",
+            {"configuration": "two", "budget": "lots"},
+        )
+        assert status == 400
+        assert "budget" in body["error"]
+
+    def test_unknown_route_is_json_404(self, client):
+        status, body = client("GET", "/nope")
+        assert status == 404
+        assert "error" in body
+
+    def test_non_object_body_rejected(self, client):
+        status, body = client("POST", "/select", raw=b"[1, 2]")
+        assert status == 400
+        assert "error" in body
+
+    def test_unexpected_failure_is_json_500(self, service):
+        app = make_wsgi_app(service)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("wired to fail")
+
+        service.group_listing = boom
+        environ = {
+            "REQUEST_METHOD": "GET",
+            "PATH_INFO": "/groups",
+            "QUERY_STRING": "configuration=two",
+            "CONTENT_LENGTH": "0",
+            "wsgi.input": io.BytesIO(b""),
+        }
+        captured = {}
+
+        def start_response(status, headers):
+            captured["status"] = int(status.split()[0])
+            captured["headers"] = dict(headers)
+
+        body = json.loads(b"".join(app(environ, start_response)))
+        assert captured["status"] == 500
+        assert captured["headers"]["Content-Type"] == "application/json"
+        assert "internal server error" in body["error"]
+        assert "wired to fail" not in body["error"]  # no detail leak
+        assert service.metrics.snapshot()["error_count"] == 1
+
+
+class TestCaching:
+    def test_repeat_select_hits_cache(self, service, client):
+        client("POST", "/select", {"configuration": "two"})
+        misses_after_first = service.metrics.cache_misses
+        assert misses_after_first == 1
+        client("POST", "/select", {"configuration": "two"})
+        client("POST", "/select", {"configuration": "two"})
+        _, body = client("GET", "/metrics")
+        assert body["cache"]["instance_misses"] == misses_after_first
+        assert body["cache"]["instance_hits"] == 2
+        # Zero rebuilds → no further "instance"/"grouping" stage samples.
+        assert body["stages"]["instance"]["count"] == 1
+        assert body["stages"]["grouping"]["count"] == 1
+
+    def test_budget_override_caches_separately(self, service, client):
+        client("POST", "/select", {"configuration": "two"})
+        client(
+            "POST", "/select", {"configuration": "two", "budget": 1}
+        )
+        assert service.metrics.cache_misses == 2
+        client(
+            "POST", "/select", {"configuration": "two", "budget": 1}
+        )
+        assert service.metrics.cache_hits == 1
+
+    def test_profile_reload_invalidates(self, service, client):
+        client("POST", "/select", {"configuration": "two"})
+        document = profiles_to_dict(example_repository())
+        client("POST", "/profiles", document)
+        client("POST", "/select", {"configuration": "two"})
+        assert service.metrics.cache_misses == 2
+
+    def test_configuration_put_invalidates_only_that_name(
+        self, service, client
+    ):
+        client("POST", "/select", {"configuration": "two"})
+        client("POST", "/select", {"configuration": "default"})
+        assert service.metrics.cache_misses == 2
+        client(
+            "POST", "/configurations", {"name": "two", "budget": 3}
+        )
+        assert "default" in service.stats()["cached_configurations"]
+        assert "two" not in service.stats()["cached_configurations"]
+        client("POST", "/select", {"configuration": "default"})
+        assert service.metrics.cache_hits == 1
+
+
+class TestProfileDelta:
+    def test_delta_applies_and_refreshes(self, service, client):
+        client("POST", "/select", {"configuration": "two"})
+        status, body = client(
+            "POST",
+            "/profiles/delta",
+            {
+                "upserts": {
+                    "Zoe": {
+                        "avgRating Mexican": 0.99,
+                        "visitFreq Mexican": 0.9,
+                    }
+                },
+            },
+        )
+        assert status == 200
+        assert body["users"] == 6
+        assert body["upserts"] == 1
+        assert body["refreshed_configurations"] == ["two"]
+        status, health = client("GET", "/health")
+        assert health["users"] == 6
+
+    def test_delta_refresh_counts_as_rebuild_not_miss(
+        self, service, client
+    ):
+        client("POST", "/select", {"configuration": "two"})
+        client(
+            "POST",
+            "/profiles/delta",
+            {"upserts": {"Zoe": {"avgRating Mexican": 0.99}}},
+        )
+        # The refreshed instance is served from cache afterwards.
+        client("POST", "/select", {"configuration": "two"})
+        assert service.metrics.cache_misses == 1
+        assert service.metrics.cache_hits == 1
+
+    def test_delta_removal(self, service, client):
+        status, body = client(
+            "POST", "/profiles/delta", {"removals": ["Bob"]}
+        )
+        assert status == 200
+        assert body["users"] == 4
+
+    def test_delta_unknown_removal_is_json_400(self, client):
+        status, body = client(
+            "POST", "/profiles/delta", {"removals": ["Nobody"]}
+        )
+        assert status == 400
+        assert "error" in body
+
+    def test_delta_malformed_upserts_is_json_400(self, client):
+        status, body = client(
+            "POST", "/profiles/delta", {"upserts": ["Alice"]}
+        )
+        assert status == 400
+        assert "upserts" in body["error"]
+
+    def test_delta_selection_reflects_new_user(self, service, client):
+        client(
+            "POST",
+            "/profiles/delta",
+            {
+                "upserts": {
+                    "Zoe": {
+                        "avgRating Mexican": 0.99,
+                        "visitFreq Mexican": 0.9,
+                        "avgRating CheapEats": 0.9,
+                        "visitFreq CheapEats": 0.9,
+                        "livesIn Tokyo": 1.0,
+                        "ageGroup 50-64": 1.0,
+                    }
+                }
+            },
+        )
+        status, body = client(
+            "POST", "/select", {"configuration": "two", "budget": 6}
+        )
+        assert status == 200
+        assert "Zoe" in body["selected"]
+
+
+class TestThreadedServer:
+    def test_concurrent_selects_smoke(self, service):
+        httpd = make_http_server(service, "127.0.0.1", 0)
+        port = httpd.server_address[1]
+        thread = threading.Thread(
+            target=httpd.serve_forever, daemon=True
+        )
+        thread.start()
+        try:
+            results = []
+            errors = []
+
+            def hit():
+                request = urllib.request.Request(
+                    f"http://127.0.0.1:{port}/select",
+                    data=json.dumps(
+                        {"configuration": "two", "explain": False}
+                    ).encode(),
+                    headers={"Content-Type": "application/json"},
+                    method="POST",
+                )
+                try:
+                    with urllib.request.urlopen(
+                        request, timeout=10
+                    ) as response:
+                        results.append(json.load(response))
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            workers = [
+                threading.Thread(target=hit) for _ in range(8)
+            ]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join(timeout=30)
+            assert not errors
+            assert len(results) == 8
+            assert all(
+                set(r["selected"]) == {"Alice", "Eve"} for r in results
+            )
+            # One build, seven cache hits.
+            assert service.metrics.cache_misses == 1
+            assert service.metrics.cache_hits == 7
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=10)
+
+    def test_error_body_is_json_over_http(self, service):
+        httpd = make_http_server(service, "127.0.0.1", 0)
+        port = httpd.server_address[1]
+        thread = threading.Thread(
+            target=httpd.serve_forever, daemon=True
+        )
+        thread.start()
+        try:
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/select",
+                data=b"{broken",
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 400
+            assert excinfo.value.headers.get("Content-Type") == (
+                "application/json"
+            )
+            assert "error" in json.load(excinfo.value)
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=10)
