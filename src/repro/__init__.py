@@ -10,7 +10,8 @@ re-exports the pieces a downstream user needs:
 * selection (:func:`greedy_select`, :func:`optimal_select`,
   :func:`custom_select`) and explanations (:func:`explain_selection`),
 * datasets, baselines, metrics, the procurement simulation, the service
-  prototype and the experiment harness as subpackages.
+  prototype, the durable storage layer (:class:`DurableRepositoryStore`)
+  and the experiment harness as subpackages.
 
 Quickstart::
 
@@ -58,6 +59,11 @@ from .core import (
     subset_score,
 )
 from .datasets.synth import generate_profile_columns
+from .storage import (
+    DurableRepositoryStore,
+    StreamingMaintainer,
+    WriteAheadLog,
+)
 
 __version__ = "1.0.0"
 
@@ -69,6 +75,7 @@ __all__ = [
     "CustomizationFeedback",
     "CustomSelectionResult",
     "DiversificationInstance",
+    "DurableRepositoryStore",
     "EBSWeights",
     "Group",
     "GroupingConfig",
@@ -81,6 +88,8 @@ __all__ = [
     "SelectionExplanation",
     "SelectionResult",
     "SingleCoverage",
+    "StreamingMaintainer",
+    "WriteAheadLog",
     "UserProfile",
     "UserRepository",
     "approximation_ratio",

@@ -7,6 +7,9 @@ Commands mirror the Fig. 1 pipeline:
 * ``select``   — run diverse user selection over a profile document,
   optionally with customization feedback, printing a JSON response;
 * ``serve``    — start the prototype HTTP service on a profile document;
+  with ``--data-dir`` the service write-ahead-logs every delta before
+  acknowledging it and recovers snapshot + WAL on boot;
+* ``store``    — inspect / replay / compact a ``--data-dir`` offline;
 * ``report``   — regenerate EXPERIMENTS.md (``--jobs N`` parallelizes the
   engine-backed experiments);
 * ``bench``    — benchmark suites: ``--suite selection`` times the greedy
@@ -15,7 +18,9 @@ Commands mirror the Fig. 1 pipeline:
   experiment end-to-end on the parallel engine at several job counts
   (``BENCH_experiments.json``); ``--suite scale`` drives the columnar
   construction + sharded/stochastic selection path to hundreds of
-  thousands of users (``BENCH_scale.json``).
+  thousands of users (``BENCH_scale.json``); ``--suite ingest`` measures
+  durable delta throughput, recovery time and streaming-maintainer
+  quality (``BENCH_ingest.json``).
 
 Group keys on the command line use the ``property::bucket`` form, e.g.
 ``--must-have "avgRating Mexican::high"``.
@@ -82,10 +87,14 @@ def _cmd_derive(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_service(profiles_path: str, args: argparse.Namespace) -> PodiumService:
+def _load_service(
+    profiles_path: str | None,
+    args: argparse.Namespace,
+    store=None,
+) -> PodiumService:
     from .datasets.io import load_profiles
 
-    service = PodiumService(load_profiles(profiles_path))
+    service = PodiumService(store=store)
     service.configurations.put(
         DiversificationConfiguration(
             name="cli",
@@ -97,6 +106,24 @@ def _load_service(profiles_path: str, args: argparse.Namespace) -> PodiumService
             min_support=args.min_support,
         )
     )
+    if profiles_path is not None:
+        # Explicit --profiles starts a new epoch: with a store attached
+        # this snapshots the fresh repository and truncates the WAL.
+        service.load_repository(load_profiles(profiles_path))
+    elif store is not None and len(store.repository):
+        restored = service.restore_artifacts()
+        print(
+            f"recovered {len(store.repository)} users from {store.data_dir} "
+            f"(wal_seq={store.last_seq}, replayed={store.replayed_records} "
+            f"records in {store.replay_seconds:.3f}s, "
+            f"restored configs: {restored or 'none'})",
+            file=sys.stderr,
+        )
+    else:
+        raise PodiumError(
+            "no profiles: pass --profiles, or --data-dir pointing at a "
+            "directory with recoverable state"
+        )
     return service
 
 
@@ -131,12 +158,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         format="%(asctime)s %(name)s %(message)s",
         stream=sys.stderr,
     )
-    service = _load_service(args.profiles, args)
-    snapshot = serve(service, host=args.host, port=args.port)
+    store = None
+    if args.data_dir:
+        from .storage import DurableRepositoryStore
+
+        store = DurableRepositoryStore(args.data_dir, fsync=args.fsync)
+    service = _load_service(args.profiles, args, store=store)
+    try:
+        snapshot = serve(service, host=args.host, port=args.port)
+    finally:
+        if store is not None:
+            store.close()
     from .service.viz import render_metrics_text
 
     print(render_metrics_text(snapshot), file=sys.stderr)
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .storage import DurableRepositoryStore, inspect_data_dir
+
+    if args.action == "inspect":
+        json.dump(inspect_data_dir(args.data_dir), sys.stdout, indent=1)
+        print()
+        return 0
+    # compact / replay both perform a full recovery first.
+    store = DurableRepositoryStore(args.data_dir, fsync=args.fsync)
+    try:
+        if args.action == "compact":
+            store.compact()
+        stats = store.stats()
+        stats["replayed_records"] = store.replayed_records
+        stats["replay_seconds"] = round(store.replay_seconds, 6)
+        json.dump(stats, sys.stdout, indent=1)
+        print()
+        return 0
+    finally:
+        store.close()
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -144,7 +202,55 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _bench_experiments(args)
     if args.suite == "scale":
         return _bench_scale(args)
+    if args.suite == "ingest":
+        return _bench_ingest(args)
     return _bench_selection(args)
+
+
+def _bench_ingest(args: argparse.Namespace) -> int:
+    from .experiments.ingest import (
+        IngestSetup,
+        benchmark_ingest,
+        ingest_report_failures,
+    )
+
+    defaults = IngestSetup()
+    setup = IngestSetup(
+        users=args.users,
+        budget=args.budget if args.budget is not None else defaults.budget,
+        seed=args.seed,
+        throughput_deltas=args.deltas,
+        churn_rounds=args.churn_rounds,
+    )
+    report = benchmark_ingest(setup)
+    out = args.out or "BENCH_ingest.json"
+    Path(out).write_text(json.dumps(report, indent=1) + "\n")
+    for row in report["throughput"]:
+        mode = "fsync" if row["fsync"] else "no-fsync"
+        print(
+            f"ingest [{mode}]: {row['deltas']} deltas in "
+            f"{row['seconds']:.2f}s = {row['deltas_per_second']:.0f}/s"
+        )
+    for row in report["recovery"]:
+        print(
+            f"recovery: {row['wal_records']} WAL records replayed in "
+            f"{row['replay_seconds']:.3f}s "
+            f"({row['records_per_second']:.0f}/s)"
+        )
+    worst = min(r["quality_ratio"] for r in report["maintainer"])
+    last = report["maintainer"][-1]
+    print(
+        f"maintainer: worst quality ratio {worst:.4f} over "
+        f"{len(report['maintainer'])} churn rounds "
+        f"(swaps={last['swaps']}, fills={last['fills']}, "
+        f"drops={last['drops']}, resolves={last['resolves']}; "
+        f"floor {report['quality_floor']})"
+    )
+    failures = ingest_report_failures(report)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print(f"wrote {out}")
+    return 0 if not failures else 1
 
 
 def _parse_sizes(text: str) -> tuple[int, ...]:
@@ -277,8 +383,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _add_selection_flags(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--profiles", required=True, help="profile JSON path")
+def _add_selection_flags(
+    parser: argparse.ArgumentParser, profiles_required: bool = True
+) -> None:
+    parser.add_argument(
+        "--profiles",
+        required=profiles_required,
+        default=None,
+        help="profile JSON path"
+        + (
+            ""
+            if profiles_required
+            else " (optional when --data-dir holds recoverable state)"
+        ),
+    )
     parser.add_argument("--budget", type=int, default=8)
     parser.add_argument(
         "--weights", default="LBS", choices=("Iden", "LBS", "EBS")
@@ -339,9 +457,20 @@ def build_parser() -> argparse.ArgumentParser:
     select.set_defaults(handler=_cmd_select)
 
     server = commands.add_parser("serve", help="start the HTTP service")
-    _add_selection_flags(server)
+    _add_selection_flags(server, profiles_required=False)
     server.add_argument("--host", default="127.0.0.1")
     server.add_argument("--port", type=int, default=8808)
+    server.add_argument(
+        "--data-dir", default=None,
+        help="durable storage directory: deltas are write-ahead-logged "
+        "before acknowledgment and the service recovers snapshot + WAL "
+        "on boot (omit --profiles to boot from recovered state)",
+    )
+    server.add_argument(
+        "--fsync", action=argparse.BooleanOptionalAction, default=True,
+        help="fsync the WAL on every delta (--no-fsync trades OS-crash "
+        "durability for throughput)",
+    )
     server.add_argument(
         "--log-level",
         default="info",
@@ -349,6 +478,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request structured log verbosity",
     )
     server.set_defaults(handler=_cmd_serve)
+
+    store = commands.add_parser(
+        "store",
+        help="durable data-directory tooling: 'inspect' summarizes the "
+        "WAL and live snapshot read-only, 'replay' performs a full "
+        "recovery and prints the resulting stats, 'compact' folds the "
+        "WAL into a fresh snapshot and truncates it",
+    )
+    store.add_argument(
+        "action", choices=("inspect", "replay", "compact")
+    )
+    store.add_argument("--data-dir", required=True)
+    store.add_argument(
+        "--fsync", action=argparse.BooleanOptionalAction, default=True
+    )
+    store.set_defaults(handler=_cmd_store)
 
     report = commands.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("--fast", action="store_true")
@@ -366,12 +511,14 @@ def build_parser() -> argparse.ArgumentParser:
         "fig3-style experiment end-to-end on the parallel engine "
         "(BENCH_experiments.json); 'scale' drives columnar construction "
         "plus sharded/stochastic selection to 500k+ users "
-        "(BENCH_scale.json)",
+        "(BENCH_scale.json); 'ingest' measures durable delta throughput "
+        "with/without fsync, WAL recovery time and streaming-maintainer "
+        "quality vs fresh greedy (BENCH_ingest.json)",
     )
     bench.add_argument(
         "--suite",
         default="selection",
-        choices=("selection", "experiments", "scale"),
+        choices=("selection", "experiments", "scale", "ingest"),
     )
     bench.add_argument(
         "--sizes", default=None,
@@ -386,7 +533,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=3)
     bench.add_argument(
         "--users", type=int, default=2000,
-        help="[experiments] population size of the fig3-style experiment",
+        help="[experiments/ingest] population size",
+    )
+    bench.add_argument(
+        "--deltas", type=int, default=300,
+        help="[ingest] deltas per throughput run",
+    )
+    bench.add_argument(
+        "--churn-rounds", type=int, default=12,
+        help="[ingest] churn rounds of the maintainer quality sweep",
     )
     bench.add_argument(
         "--jobs", type=int, default=None,

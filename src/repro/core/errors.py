@@ -44,6 +44,18 @@ class EmptyRepositoryError(PodiumError, ValueError):
     """An operation that needs at least one user ran on an empty repository."""
 
 
+class InvalidDeltaError(PodiumError, ValueError):
+    """A profile delta is self-inconsistent (duplicate or clashing ids).
+
+    Distinct from :class:`UnknownUserError`: the delta itself is
+    malformed regardless of the repository it would be applied to.
+    """
+
+
+class StorageError(PodiumError):
+    """The durable storage layer hit an invalid state or corrupt file."""
+
+
 class InvalidBudgetError(PodiumError, ValueError):
     """The selection budget ``B`` must be a positive integer."""
 

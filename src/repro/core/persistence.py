@@ -20,6 +20,7 @@ unicode arrays, so a saved index selects byte-identically after reload.
 from __future__ import annotations
 
 import json
+import zlib
 from pathlib import Path
 from typing import Any
 
@@ -34,6 +35,61 @@ from .instance import DiversificationInstance
 _GROUPS_FORMAT = "podium-groups-v1"
 _INSTANCE_FORMAT = "podium-instance-v1"
 _INDEX_FORMAT = "podium-index-npz-v1"
+
+#: Checkpoint-envelope version written by :func:`save_instance` and
+#: :func:`save_index_npz`.  Readers accept this version and the legacy
+#: header-less files of version 1; anything newer fails with a clear
+#: error instead of a cryptic decode failure.
+CHECKPOINT_VERSION = 2
+
+
+def payload_checksum(payload: dict[str, Any]) -> int:
+    """CRC32 of a JSON payload in canonical (sorted, compact) form.
+
+    Canonicalization makes the checksum independent of key order and
+    whitespace, so any JSON writer produces the same digest for the same
+    logical document.
+    """
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode()
+    return zlib.crc32(canonical) & 0xFFFFFFFF
+
+
+def _unwrap_checkpoint(
+    document: dict[str, Any], expected_format: str
+) -> dict[str, Any]:
+    """Verify a version-2 checkpoint envelope and return its payload.
+
+    Legacy version-1 files (the bare payload, no envelope) pass through
+    unchanged — their own ``format`` field is still validated by the
+    payload parser.
+    """
+    if "payload" not in document:
+        return document  # legacy v1 checkpoint: bare payload
+    version = document.get("format_version")
+    if not isinstance(version, int) or version > CHECKPOINT_VERSION:
+        raise DatasetError(
+            f"checkpoint format_version {version!r} is newer than this "
+            f"reader (supports <= {CHECKPOINT_VERSION}); upgrade to load it"
+        )
+    if document.get("format") != expected_format:
+        raise DatasetError(
+            f"expected format {expected_format!r}, "
+            f"got {document.get('format')!r}"
+        )
+    payload = document["payload"]
+    if not isinstance(payload, dict):
+        raise DatasetError("checkpoint payload must be a JSON object")
+    stored = document.get("payload_crc32")
+    actual = payload_checksum(payload)
+    if stored != actual:
+        raise DatasetError(
+            f"checkpoint payload checksum mismatch (stored {stored!r}, "
+            f"computed {actual}): the file is corrupted or was edited "
+            f"without updating its header"
+        )
+    return payload
 
 
 def _bucket_to_dict(bucket: Bucket | None) -> dict[str, Any] | None:
@@ -143,13 +199,56 @@ def instance_from_dict(document: dict[str, Any]) -> DiversificationInstance:
 def save_instance(
     instance: DiversificationInstance, path: str | Path
 ) -> None:
-    """Write an instance checkpoint to ``path`` as JSON."""
-    Path(path).write_text(json.dumps(instance_to_dict(instance)))
+    """Write an instance checkpoint to ``path`` as JSON.
+
+    The payload is wrapped in a checkpoint envelope carrying the format
+    name, a format version and a CRC32 of the canonical payload, so a
+    truncated or hand-edited file fails loudly on load instead of
+    surfacing as a cryptic decode error deep in the parser.
+    """
+    payload = instance_to_dict(instance)
+    Path(path).write_text(
+        json.dumps(
+            {
+                "format": _INSTANCE_FORMAT,
+                "format_version": CHECKPOINT_VERSION,
+                "payload_crc32": payload_checksum(payload),
+                "payload": payload,
+            }
+        )
+    )
 
 
 def load_instance(path: str | Path) -> DiversificationInstance:
-    """Read an instance checkpoint written by :func:`save_instance`."""
-    return instance_from_dict(json.loads(Path(path).read_text()))
+    """Read an instance checkpoint written by :func:`save_instance`.
+
+    Verifies the envelope's format version and payload checksum (clear
+    :class:`DatasetError` on mismatch); legacy header-less checkpoints
+    still load.
+    """
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise DatasetError(
+            f"instance checkpoint {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(document, dict):
+        raise DatasetError("instance checkpoint must be a JSON object")
+    return instance_from_dict(_unwrap_checkpoint(document, _INSTANCE_FORMAT))
+
+
+def _index_checksum(arrays: dict[str, np.ndarray]) -> int:
+    """CRC32 over the index's array payload in a fixed name order.
+
+    Each array contributes its name, dtype, shape and raw bytes, so a
+    silent dtype or shape flip is caught alongside bit corruption.
+    """
+    crc = 0
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        header = f"{name}:{array.dtype.str}:{array.shape}:".encode()
+        crc = zlib.crc32(array.tobytes(), zlib.crc32(header, crc))
+    return crc & 0xFFFFFFFF
 
 
 def save_index_npz(index: InstanceIndex, path: str | Path) -> None:
@@ -157,9 +256,12 @@ def save_index_npz(index: InstanceIndex, path: str | Path) -> None:
 
     Everything needed to reconstruct the index exactly is stored —
     including ``wei``/``initial_gains`` and the ``vectorizable`` flag, so
-    loading never recomputes the big-int mass check.  Non-vectorizable
-    indexes (EBS big-ints) are rejected: their exact weights live in the
-    instance, not the index, and belong in the JSON checkpoint.
+    loading never recomputes the big-int mass check.  A format-version
+    header and a CRC32 over every stored array guard the load path the
+    same way the JSON envelope guards :func:`save_instance`.
+    Non-vectorizable indexes (EBS big-ints) are rejected: their exact
+    weights live in the instance, not the index, and belong in the JSON
+    checkpoint.
     """
     if not index.vectorizable:
         raise DatasetError(
@@ -168,23 +270,28 @@ def save_index_npz(index: InstanceIndex, path: str | Path) -> None:
             "as JSON instead"
         )
     assert index.wei is not None and index.initial_gains is not None
+    arrays = {
+        "users": np.asarray(index.users, dtype=np.str_),
+        "key_property": np.asarray(
+            [k.property_label for k in index.group_keys], dtype=np.str_
+        ),
+        "key_bucket": np.asarray(
+            [k.bucket_label for k in index.group_keys], dtype=np.str_
+        ),
+        "u_indptr": index.u_indptr,
+        "u_indices": index.u_indices,
+        "g_indptr": index.g_indptr,
+        "g_indices": index.g_indices,
+        "cov": index.cov,
+        "wei": index.wei,
+        "initial_gains": index.initial_gains,
+    }
     np.savez_compressed(
         Path(path),
         format=np.asarray(_INDEX_FORMAT),
-        users=np.asarray(index.users, dtype=np.str_),
-        key_property=np.asarray(
-            [k.property_label for k in index.group_keys], dtype=np.str_
-        ),
-        key_bucket=np.asarray(
-            [k.bucket_label for k in index.group_keys], dtype=np.str_
-        ),
-        u_indptr=index.u_indptr,
-        u_indices=index.u_indices,
-        g_indptr=index.g_indptr,
-        g_indices=index.g_indices,
-        cov=index.cov,
-        wei=index.wei,
-        initial_gains=index.initial_gains,
+        format_version=np.asarray(CHECKPOINT_VERSION, dtype=np.int64),
+        payload_crc32=np.asarray(_index_checksum(arrays), dtype=np.uint32),
+        **arrays,
     )
 
 
@@ -192,7 +299,10 @@ def load_index_npz(path: str | Path) -> InstanceIndex:
     """Read an index checkpoint written by :func:`save_index_npz`.
 
     The CSR arrays come back verbatim (dtypes included), so selections
-    over the loaded index are byte-identical to the original's.
+    over the loaded index are byte-identical to the original's.  The
+    format version and array checksum are verified first (clear
+    :class:`DatasetError` on mismatch); legacy header-less ``.npz``
+    checkpoints still load.
     """
     with np.load(Path(path), allow_pickle=False) as data:
         if str(data["format"]) != _INDEX_FORMAT:
@@ -200,6 +310,26 @@ def load_index_npz(path: str | Path) -> InstanceIndex:
                 f"expected format {_INDEX_FORMAT!r}, "
                 f"got {str(data['format'])!r}"
             )
+        if "format_version" in data.files:
+            version = int(data["format_version"])
+            if version > CHECKPOINT_VERSION:
+                raise DatasetError(
+                    f"index checkpoint format_version {version} is newer "
+                    f"than this reader (supports <= {CHECKPOINT_VERSION}); "
+                    f"upgrade to load it"
+                )
+            stored = int(data["payload_crc32"])
+            arrays = {
+                name: data[name]
+                for name in data.files
+                if name not in ("format", "format_version", "payload_crc32")
+            }
+            actual = _index_checksum(arrays)
+            if stored != actual:
+                raise DatasetError(
+                    f"index checkpoint checksum mismatch (stored {stored}, "
+                    f"computed {actual}): the file is corrupted or truncated"
+                )
         users = tuple(str(u) for u in data["users"])
         group_keys = tuple(
             GroupKey(str(p), str(b))

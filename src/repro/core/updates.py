@@ -18,9 +18,10 @@ in-flight selection keeps a consistent snapshot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
-from .errors import UnknownUserError
-from .groups import Group, GroupSet
+from .errors import InvalidDeltaError, UnknownUserError
+from .groups import Group, GroupingConfig, GroupSet
 from .instance import DiversificationInstance
 from .profiles import UserProfile, UserRepository
 from .weights import CoverageScheme, LBSWeights, SingleCoverage, WeightScheme
@@ -41,10 +42,16 @@ class ProfileDelta:
     def __post_init__(self) -> None:
         upsert_ids = {p.user_id for p in self.upserts}
         if len(upsert_ids) != len(self.upserts):
-            raise UnknownUserError("duplicate user id in upserts")
+            counts: dict[str, int] = {}
+            for profile in self.upserts:
+                counts[profile.user_id] = counts.get(profile.user_id, 0) + 1
+            dupes = sorted(u for u, c in counts.items() if c > 1)
+            raise InvalidDeltaError(
+                f"duplicate user ids in upserts: {dupes[:3]}"
+            )
         clash = upsert_ids & self.removals
         if clash:
-            raise UnknownUserError(
+            raise InvalidDeltaError(
                 f"user ids both upserted and removed: {sorted(clash)[:3]}"
             )
 
@@ -52,6 +59,41 @@ class ProfileDelta:
     def touched(self) -> frozenset[str]:
         """Every user id affected by this delta."""
         return frozenset(p.user_id for p in self.upserts) | self.removals
+
+
+def profile_delta_to_dict(delta: ProfileDelta) -> dict[str, Any]:
+    """Serialize a delta to the JSON interchange form.
+
+    The same shape the service's ``/profiles/delta`` route accepts, so
+    write-ahead-log records replay through one parser.
+    """
+    return {
+        "upserts": {
+            p.user_id: dict(p.scores) for p in delta.upserts
+        },
+        "removals": sorted(delta.removals),
+    }
+
+
+def profile_delta_from_dict(document: dict[str, Any]) -> ProfileDelta:
+    """Rebuild a delta serialized by :func:`profile_delta_to_dict`."""
+    upserts_raw = document.get("upserts") or {}
+    if not isinstance(upserts_raw, dict):
+        raise InvalidDeltaError(
+            "delta field 'upserts' must map user ids to {property: score}"
+        )
+    removals_raw = document.get("removals") or []
+    if not isinstance(removals_raw, (list, tuple)):
+        raise InvalidDeltaError(
+            "delta field 'removals' must be a list of user ids"
+        )
+    return ProfileDelta(
+        upserts=tuple(
+            UserProfile(str(user_id), scores)
+            for user_id, scores in upserts_raw.items()
+        ),
+        removals=frozenset(str(u) for u in removals_raw),
+    )
 
 
 def apply_delta_to_repository(
@@ -139,6 +181,18 @@ class IncrementalPodium:
 
     ``update(delta)`` applies a batch and refreshes all three snapshots;
     ``rebucket()`` forces the periodic full grouping-module run.
+
+    Bucket boundaries are frozen across updates and drift as the
+    population changes, so a deterministic *rebucket trigger policy*
+    bounds the drift: when the cumulative number of touched users since
+    the last full grouping run reaches ``rebucket_threshold`` as a
+    fraction of the current population, :meth:`update` re-runs the
+    grouping module (with ``grouping``, the config reused by every
+    triggered run) before returning.  The policy depends only on the
+    delta sequence — no clocks, no randomness — so replaying the same
+    deltas always rebuilds at the same points.  ``rebucket_threshold=None``
+    (the default) disables the trigger and preserves the manual-only
+    behaviour.
     """
 
     repository: UserRepository
@@ -146,8 +200,17 @@ class IncrementalPodium:
     budget: int
     weight_scheme: WeightScheme = field(default_factory=LBSWeights)
     coverage_scheme: CoverageScheme = field(default_factory=SingleCoverage)
+    rebucket_threshold: float | None = None
+    grouping: GroupingConfig | None = None
 
     def __post_init__(self) -> None:
+        if self.rebucket_threshold is not None and self.rebucket_threshold <= 0:
+            raise InvalidDeltaError(
+                f"rebucket_threshold must be positive, "
+                f"got {self.rebucket_threshold}"
+            )
+        self.touched_since_rebucket = 0
+        self.rebucket_count = 0
         self.instance = rebuild_instance(
             self.groups,
             self.repository,
@@ -157,9 +220,17 @@ class IncrementalPodium:
         )
 
     def update(self, delta: ProfileDelta) -> None:
-        """Apply a profile delta incrementally (frozen buckets)."""
+        """Apply a profile delta incrementally (frozen buckets).
+
+        May end with a full grouping-module run when the touched-users
+        fraction crosses :attr:`rebucket_threshold`.
+        """
         self.repository = apply_delta_to_repository(self.repository, delta)
         self.groups = reassign_groups(self.groups, self.repository, delta)
+        self.touched_since_rebucket += len(delta.touched)
+        if self._rebucket_due():
+            self.rebucket(self.grouping)
+            return
         self.instance = rebuild_instance(
             self.groups,
             self.repository,
@@ -168,11 +239,19 @@ class IncrementalPodium:
             self.coverage_scheme,
         )
 
+    def _rebucket_due(self) -> bool:
+        if self.rebucket_threshold is None:
+            return False
+        population = max(len(self.repository), 1)
+        return self.touched_since_rebucket >= self.rebucket_threshold * population
+
     def rebucket(self, grouping=None) -> None:
         """Run the full grouping module again (periodic maintenance)."""
         from .groups import build_simple_groups
 
         self.groups = build_simple_groups(self.repository, grouping)
+        self.touched_since_rebucket = 0
+        self.rebucket_count += 1
         self.instance = rebuild_instance(
             self.groups,
             self.repository,

@@ -1,0 +1,233 @@
+"""Ingest-path benchmark: durable delta throughput, recovery, maintenance.
+
+Three questions about the durable streaming-ingestion subsystem
+(:mod:`repro.storage`), answered with measurements on a synthetic
+population (same generator as the scalability suites):
+
+* **Throughput** — sustained ``ProfileDelta`` appends/second through
+  :meth:`DurableRepositoryStore.append_delta`, with and without
+  ``fsync``.  The gap is the price of the stronger durability contract
+  (acknowledged delta survives OS death, not just process death).
+* **Recovery** — cold-open time as a function of WAL length: the store
+  replays every post-snapshot record through the §9 incremental-update
+  machinery, so replay scales with the number of unfolded records and
+  compaction is what keeps boots fast.
+* **Maintainer quality** — the streaming-repaired selection's score as
+  a fraction of a from-scratch matrix greedy on the same index, after
+  every churn round.  The acceptance floor (``quality_floor``, default
+  0.95) turns a quality regression into a nonzero exit code.
+
+The report dict is written to ``BENCH_ingest.json`` by
+``repro bench --suite ingest``; :func:`ingest_report_failures` is the
+CI gate.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.greedy import select_from_index
+from ..core.groups import GroupingConfig, build_simple_groups
+from ..core.index import instance_index
+from ..core.profiles import UserProfile, UserRepository
+from ..core.updates import (
+    ProfileDelta,
+    apply_delta_to_repository,
+    reassign_groups,
+    rebuild_instance,
+)
+from ..datasets.synth import generate_profile_repository
+from ..storage import DurableRepositoryStore, StreamingMaintainer
+
+
+@dataclass(frozen=True)
+class IngestSetup:
+    """Knobs of the ingest benchmark (defaults finish in well under a
+    minute on a laptop; CI runs a smaller preset)."""
+
+    users: int = 2000
+    n_properties: int = 120
+    mean_profile_size: float = 25.0
+    budget: int = 8
+    seed: int = 3
+    #: Deltas per throughput run (each upserts one user, removes one).
+    throughput_deltas: int = 300
+    #: WAL lengths the recovery sweep reopens at.
+    recovery_wal_lengths: tuple[int, ...] = (50, 200, 800)
+    #: Churn rounds × deltas-per-round of the maintainer quality sweep.
+    churn_rounds: int = 12
+    deltas_per_round: int = 5
+    #: Acceptance floor on maintainer_score / fresh_greedy_score.
+    quality_floor: float = 0.95
+
+
+def _delta_stream(
+    repository: UserRepository, rng: np.random.Generator, count: int
+):
+    """Deterministic churn deltas: each upserts a fresh user cloned from
+    a random template and removes a random survivor."""
+    alive = list(repository.user_ids)
+    templates = [repository.profile(u) for u in alive[: min(200, len(alive))]]
+    next_id = 0
+    for _ in range(count):
+        template = templates[int(rng.integers(len(templates)))]
+        new_user = UserProfile(f"ingest{next_id:06d}", dict(template.scores))
+        next_id += 1
+        victim = alive.pop(int(rng.integers(len(alive))))
+        alive.append(new_user.user_id)
+        yield ProfileDelta(
+            upserts=(new_user,), removals=frozenset({victim})
+        )
+
+
+def _throughput_row(
+    repository: UserRepository, setup: IngestSetup, fsync: bool
+) -> dict:
+    data_dir = Path(tempfile.mkdtemp(prefix="podium-ingest-"))
+    try:
+        store = DurableRepositoryStore(data_dir, fsync=fsync)
+        store.initialize(repository)
+        rng = np.random.default_rng(setup.seed)
+        deltas = list(
+            _delta_stream(repository, rng, setup.throughput_deltas)
+        )
+        started = time.perf_counter()
+        for delta in deltas:
+            store.append_delta(delta)
+        seconds = time.perf_counter() - started
+        row = {
+            "fsync": fsync,
+            "deltas": len(deltas),
+            "seconds": seconds,
+            "deltas_per_second": len(deltas) / seconds if seconds else None,
+            "wal_bytes": store.stats()["wal_bytes"],
+        }
+        store.close()
+        return row
+    finally:
+        shutil.rmtree(data_dir, ignore_errors=True)
+
+
+def _recovery_rows(
+    repository: UserRepository, setup: IngestSetup
+) -> list[dict]:
+    rows = []
+    for wal_length in setup.recovery_wal_lengths:
+        data_dir = Path(tempfile.mkdtemp(prefix="podium-recover-"))
+        try:
+            store = DurableRepositoryStore(data_dir, fsync=False)
+            store.initialize(repository)
+            rng = np.random.default_rng(setup.seed + wal_length)
+            for delta in _delta_stream(repository, rng, wal_length):
+                store.append_delta(delta)
+            expected_users = len(store.repository)
+            store.close()
+            started = time.perf_counter()
+            reopened = DurableRepositoryStore(data_dir, fsync=False)
+            open_seconds = time.perf_counter() - started
+            assert reopened.replayed_records == wal_length
+            assert len(reopened.repository) == expected_users
+            rows.append(
+                {
+                    "wal_records": wal_length,
+                    "open_seconds": open_seconds,
+                    "replay_seconds": reopened.replay_seconds,
+                    "records_per_second": (
+                        wal_length / reopened.replay_seconds
+                        if reopened.replay_seconds
+                        else None
+                    ),
+                }
+            )
+            reopened.close()
+        finally:
+            shutil.rmtree(data_dir, ignore_errors=True)
+    return rows
+
+
+def _maintainer_rows(
+    repository: UserRepository, setup: IngestSetup
+) -> list[dict]:
+    """Churn the population and compare maintained vs fresh greedy."""
+    grouping = GroupingConfig(min_support=2)
+    groups = build_simple_groups(repository, grouping)
+    index = instance_index(
+        rebuild_instance(groups, repository, setup.budget)
+    )
+    maintainer = StreamingMaintainer(index, setup.budget)
+    rng = np.random.default_rng(setup.seed + 7)
+    rows = []
+    for round_no in range(setup.churn_rounds):
+        for delta in _delta_stream(
+            repository, rng, setup.deltas_per_round
+        ):
+            repository = apply_delta_to_repository(repository, delta)
+            groups = reassign_groups(groups, repository, delta)
+            index = instance_index(
+                rebuild_instance(groups, repository, setup.budget)
+            )
+            maintainer.refresh(index, touched=len(delta.touched))
+        fresh = select_from_index(index, setup.budget, method="matrix")
+        maintained_score = maintainer.score()
+        ratio = (
+            maintained_score / fresh.score if fresh.score else 1.0
+        )
+        rows.append(
+            {
+                "round": round_no + 1,
+                "maintained_score": int(maintained_score),
+                "fresh_score": int(fresh.score),
+                "quality_ratio": float(ratio),
+                "swaps": maintainer.swaps,
+                "fills": maintainer.fills,
+                "drops": maintainer.drops,
+                "resolves": maintainer.resolves,
+            }
+        )
+    return rows
+
+
+def benchmark_ingest(setup: IngestSetup | None = None) -> dict:
+    """Run all three sweeps and return the ``BENCH_ingest.json`` report."""
+    setup = setup or IngestSetup()
+    repository = generate_profile_repository(
+        n_users=setup.users,
+        n_properties=setup.n_properties,
+        mean_profile_size=setup.mean_profile_size,
+        seed=setup.seed,
+    )
+    return {
+        "suite": "ingest",
+        "users": setup.users,
+        "budget": setup.budget,
+        "seed": setup.seed,
+        "quality_floor": setup.quality_floor,
+        "throughput": [
+            _throughput_row(repository, setup, fsync=True),
+            _throughput_row(repository, setup, fsync=False),
+        ],
+        "recovery": _recovery_rows(repository, setup),
+        "maintainer": _maintainer_rows(repository, setup),
+    }
+
+
+def ingest_report_failures(report: dict) -> list[str]:
+    """Acceptance gate: every maintainer row must clear the floor."""
+    floor = float(report.get("quality_floor", 0.95))
+    failures = []
+    for row in report.get("maintainer", ()):
+        if row["quality_ratio"] < floor:
+            failures.append(
+                f"maintainer quality {row['quality_ratio']:.4f} below "
+                f"floor {floor} at churn round {row['round']}"
+            )
+    for row in report.get("recovery", ()):
+        if row["open_seconds"] <= 0:
+            failures.append("recovery timing missing")
+    return failures

@@ -73,14 +73,19 @@ from ..core.errors import InvalidBudgetError, PodiumError, ServiceError
 from ..core.explanations import explain_selection
 from ..core.greedy import SelectionResult, greedy_select, select_from_index
 from ..core.groups import GroupKey, GroupSet, build_simple_groups
-from ..core.index import InstanceIndex, instance_index
-from ..core.instance import DiversificationInstance, build_instance
+from ..core.index import InstanceIndex, attach_index, instance_index
+from ..core.instance import DiversificationInstance
 from ..core.profiles import UserProfile, UserRepository
 from ..core.updates import (
     ProfileDelta,
     apply_delta_to_repository,
     reassign_groups,
     rebuild_instance,
+)
+from ..storage import (
+    DurableRepositoryStore,
+    SnapshotArtifact,
+    StreamingMaintainer,
 )
 from .concurrency import ReadWriteLock
 from .config import (
@@ -184,6 +189,9 @@ class PodiumService:
         repository: UserRepository | None = None,
         configurations: ConfigurationStore | None = None,
         metrics: ServiceMetrics | None = None,
+        store: DurableRepositoryStore | None = None,
+        swap_margin: float = 0.1,
+        staleness_fraction: float = 0.25,
     ) -> None:
         self._repository = repository
         self._configurations = configurations or ConfigurationStore(
@@ -196,6 +204,16 @@ class PodiumService:
         # against this mutex so concurrent cold starts build once.
         self._build_lock = threading.Lock()
         self.metrics = metrics or ServiceMetrics()
+        self.store = store
+        self._swap_margin = swap_margin
+        self._staleness_fraction = staleness_fraction
+        # Streaming maintainers keyed by (configuration, budget); built
+        # lazily on the first maintained selection, repaired on every
+        # ingested delta instead of re-solving from scratch.
+        self._maintainers: dict[tuple[str, int], StreamingMaintainer] = {}
+        if store is not None and repository is None and len(store.repository):
+            # Recovered boot: the store already replayed snapshot + WAL.
+            self._repository = store.repository
 
     # -- repository management -------------------------------------------
 
@@ -206,11 +224,62 @@ class PodiumService:
         return self._repository
 
     def load_repository(self, repository: UserRepository) -> None:
-        """Swap the user repository; invalidates all cached artifacts."""
+        """Swap the user repository; invalidates all cached artifacts.
+
+        With a durable store attached this starts a new epoch: the
+        wholesale replacement is snapshotted immediately and the WAL is
+        truncated (its deltas describe the discarded population).
+        """
         with self._lock.write():
             self._repository = repository
             self._generation += 1
             self._cache.clear()
+            self._maintainers.clear()
+            if self.store is not None:
+                self.store.reset(repository)
+
+    def restore_artifacts(self) -> list[str]:
+        """Seed the artifact cache from the store's recovered snapshot.
+
+        Called once at boot, *after* configurations are registered: each
+        recovered (config, groups, index) triple is adopted only when its
+        stored configuration dict matches the currently registered one —
+        a changed configuration must rebuild from scratch, not serve
+        stale buckets.  Restoring the frozen group sets is what makes a
+        restarted process answer ``/select`` identically: a fresh
+        regroup could legally draw different bucket boundaries than the
+        incremental reassignment path did before the restart.
+        """
+        if self.store is None:
+            return []
+        restored: list[str] = []
+        with self._lock.write():
+            for name, artifact in self.store.artifacts.items():
+                if name not in self._configurations:
+                    continue
+                config = self._configurations.get(name)
+                if artifact.config != config.to_dict():
+                    continue
+                entry = _ConfigArtifacts(
+                    config=config,
+                    generation=self._generation,
+                    groups=artifact.groups,
+                    groups_version=artifact.groups.version,
+                )
+                if artifact.index is not None:
+                    weight, coverage = config.schemes()
+                    instance = rebuild_instance(
+                        artifact.groups,
+                        self._repository_or_raise(),
+                        config.budget,
+                        weight,
+                        coverage,
+                    )
+                    attach_index(instance, artifact.index)
+                    entry.instances[config.budget] = instance
+                self._cache[name] = entry
+                restored.append(name)
+        return sorted(restored)
 
     def apply_profile_delta(self, delta: ProfileDelta) -> dict[str, Any]:
         """Apply a batch of upserts/removals incrementally (paper §9).
@@ -221,9 +290,19 @@ class PodiumService:
         expensive offline bucketing step is skipped for every cached
         configuration.
         """
+        started = time.perf_counter()
+        wal_seconds = 0.0
         with self._lock.write():
             if self._repository is None:
                 raise ServiceError("no profiles loaded")
+            if self.store is not None:
+                # Durability before acknowledgment: the delta reaches the
+                # write-ahead log (validated, fsynced) before any
+                # in-memory state changes; a crash from here on replays
+                # it on the next boot.
+                wal_started = time.perf_counter()
+                seq = self.store.log_delta(delta)
+                wal_seconds = time.perf_counter() - wal_started
             repository = apply_delta_to_repository(self._repository, delta)
             self._repository = repository
             self._generation += 1
@@ -258,17 +337,95 @@ class PodiumService:
                     instances=instances,
                 )
                 refreshed.append(name)
-            return {
+            # Repair maintained selections against the refreshed indexes
+            # instead of re-solving; maintainers of dropped cache entries
+            # go with them.
+            touched = len(delta.touched)
+            for key in list(self._maintainers):
+                name, budget = key
+                entry = self._cache.get(name)
+                if entry is None or budget not in entry.instances:
+                    del self._maintainers[key]
+                    continue
+                self._maintainers[key].refresh(
+                    instance_index(entry.instances[budget]), touched
+                )
+            if self.store is not None:
+                self.store.adopt(repository, self._export_artifacts())
+            response = {
                 "users": len(repository),
                 "upserts": len(delta.upserts),
                 "removals": len(delta.removals),
                 "generation": self._generation,
                 "refreshed_configurations": sorted(refreshed),
             }
+            if self.store is not None:
+                response["wal_seq"] = seq
+                response["durable"] = True
+            self.metrics.observe_ingest(
+                len(delta.upserts),
+                len(delta.removals),
+                time.perf_counter() - started,
+                wal_seconds,
+            )
+            return response
 
     @property
     def configurations(self) -> ConfigurationStore:
         return self._configurations
+
+    # -- durable storage ---------------------------------------------------
+
+    def _export_artifacts(self) -> dict[str, SnapshotArtifact]:
+        """Freeze the cached serving artifacts for the store.
+
+        Each configuration contributes its frozen group set plus, when
+        the default-budget instance has been built and is vectorizable,
+        its cached CSR index — so a recovered process can serve the
+        first ``/select`` without re-encoding anything.
+        """
+        exported: dict[str, SnapshotArtifact] = {}
+        for name, entry in self._cache.items():
+            index = None
+            instance = entry.instances.get(entry.config.budget)
+            if instance is not None:
+                built = instance_index(instance)
+                if built.vectorizable:
+                    index = built
+            exported[name] = SnapshotArtifact(
+                config=entry.config.to_dict(),
+                groups=entry.groups,
+                index=index,
+            )
+        return exported
+
+    def _store_or_raise(self) -> DurableRepositoryStore:
+        if self.store is None:
+            raise ServiceError(
+                "no data directory configured; start the service with "
+                "--data-dir to enable durable storage"
+            )
+        return self.store
+
+    def snapshot_store(self) -> dict[str, Any]:
+        """Write a snapshot of the current serving state (admin route)."""
+        store = self._store_or_raise()
+        with self._lock.write():
+            store.set_artifacts(self._export_artifacts())
+            path = store.snapshot()
+            stats = store.stats()
+        stats["snapshot_path"] = str(path)
+        return stats
+
+    def compact_store(self) -> dict[str, Any]:
+        """Snapshot then truncate the WAL (admin route)."""
+        store = self._store_or_raise()
+        with self._lock.write():
+            store.set_artifacts(self._export_artifacts())
+            path = store.compact()
+            stats = store.stats()
+        stats["snapshot_path"] = str(path)
+        return stats
 
     def put_configuration(
         self, config: DiversificationConfiguration
@@ -297,6 +454,16 @@ class PodiumService:
         """The ``GET /metrics`` document: counters + service stats."""
         snapshot = self.metrics.snapshot()
         snapshot["service"] = self.stats()
+        if self.store is not None:
+            snapshot["storage"] = self.store.stats()
+        with self._lock.read():
+            if self._maintainers:
+                snapshot["maintainers"] = {
+                    f"{name}@{budget}": maintainer.stats()
+                    for (name, budget), maintainer in (
+                        self._maintainers.items()
+                    )
+                }
         return snapshot
 
     # -- grouping module (offline step of Fig. 1) -------------------------
@@ -404,12 +571,17 @@ class PodiumService:
             self.metrics.observe_cache(hit=False)
             weight, coverage = entry.config.schemes()
             with timer.stage("instance"):
-                instance = build_instance(
+                # rebuild_instance rather than build_instance: identical
+                # on groupings with no empty buckets, but tolerant of
+                # recovered/reassigned group sets whose buckets drained
+                # (empty groups get the behaviour-neutral floor weight),
+                # so fresh boots and recovered boots share one build path.
+                instance = rebuild_instance(
+                    entry.groups,
                     self._repository_or_raise(),
                     budget,
-                    groups=entry.groups,
-                    weight_scheme=weight,
-                    coverage_scheme=coverage,
+                    weight,
+                    coverage,
                 )
                 # Pre-warm the sparse index so no request pays the encode.
                 instance_index(instance)
@@ -446,6 +618,7 @@ class PodiumService:
         distribution_properties: tuple[str, ...] = (),
         explain: bool = True,
         timer: StageTimer | None = None,
+        maintained: bool = False,
     ) -> dict[str, Any]:
         """Run a selection request and return the response document."""
         timer = timer if timer is not None else StageTimer()
@@ -457,7 +630,32 @@ class PodiumService:
                 distribution_properties,
                 explain,
                 timer,
+                maintained,
             )
+
+    def _maintainer(
+        self, config_name: str, entry: _ConfigArtifacts, budget: int,
+        timer: StageTimer,
+    ) -> StreamingMaintainer:
+        key = (config_name, budget)
+        maintainer = self._maintainers.get(key)
+        if maintainer is not None:
+            return maintainer
+        # Build the index *before* taking the build lock: _instance
+        # acquires the same (non-reentrant) lock on a cold cache.
+        index = instance_index(self._instance(entry, budget, timer))
+        with self._build_lock:
+            maintainer = self._maintainers.get(key)
+            if maintainer is not None:
+                return maintainer
+            maintainer = StreamingMaintainer(
+                index,
+                budget,
+                swap_margin=self._swap_margin,
+                staleness_fraction=self._staleness_fraction,
+            )
+            self._maintainers[key] = maintainer
+            return maintainer
 
     def _select(
         self,
@@ -467,9 +665,32 @@ class PodiumService:
         distribution_properties: tuple[str, ...],
         explain: bool,
         timer: StageTimer,
+        maintained: bool = False,
     ) -> dict[str, Any]:
         entry = self._artifacts(config_name, timer)
         effective = self._effective_budget(entry.config, budget)
+        if maintained:
+            # Maintained selections serve the streaming-repaired subset
+            # (swap/fill/re-solve rules, quality within the bench-pinned
+            # ratio of fresh greedy) instead of running the exact greedy.
+            if feedback is not None and feedback != (
+                CustomizationFeedback.none()
+            ):
+                raise ServiceError(
+                    "maintained selections do not support customization "
+                    "feedback; omit 'maintained' or 'feedback'"
+                )
+            with timer.stage("selection"):
+                maintainer = self._maintainer(
+                    config_name, entry, effective, timer
+                )
+                return {
+                    "configuration": config_name,
+                    "selected": list(maintainer.selection),
+                    "score": float(maintainer.score()),
+                    "maintained": True,
+                    "maintainer": maintainer.stats(),
+                }
         instance = self._instance(entry, effective, timer)
         if feedback is None or feedback == CustomizationFeedback.none():
             result = self._plain_select(instance, effective, timer)
@@ -648,6 +869,10 @@ def _dispatch(
     if method == "POST" and path == "/profiles/delta":
         delta = parse_profile_delta(_read_json(environ))
         return 200, service.apply_profile_delta(delta), _JSON
+    if method == "POST" and path == "/admin/snapshot":
+        return 200, service.snapshot_store(), _JSON
+    if method == "POST" and path == "/admin/compact":
+        return 200, service.compact_store(), _JSON
     if method == "GET" and path == "/explain.html":
         query = _query(environ)
         html = service.explanation_page(
@@ -678,6 +903,7 @@ def _dispatch(
             ),
             explain=bool(body.get("explain", True)),
             timer=timer,
+            maintained=bool(body.get("maintained", False)),
         )
         return 200, response, _JSON
     return 404, {"error": f"no route {method} {path}"}, _JSON
@@ -784,6 +1010,12 @@ def serve(
         httpd.serve_forever()
     except KeyboardInterrupt:
         print("shutting down")
+        if service.store is not None:
+            # Graceful shutdown: fold the applied WAL into a snapshot so
+            # the next boot replays nothing.  Crash recovery never
+            # depends on this — it is purely a startup-time optimization.
+            service.snapshot_store()
+            print("snapshot written")
     finally:
         httpd.server_close()
     return service.metrics_snapshot()

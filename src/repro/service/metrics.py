@@ -71,6 +71,14 @@ class ServiceMetrics:
         self._cache_hits = 0
         self._cache_misses = 0
         self._stages: dict[str, dict[str, float]] = {}
+        self._ingest = {
+            "deltas": 0,
+            "upserts": 0,
+            "removals": 0,
+            "total_seconds": 0.0,
+            "max_seconds": 0.0,
+            "wal_seconds": 0.0,
+        }
         self._started = time.time()
 
     # -- observation -------------------------------------------------------
@@ -93,6 +101,29 @@ class ServiceMetrics:
             self._observe_stage("request", seconds)
             for name, stage_seconds in (stages or {}).items():
                 self._observe_stage(name, stage_seconds)
+
+    def observe_ingest(
+        self,
+        upserts: int,
+        removals: int,
+        seconds: float,
+        wal_seconds: float = 0.0,
+    ) -> None:
+        """Record one applied profile delta on the durable ingest path.
+
+        ``seconds`` is the full durability-to-visibility lag (WAL append
+        + incremental apply + cache refresh); ``wal_seconds`` isolates
+        the disk portion so fsync cost is visible on ``/metrics``.
+        """
+        with self._lock:
+            self._ingest["deltas"] += 1
+            self._ingest["upserts"] += upserts
+            self._ingest["removals"] += removals
+            self._ingest["total_seconds"] += seconds
+            self._ingest["max_seconds"] = max(
+                self._ingest["max_seconds"], seconds
+            )
+            self._ingest["wal_seconds"] += wal_seconds
 
     def observe_cache(self, hit: bool) -> None:
         """Record an artifact-cache lookup outcome."""
@@ -136,6 +167,7 @@ class ServiceMetrics:
                 }
                 for name, stage in self._stages.items()
             }
+            deltas = self._ingest["deltas"]
             return {
                 "uptime_seconds": round(time.time() - self._started, 3),
                 "requests": requests,
@@ -144,6 +176,19 @@ class ServiceMetrics:
                 "cache": {
                     "instance_hits": self._cache_hits,
                     "instance_misses": self._cache_misses,
+                },
+                "ingest": {
+                    "deltas": deltas,
+                    "upserts": self._ingest["upserts"],
+                    "removals": self._ingest["removals"],
+                    "total_seconds": round(self._ingest["total_seconds"], 6),
+                    "max_lag_seconds": round(self._ingest["max_seconds"], 6),
+                    "mean_lag_seconds": round(
+                        self._ingest["total_seconds"] / deltas, 6
+                    )
+                    if deltas
+                    else 0.0,
+                    "wal_seconds": round(self._ingest["wal_seconds"], 6),
                 },
                 "stages": stages,
             }

@@ -1,0 +1,32 @@
+"""Durable storage & streaming maintenance for the serving layer.
+
+Write-ahead log (:mod:`.wal`), atomic snapshots (:mod:`.snapshot`), the
+recovering store facade (:mod:`.store`) and the streaming selection
+maintainer (:mod:`.maintainer`).
+"""
+
+from .maintainer import StreamingMaintainer
+from .snapshot import (
+    SnapshotArtifact,
+    SnapshotState,
+    current_snapshot_path,
+    load_snapshot,
+    write_snapshot,
+)
+from .store import DurableRepositoryStore, inspect_data_dir
+from .wal import WalRecord, WalScan, WriteAheadLog, scan_wal
+
+__all__ = [
+    "DurableRepositoryStore",
+    "SnapshotArtifact",
+    "SnapshotState",
+    "StreamingMaintainer",
+    "WalRecord",
+    "WalScan",
+    "WriteAheadLog",
+    "current_snapshot_path",
+    "inspect_data_dir",
+    "load_snapshot",
+    "scan_wal",
+    "write_snapshot",
+]

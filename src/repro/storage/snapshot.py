@@ -1,0 +1,242 @@
+"""Point-in-time snapshots of the durable repository state.
+
+A snapshot is a directory under ``<data_dir>/snapshots/`` holding
+everything the serving layer needs to answer selections exactly as it
+did before a restart:
+
+.. code-block:: text
+
+    snapshots/
+      CURRENT              # name of the live snapshot directory
+      snap-000000000042/
+        manifest.json      # generation, wal_seq, per-config metadata
+        profiles.json      # full repository (podium-profiles-v1)
+        groups-<name>.json # frozen bucket group set per configuration
+        index-<name>.npz   # optional cached CSR index per configuration
+
+Frozen group sets are part of the snapshot because restart-identical
+selection depends on them: bucket boundaries computed by the grouping
+module drift as the population changes, so a post-restart *re-grouping*
+could legally pick different boundaries than the incremental
+reassignment path did.  Persisting the buckets (and replaying
+post-snapshot deltas through the same ``reassign_groups`` code) removes
+that degree of freedom.
+
+Writes are atomic: the snapshot is staged in a temp directory, renamed
+into place, and only then does ``CURRENT`` flip (itself via
+``os.replace``).  A crash mid-snapshot leaves either the old ``CURRENT``
+or no pointer at all — never a pointer to a half-written directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..core.errors import DatasetError, StorageError
+from ..core.groups import GroupSet
+from ..core.index import InstanceIndex
+from ..core.persistence import (
+    CHECKPOINT_VERSION,
+    group_set_from_dict,
+    group_set_to_dict,
+    load_index_npz,
+    payload_checksum,
+    save_index_npz,
+)
+from ..core.profiles import UserRepository
+from ..datasets.io import profiles_from_dict, profiles_to_dict
+
+_MANIFEST_FORMAT = "podium-snapshot-v1"
+_CURRENT = "CURRENT"
+_SNAP_PREFIX = "snap-"
+
+
+@dataclass(frozen=True)
+class SnapshotArtifact:
+    """One configuration's frozen serving state inside a snapshot."""
+
+    config: dict[str, Any]  # DiversificationConfiguration.to_dict()
+    groups: GroupSet
+    index: InstanceIndex | None = None
+
+
+@dataclass
+class SnapshotState:
+    """Everything a snapshot captures (also the recovery result shape)."""
+
+    repository: UserRepository
+    artifacts: dict[str, SnapshotArtifact] = field(default_factory=dict)
+    wal_seq: int = 0
+    generation: int = 0
+
+
+def snapshots_dir(data_dir: str | Path) -> Path:
+    return Path(data_dir) / "snapshots"
+
+
+def _snap_name(wal_seq: int) -> str:
+    return f"{_SNAP_PREFIX}{wal_seq:012d}"
+
+
+def current_snapshot_path(data_dir: str | Path) -> Path | None:
+    """Resolve the live snapshot directory, or ``None`` if there is none."""
+    root = snapshots_dir(data_dir)
+    pointer = root / _CURRENT
+    if not pointer.exists():
+        return None
+    name = pointer.read_text().strip()
+    path = root / name
+    if not name.startswith(_SNAP_PREFIX) or not path.is_dir():
+        raise StorageError(
+            f"snapshot pointer {pointer} names missing or invalid "
+            f"snapshot {name!r}"
+        )
+    return path
+
+
+def write_snapshot(data_dir: str | Path, state: SnapshotState) -> Path:
+    """Atomically write ``state`` as the new live snapshot.
+
+    Returns the final snapshot directory.  Older snapshot directories
+    are pruned after the pointer flips (keeping only the new one), so a
+    crash during pruning at worst leaves an orphan directory that the
+    next snapshot removes.
+    """
+    root = snapshots_dir(data_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    name = _snap_name(state.wal_seq)
+    final = root / name
+    stage = root / f".tmp-{name}"
+    if stage.exists():
+        shutil.rmtree(stage)
+    stage.mkdir()
+
+    (stage / "profiles.json").write_text(
+        json.dumps(profiles_to_dict(state.repository))
+    )
+    configs: dict[str, dict[str, Any]] = {}
+    for cfg_name, artifact in state.artifacts.items():
+        groups_doc = group_set_to_dict(artifact.groups)
+        (stage / f"groups-{cfg_name}.json").write_text(json.dumps(groups_doc))
+        has_index = False
+        if artifact.index is not None and artifact.index.vectorizable:
+            save_index_npz(artifact.index, stage / f"index-{cfg_name}.npz")
+            has_index = True
+        configs[cfg_name] = {
+            "config": artifact.config,
+            "groups_crc32": payload_checksum(groups_doc),
+            "has_index": has_index,
+        }
+
+    manifest = {
+        "format": _MANIFEST_FORMAT,
+        "format_version": CHECKPOINT_VERSION,
+        "generation": state.generation,
+        "wal_seq": state.wal_seq,
+        "n_users": len(state.repository),
+        "created_unix": time.time(),
+        "configs": configs,
+    }
+    (stage / "manifest.json").write_text(json.dumps(manifest, indent=1))
+
+    if final.exists():  # re-snapshot at the same seq: replace wholesale
+        shutil.rmtree(final)
+    os.replace(stage, final)
+
+    pointer = root / _CURRENT
+    tmp_pointer = root / f".{_CURRENT}.tmp"
+    tmp_pointer.write_text(name + "\n")
+    os.replace(tmp_pointer, pointer)
+    _fsync_dir(root)
+
+    for entry in root.iterdir():
+        if entry.name.startswith(_SNAP_PREFIX) and entry.name != name:
+            shutil.rmtree(entry, ignore_errors=True)
+    return final
+
+
+def load_snapshot(path: str | Path) -> SnapshotState:
+    """Load a snapshot directory written by :func:`write_snapshot`."""
+    path = Path(path)
+    try:
+        manifest = json.loads((path / "manifest.json").read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StorageError(
+            f"snapshot {path} has a missing or invalid manifest: {exc}"
+        ) from exc
+    if manifest.get("format") != _MANIFEST_FORMAT:
+        raise StorageError(
+            f"snapshot {path}: expected format {_MANIFEST_FORMAT!r}, "
+            f"got {manifest.get('format')!r}"
+        )
+    version = manifest.get("format_version")
+    if not isinstance(version, int) or version > CHECKPOINT_VERSION:
+        raise StorageError(
+            f"snapshot {path} format_version {version!r} is newer than "
+            f"this reader (supports <= {CHECKPOINT_VERSION})"
+        )
+    try:
+        repository = profiles_from_dict(
+            json.loads((path / "profiles.json").read_text())
+        )
+    except (OSError, json.JSONDecodeError, DatasetError) as exc:
+        raise StorageError(
+            f"snapshot {path} has unreadable profiles: {exc}"
+        ) from exc
+
+    artifacts: dict[str, SnapshotArtifact] = {}
+    for cfg_name, meta in manifest.get("configs", {}).items():
+        groups_path = path / f"groups-{cfg_name}.json"
+        try:
+            groups_doc = json.loads(groups_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StorageError(
+                f"snapshot {path} has unreadable groups for "
+                f"{cfg_name!r}: {exc}"
+            ) from exc
+        stored_crc = meta.get("groups_crc32")
+        if stored_crc is not None:
+            actual = payload_checksum(groups_doc)
+            if stored_crc != actual:
+                raise StorageError(
+                    f"snapshot {path} group checksum mismatch for "
+                    f"{cfg_name!r} (stored {stored_crc}, computed {actual})"
+                )
+        index = None
+        if meta.get("has_index"):
+            try:
+                index = load_index_npz(path / f"index-{cfg_name}.npz")
+            except DatasetError as exc:
+                raise StorageError(
+                    f"snapshot {path} has a corrupt index for "
+                    f"{cfg_name!r}: {exc}"
+                ) from exc
+        artifacts[cfg_name] = SnapshotArtifact(
+            config=dict(meta.get("config") or {}),
+            groups=group_set_from_dict(groups_doc),
+            index=index,
+        )
+    return SnapshotState(
+        repository=repository,
+        artifacts=artifacts,
+        wal_seq=int(manifest.get("wal_seq", 0)),
+        generation=int(manifest.get("generation", 0)),
+    )
+
+
+def _fsync_dir(path: Path) -> None:
+    """Flush directory metadata so renames survive power loss (POSIX)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return  # platform without directory fds: best effort
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

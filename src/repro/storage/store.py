@@ -1,0 +1,303 @@
+"""Durable repository store: snapshot + write-ahead log + replay.
+
+:class:`DurableRepositoryStore` is the facade the serving layer and the
+CLI talk to.  On open it recovers the newest snapshot (if any), then
+replays every WAL record with a sequence number past the snapshot's
+``wal_seq`` — through the *same* incremental-update code the live path
+uses (:func:`apply_delta_to_repository` + :func:`reassign_groups`), so a
+recovered process holds byte-identical serving state.
+
+Durability contract: :meth:`append_delta` validates the delta against
+the current repository, writes it to the WAL (fsync by default) and only
+then applies it in memory.  The WAL therefore never contains a record
+that cannot be replayed, and a delta is acknowledged only once it is on
+disk.  Compaction folds the applied log into a fresh snapshot and
+truncates the WAL; sequence numbering survives compaction and restarts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from ..core.errors import StorageError, UnknownUserError
+from ..core.profiles import UserRepository
+from ..core.updates import (
+    ProfileDelta,
+    apply_delta_to_repository,
+    profile_delta_from_dict,
+    profile_delta_to_dict,
+    reassign_groups,
+)
+from .snapshot import (
+    SnapshotArtifact,
+    SnapshotState,
+    current_snapshot_path,
+    load_snapshot,
+    write_snapshot,
+)
+from .wal import WriteAheadLog, scan_wal
+
+_KIND_DELTA = "delta"
+
+
+class DurableRepositoryStore:
+    """Crash-safe repository state rooted at one data directory.
+
+    Layout: ``<data_dir>/wal.log`` plus ``<data_dir>/snapshots/`` (see
+    :mod:`repro.storage.snapshot`).  All mutation goes through this
+    object; callers serialize concurrent writers (the service holds its
+    write lock around :meth:`append_delta`), but the store also carries
+    its own lock so CLI tooling is safe standalone.
+    """
+
+    def __init__(self, data_dir: str | Path, fsync: bool = True) -> None:
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+
+        started = time.monotonic()
+        snapshot_path = current_snapshot_path(self.data_dir)
+        if snapshot_path is not None:
+            state = load_snapshot(snapshot_path)
+        else:
+            state = SnapshotState(repository=UserRepository(()))
+        self.repository = state.repository
+        self.artifacts: dict[str, SnapshotArtifact] = dict(state.artifacts)
+        self.generation = state.generation
+        self.snapshot_seq = state.wal_seq
+
+        self._wal = WriteAheadLog(self.wal_path, fsync=fsync)
+        if self._wal.last_seq < state.wal_seq:
+            # Post-compaction restart: the log was truncated after the
+            # snapshot; resume global numbering from the snapshot.
+            self._wal.truncate(base_seq=state.wal_seq)
+        self.replayed_records = 0
+        for record in self._wal.records():
+            if record.seq <= state.wal_seq:
+                continue  # already folded into the snapshot
+            self._apply(self._decode(record.payload))
+            self.replayed_records += 1
+        if self.replayed_records:
+            # Any cached indexes in the snapshot predate the replayed
+            # deltas; drop them rather than serve stale incidence.
+            self.artifacts = {
+                name: SnapshotArtifact(a.config, a.groups, index=None)
+                for name, a in self.artifacts.items()
+            }
+        self.replay_seconds = time.monotonic() - started
+
+    # -- recovery ----------------------------------------------------------
+
+    @property
+    def wal_path(self) -> Path:
+        return self.data_dir / "wal.log"
+
+    @property
+    def fsync(self) -> bool:
+        return self._wal.fsync
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest durable record."""
+        return self._wal.last_seq
+
+    @staticmethod
+    def _decode(payload: dict[str, Any]) -> ProfileDelta:
+        if payload.get("kind") != _KIND_DELTA:
+            raise StorageError(
+                f"unknown WAL record kind {payload.get('kind')!r}"
+            )
+        return profile_delta_from_dict(payload.get("delta") or {})
+
+    def _apply(self, delta: ProfileDelta) -> None:
+        """Apply a delta to the in-memory state (repository + groups)."""
+        self.repository = apply_delta_to_repository(self.repository, delta)
+        self.artifacts = {
+            name: SnapshotArtifact(
+                a.config,
+                reassign_groups(a.groups, self.repository, delta),
+                index=None,  # incidence changed; caller rebuilds lazily
+            )
+            for name, a in self.artifacts.items()
+        }
+        self.generation += 1
+
+    # -- writing -----------------------------------------------------------
+
+    def initialize(self, repository: UserRepository) -> None:
+        """Seed an empty store with a full repository (first boot).
+
+        Writes an immediate snapshot so the repository is durable before
+        any delta arrives.  Raises if the store already holds users —
+        wholesale replacement must go through :meth:`reset` so the
+        caller is explicit about discarding history.
+        """
+        with self._lock:
+            if len(self.repository) or self.snapshot_seq or self.last_seq:
+                raise StorageError(
+                    "store already holds data; use reset() to replace it"
+                )
+            self.repository = repository
+            self.generation += 1
+            self.snapshot()
+
+    def append_delta(self, delta: ProfileDelta) -> int:
+        """Durably log then apply one delta; returns its sequence number.
+
+        Removals are validated *before* the WAL write so the log never
+        holds a record that replay would refuse.
+        """
+        with self._lock:
+            for user_id in delta.removals:
+                if user_id not in self.repository:
+                    raise UnknownUserError(
+                        f"cannot remove unknown user {user_id!r}"
+                    )
+            seq = self._wal.append(
+                {"kind": _KIND_DELTA, "delta": profile_delta_to_dict(delta)}
+            )
+            self._apply(delta)
+            return seq
+
+    def log_delta(self, delta: ProfileDelta) -> int:
+        """Durably log a delta WITHOUT applying it; returns its sequence.
+
+        The serving layer's ingest path uses this so the delta is applied
+        exactly once — by the service's own incremental machinery — and
+        then mirrored back via :meth:`adopt`.  Removals are validated
+        against the store's repository first, preserving the invariant
+        that the WAL never holds an unapplyable record (the caller must
+        keep the store's repository current via :meth:`adopt`).
+        """
+        with self._lock:
+            for user_id in delta.removals:
+                if user_id not in self.repository:
+                    raise UnknownUserError(
+                        f"cannot remove unknown user {user_id!r}"
+                    )
+            return self._wal.append(
+                {"kind": _KIND_DELTA, "delta": profile_delta_to_dict(delta)}
+            )
+
+    def adopt(
+        self,
+        repository: UserRepository,
+        artifacts: dict[str, SnapshotArtifact] | None = None,
+    ) -> None:
+        """Mirror the serving layer's post-apply state into the store.
+
+        Pairs with :meth:`log_delta`: the service applies the logged
+        delta through its own cache-refresh path and hands the resulting
+        repository (and optionally rebuilt artifacts) back, so snapshots
+        capture exactly what is being served.
+        """
+        with self._lock:
+            self.repository = repository
+            if artifacts is not None:
+                self.artifacts = dict(artifacts)
+            self.generation += 1
+
+    def set_artifacts(
+        self, artifacts: dict[str, SnapshotArtifact]
+    ) -> None:
+        """Adopt the serving layer's built artifacts for future snapshots."""
+        with self._lock:
+            self.artifacts = dict(artifacts)
+
+    def snapshot(self) -> Path:
+        """Write the current state as the live snapshot (WAL kept)."""
+        with self._lock:
+            path = write_snapshot(
+                self.data_dir,
+                SnapshotState(
+                    repository=self.repository,
+                    artifacts=self.artifacts,
+                    wal_seq=self.last_seq,
+                    generation=self.generation,
+                ),
+            )
+            self.snapshot_seq = self.last_seq
+            return path
+
+    def compact(self) -> Path:
+        """Fold the WAL into a fresh snapshot and truncate the log."""
+        with self._lock:
+            path = self.snapshot()
+            self._wal.truncate()
+            return path
+
+    def reset(self, repository: UserRepository) -> None:
+        """Replace the repository wholesale (new epoch).
+
+        The previous history is discarded: artifacts are cleared (their
+        group sets describe the old population), the WAL is truncated
+        and a fresh snapshot makes the new repository durable.
+        """
+        with self._lock:
+            self.repository = repository
+            self.artifacts = {}
+            self.generation += 1
+            self._wal.truncate()
+            self.snapshot()
+
+    def close(self) -> None:
+        self._wal.close()
+
+    def __enter__(self) -> "DurableRepositoryStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Storage gauges for ``/metrics`` and ``repro store inspect``."""
+        with self._lock:
+            return {
+                "data_dir": str(self.data_dir),
+                "fsync": self.fsync,
+                "generation": self.generation,
+                "wal_seq": self.last_seq,
+                "wal_bytes": self._wal.size_bytes,
+                "wal_records_pending": self.last_seq - self.snapshot_seq,
+                "wal_truncated_bytes_on_open": self._wal.truncated_bytes,
+                "snapshot_seq": self.snapshot_seq,
+                "replayed_records": self.replayed_records,
+                "replay_seconds": self.replay_seconds,
+                "n_users": len(self.repository),
+                "configs": sorted(self.artifacts),
+            }
+
+
+def inspect_data_dir(data_dir: str | Path) -> dict[str, Any]:
+    """Read-only summary of a data directory (no recovery, no writes)."""
+    data_dir = Path(data_dir)
+    wal = scan_wal(data_dir / "wal.log")
+    summary: dict[str, Any] = {
+        "data_dir": str(data_dir),
+        "wal_records": len(wal.records),
+        "wal_bytes": wal.valid_bytes,
+        "wal_torn_bytes": wal.torn_bytes,
+        "wal_last_seq": wal.last_seq,
+        "snapshot": None,
+    }
+    path = current_snapshot_path(data_dir)
+    if path is not None:
+        state = load_snapshot(path)
+        summary["snapshot"] = {
+            "path": str(path),
+            "wal_seq": state.wal_seq,
+            "generation": state.generation,
+            "n_users": len(state.repository),
+            "configs": sorted(state.artifacts),
+        }
+        summary["replay_pending"] = sum(
+            1 for r in wal.records if r.seq > state.wal_seq
+        )
+    else:
+        summary["replay_pending"] = len(wal.records)
+    return summary

@@ -141,3 +141,82 @@ class TestIndexNpzRoundtrip:
         np.savez(path, format=np.asarray("not-an-index"))
         with pytest.raises(DatasetError):
             load_index_npz(path)
+
+
+class TestCheckpointEnvelope:
+    """Format-version + payload-checksum headers on every checkpoint."""
+
+    def test_header_written(self, table2_instance, tmp_path):
+        path = tmp_path / "instance.json"
+        save_instance(table2_instance, path)
+        document = json.loads(path.read_text())
+        assert document["format"] == "podium-instance-v1"
+        assert document["format_version"] == 2
+        assert isinstance(document["payload_crc32"], int)
+
+    def test_version_too_new_rejected(self, table2_instance, tmp_path):
+        path = tmp_path / "instance.json"
+        save_instance(table2_instance, path)
+        document = json.loads(path.read_text())
+        document["format_version"] = 99
+        path.write_text(json.dumps(document))
+        with pytest.raises(DatasetError, match="newer"):
+            load_instance(path)
+
+    def test_tampered_payload_rejected(self, table2_instance, tmp_path):
+        path = tmp_path / "instance.json"
+        save_instance(table2_instance, path)
+        document = json.loads(path.read_text())
+        document["payload"]["budget"] = 99  # edit without fixing the CRC
+        path.write_text(json.dumps(document))
+        with pytest.raises(DatasetError, match="checksum"):
+            load_instance(path)
+
+    def test_legacy_v1_bare_payload_loads(self, table2_instance, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(instance_to_dict(table2_instance)))
+        loaded = load_instance(path)
+        assert loaded.budget == table2_instance.budget
+        assert loaded.wei == table2_instance.wei
+
+    def _npz(self, table2_instance, tmp_path):
+        index = instance_index(table2_instance)
+        path = tmp_path / "index.npz"
+        save_index_npz(index, path)
+        return path
+
+    def test_npz_header_written(self, table2_instance, tmp_path):
+        path = self._npz(table2_instance, tmp_path)
+        with np.load(path, allow_pickle=False) as data:
+            assert int(data["format_version"]) == 2
+            assert "payload_crc32" in data.files
+
+    def test_npz_corrupted_array_rejected(self, table2_instance, tmp_path):
+        path = self._npz(table2_instance, tmp_path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+        arrays["cov"] = arrays["cov"] + 1  # corrupt without fixing the CRC
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(DatasetError, match="checksum"):
+            load_index_npz(path)
+
+    def test_npz_version_too_new_rejected(self, table2_instance, tmp_path):
+        path = self._npz(table2_instance, tmp_path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+        arrays["format_version"] = np.asarray(99, dtype=np.int64)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(DatasetError, match="newer"):
+            load_index_npz(path)
+
+    def test_npz_legacy_headerless_loads(self, table2_instance, tmp_path):
+        path = self._npz(table2_instance, tmp_path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {
+                name: data[name]
+                for name in data.files
+                if name not in ("format_version", "payload_crc32")
+            }
+        np.savez_compressed(path, **arrays)
+        index = load_index_npz(path)
+        assert index.users == instance_index(table2_instance).users

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core import (
     GroupingConfig,
+    InvalidDeltaError,
     UnknownUserError,
     UserProfile,
     build_instance,
@@ -30,16 +31,26 @@ class TestProfileDelta:
         assert delta.touched == frozenset({"a", "b"})
 
     def test_duplicate_upsert_rejected(self):
-        with pytest.raises(UnknownUserError):
+        """A malformed delta is an InvalidDeltaError, not UnknownUserError:
+        the delta is self-inconsistent regardless of any repository."""
+        with pytest.raises(InvalidDeltaError, match="duplicate"):
             ProfileDelta(
                 upserts=(UserProfile("a", {}), UserProfile("a", {}))
             )
 
     def test_upsert_and_remove_clash_rejected(self):
-        with pytest.raises(UnknownUserError):
+        with pytest.raises(InvalidDeltaError, match="both upserted"):
             ProfileDelta(
                 upserts=(UserProfile("a", {}),), removals=frozenset({"a"})
             )
+
+    def test_invalid_delta_is_not_unknown_user(self):
+        """The two error classes stay distinct at the service boundary."""
+        with pytest.raises(InvalidDeltaError) as excinfo:
+            ProfileDelta(
+                upserts=(UserProfile("a", {}),), removals=frozenset({"a"})
+            )
+        assert not isinstance(excinfo.value, UnknownUserError)
 
 
 class TestApplyDelta:
@@ -215,6 +226,82 @@ class TestIncrementalPodium:
         assert len(podium.groups) == 16
         result = greedy_select(podium.repository, podium.instance)
         assert result.score == 17
+
+
+class TestRebucketPolicy:
+    """Deterministic rebucket trigger: touched-users fraction."""
+
+    def _podium(self, table2_repo, table2_groups, threshold=0.25):
+        return IncrementalPodium(
+            table2_repo,
+            table2_groups,
+            budget=2,
+            rebucket_threshold=threshold,
+            grouping=example_grouping_config(),
+        )
+
+    def _user(self, name):
+        return UserProfile(name, {"livesIn Paris": 1.0})
+
+    def test_threshold_crossing_triggers_rebucket(
+        self, table2_repo, table2_groups
+    ):
+        podium = self._podium(table2_repo, table2_groups)
+        # After the first upsert: 1 touched < 0.25 * 6 users = 1.5.
+        podium.update(ProfileDelta(upserts=(self._user("Gina"),)))
+        assert podium.rebucket_count == 0
+        assert podium.touched_since_rebucket == 1
+        # After the second: 2 touched >= 0.25 * 7 = 1.75 — trigger + reset.
+        podium.update(ProfileDelta(upserts=(self._user("Hank"),)))
+        assert podium.rebucket_count == 1
+        assert podium.touched_since_rebucket == 0
+
+    def test_triggered_rebucket_equals_full_grouping_run(
+        self, table2_repo, table2_groups
+    ):
+        podium = self._podium(table2_repo, table2_groups)
+        podium.update(ProfileDelta(upserts=(self._user("Gina"),)))
+        podium.update(ProfileDelta(upserts=(self._user("Hank"),)))
+        assert podium.rebucket_count == 1
+        rebuilt = build_simple_groups(
+            podium.repository, example_grouping_config()
+        )
+        assert {g.key for g in podium.groups} == {g.key for g in rebuilt}
+        for group in podium.groups:
+            assert rebuilt.group(group.key).members == group.members
+
+    def test_policy_is_replay_deterministic(
+        self, table2_repo, table2_groups
+    ):
+        """Same delta sequence → rebuilds at the same points."""
+        deltas = [
+            ProfileDelta(upserts=(self._user(f"u{i}"),)) for i in range(5)
+        ]
+
+        def run():
+            podium = self._podium(table2_repo, table2_groups)
+            counts = []
+            for delta in deltas:
+                podium.update(delta)
+                counts.append(podium.rebucket_count)
+            return counts
+
+        assert run() == run()
+
+    def test_disabled_by_default(self, table2_repo, table2_groups):
+        podium = IncrementalPodium(table2_repo, table2_groups, budget=2)
+        for i in range(10):
+            podium.update(ProfileDelta(upserts=(self._user(f"u{i}"),)))
+        assert podium.rebucket_count == 0
+
+    def test_invalid_threshold_rejected(self, table2_repo, table2_groups):
+        with pytest.raises(InvalidDeltaError, match="positive"):
+            IncrementalPodium(
+                table2_repo,
+                table2_groups,
+                budget=2,
+                rebucket_threshold=0.0,
+            )
 
 
 class TestIndexCacheInvalidation:

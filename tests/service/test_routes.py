@@ -32,8 +32,8 @@ def service():
     return svc
 
 
-@pytest.fixture()
-def client(service):
+def make_client(service):
+    """WSGI-level test client: ``call(method, path, body)`` → (status, body)."""
     app = make_wsgi_app(service)
 
     def call(method, path, body=None, query="", raw=None):
@@ -63,6 +63,11 @@ def client(service):
         return captured["status"], body_bytes
 
     return call
+
+
+@pytest.fixture()
+def client(service):
+    return make_client(service)
 
 
 class TestHappyPaths:
@@ -427,3 +432,142 @@ class TestThreadedServer:
             httpd.shutdown()
             httpd.server_close()
             thread.join(timeout=10)
+
+
+class TestDurableStore:
+    """Admin routes, durable delta acks and restart-identical selection."""
+
+    @pytest.fixture()
+    def durable(self, tmp_path):
+        from repro.storage import DurableRepositoryStore
+
+        store = DurableRepositoryStore(tmp_path / "data", fsync=False)
+        svc = PodiumService(store=store)
+        svc.configurations.put(
+            DiversificationConfiguration(name="two", budget=2)
+        )
+        svc.load_repository(example_repository())
+        yield svc, store
+        store.close()
+
+    def test_delta_ack_is_durable(self, durable):
+        svc, store = durable
+        call = make_client(svc)
+        status, body = call(
+            "POST",
+            "/profiles/delta",
+            {"upserts": {"Zoe": {"avgRating Mexican": 0.99}}},
+        )
+        assert status == 200
+        assert body["durable"] is True
+        assert body["wal_seq"] == 1
+        assert store.last_seq == 1
+        status, metrics = call("GET", "/metrics")
+        assert metrics["ingest"]["deltas"] == 1
+        assert metrics["storage"]["wal_seq"] == 1
+        assert metrics["storage"]["n_users"] == 6
+
+    def test_upsert_removal_clash_is_json_400(self, durable):
+        svc, store = durable
+        call = make_client(svc)
+        status, body = call(
+            "POST",
+            "/profiles/delta",
+            {
+                "upserts": {"Bob": {"avgRating Mexican": 0.5}},
+                "removals": ["Bob"],
+            },
+        )
+        assert status == 400
+        assert "error" in body
+        assert store.last_seq == 0  # rejected before the WAL write
+
+    def test_admin_snapshot_and_compact(self, durable):
+        svc, store = durable
+        call = make_client(svc)
+        call(
+            "POST",
+            "/profiles/delta",
+            {"upserts": {"Zoe": {"avgRating Mexican": 0.99}}},
+        )
+        status, body = call("POST", "/admin/snapshot")
+        assert status == 200
+        assert body["wal_records_pending"] == 0
+        assert body["snapshot_path"]
+        status, body = call("POST", "/admin/compact")
+        assert status == 200
+        assert body["wal_bytes"] == 0
+        assert body["wal_seq"] == 1  # numbering survives
+
+    def test_admin_routes_without_store_are_json_400(self, client):
+        for path in ("/admin/snapshot", "/admin/compact"):
+            status, body = client("POST", path)
+            assert status == 400
+            assert "data directory" in body["error"]
+
+    def test_maintained_select(self, durable):
+        svc, _ = durable
+        call = make_client(svc)
+        status, exact = call("POST", "/select", {"configuration": "two"})
+        assert status == 200
+        status, body = call(
+            "POST", "/select", {"configuration": "two", "maintained": True}
+        )
+        assert status == 200
+        assert body["maintained"] is True
+        assert body["maintainer"]["resolves"] == 1
+        assert body["selected"] == exact["selected"]
+
+    def test_maintained_select_rejects_feedback(self, durable):
+        svc, _ = durable
+        call = make_client(svc)
+        status, body = call(
+            "POST",
+            "/select",
+            {
+                "configuration": "two",
+                "maintained": True,
+                "feedback": {"must_have": [["avgRating Mexican", "high"]]},
+            },
+        )
+        assert status == 400
+        assert "error" in body
+
+    def test_restart_identical_selection(self, tmp_path):
+        from repro.storage import DurableRepositoryStore
+
+        data_dir = tmp_path / "data"
+
+        def boot(store):
+            svc = PodiumService(store=store)
+            svc.configurations.put(
+                DiversificationConfiguration(name="two", budget=2)
+            )
+            return svc
+
+        store = DurableRepositoryStore(data_dir, fsync=False)
+        svc = boot(store)
+        svc.load_repository(example_repository())
+        call = make_client(svc)
+        # Warm the artifact cache so the snapshot captures the frozen
+        # group set for "two".
+        call("POST", "/select", {"configuration": "two"})
+        call("POST", "/admin/snapshot")
+        # Post-snapshot churn: the restart must replay this from the WAL.
+        call(
+            "POST",
+            "/profiles/delta",
+            {"upserts": {"Zoe": {"avgRating Mexican": 0.99}}},
+        )
+        _, want = call("POST", "/select", {"configuration": "two"})
+        store.close()
+
+        reopened = DurableRepositoryStore(data_dir, fsync=False)
+        restarted = boot(reopened)
+        assert restarted.restore_artifacts() == ["two"]
+        _, got = make_client(restarted)(
+            "POST", "/select", {"configuration": "two"}
+        )
+        assert got["selected"] == want["selected"]
+        assert got["score"] == want["score"]
+        reopened.close()

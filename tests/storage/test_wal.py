@@ -1,0 +1,157 @@
+"""Write-ahead log: framing, crash recovery, sequence discipline.
+
+The load-bearing test is the torn-tail property: a crash can cut the
+file at *any* byte offset inside the final record, and recovery must
+return exactly the intact prefix — never an error, never a partial
+record.  We exercise every single truncation point of the last record.
+"""
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.storage import WriteAheadLog, scan_wal
+
+_HEADER = struct.Struct(">II")
+
+
+def _write_records(path, count, fsync=False):
+    with WriteAheadLog(path, fsync=fsync) as wal:
+        for i in range(count):
+            wal.append({"kind": "delta", "value": i})
+    return path.read_bytes()
+
+
+class TestRoundTrip:
+    def test_append_then_scan(self, tmp_path):
+        path = tmp_path / "wal.log"
+        _write_records(path, 5)
+        scan = scan_wal(path)
+        assert [r.seq for r in scan.records] == [1, 2, 3, 4, 5]
+        assert [r.payload["value"] for r in scan.records] == list(range(5))
+        assert scan.torn_bytes == 0
+        assert scan.valid_bytes == path.stat().st_size
+
+    def test_missing_file_is_empty_scan(self, tmp_path):
+        scan = scan_wal(tmp_path / "nope.log")
+        assert scan.records == ()
+        assert scan.last_seq == 0
+
+    def test_reopen_continues_numbering(self, tmp_path):
+        path = tmp_path / "wal.log"
+        _write_records(path, 3)
+        with WriteAheadLog(path, fsync=False) as wal:
+            assert wal.last_seq == 3
+            assert wal.append({"kind": "delta"}) == 4
+
+    def test_seq_key_reserved(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal.log", fsync=False) as wal:
+            with pytest.raises(StorageError, match="reserved"):
+                wal.append({"seq": 9})
+
+    def test_append_after_close_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log", fsync=False)
+        wal.close()
+        with pytest.raises(StorageError, match="closed"):
+            wal.append({"kind": "delta"})
+
+
+class TestTornTail:
+    def test_truncation_at_every_byte_of_final_record(self, tmp_path):
+        """The ISSUE's acceptance property: cut the file anywhere inside
+        the last record and recovery yields exactly the N-1 prefix."""
+        path = tmp_path / "wal.log"
+        data = _write_records(path, 4)
+        scan = scan_wal(path)
+        last = scan.records[-1]
+        prefix_end = last.offset
+        for cut in range(prefix_end, len(data)):
+            torn = tmp_path / f"torn-{cut}.log"
+            torn.write_bytes(data[:cut])
+            recovered = scan_wal(torn)
+            assert [r.seq for r in recovered.records] == [1, 2, 3], cut
+            assert recovered.valid_bytes == prefix_end, cut
+            assert recovered.torn_bytes == cut - prefix_end, cut
+
+    def test_open_truncates_torn_tail_and_appends_cleanly(self, tmp_path):
+        path = tmp_path / "wal.log"
+        data = _write_records(path, 3)
+        path.write_bytes(data[:-5])  # cut inside the final record
+        wal = WriteAheadLog(path, fsync=False)
+        assert wal.truncated_bytes > 0
+        assert wal.last_seq == 2
+        assert wal.append({"kind": "delta"}) == 3
+        wal.close()
+        scan = scan_wal(path)
+        assert [r.seq for r in scan.records] == [1, 2, 3]
+        assert scan.torn_bytes == 0
+
+    def test_crc_mismatch_ends_scan(self, tmp_path):
+        path = tmp_path / "wal.log"
+        data = bytearray(_write_records(path, 2))
+        data[-1] ^= 0xFF  # flip a payload byte of the last record
+        path.write_bytes(bytes(data))
+        scan = scan_wal(path)
+        assert [r.seq for r in scan.records] == [1]
+        assert scan.torn_bytes > 0
+
+    def test_implausible_length_prefix_is_tail_damage(self, tmp_path):
+        path = tmp_path / "wal.log"
+        intact = _write_records(path, 1)
+        path.write_bytes(intact + _HEADER.pack(2**31, 0) + b"x" * 16)
+        scan = scan_wal(path)
+        assert [r.seq for r in scan.records] == [1]
+
+    def test_checksummed_garbage_payload_is_tail_damage(self, tmp_path):
+        # A record whose CRC passes but whose payload is not a JSON
+        # object with a seq — e.g. written by a different tool.
+        body = b"not json at all"
+        frame = _HEADER.pack(len(body), zlib.crc32(body) & 0xFFFFFFFF)
+        path = tmp_path / "wal.log"
+        intact = _write_records(path, 2)
+        path.write_bytes(intact + frame + body)
+        scan = scan_wal(path)
+        assert [r.seq for r in scan.records] == [1, 2]
+        assert scan.torn_bytes == len(frame) + len(body)
+
+
+class TestSequenceDiscipline:
+    def test_regression_in_intact_prefix_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+
+        def frame(seq):
+            body = json.dumps({"seq": seq}).encode()
+            return (
+                _HEADER.pack(len(body), zlib.crc32(body) & 0xFFFFFFFF)
+                + body
+            )
+
+        path.write_bytes(frame(1) + frame(3) + frame(2))
+        with pytest.raises(StorageError, match="regression"):
+            scan_wal(path)
+
+    def test_truncate_keeps_numbering_by_default(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path, fsync=False) as wal:
+            for _ in range(3):
+                wal.append({"kind": "delta"})
+            wal.truncate()
+            assert wal.size_bytes == 0
+            assert wal.append({"kind": "delta"}) == 4
+
+    def test_truncate_with_base_seq(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal.log", fsync=False) as wal:
+            wal.truncate(base_seq=100)
+            assert wal.append({"kind": "delta"}) == 101
+
+    def test_advance_seq_only_on_empty_log(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal.log", fsync=False) as wal:
+            wal.advance_seq(7)
+            assert wal.append({"kind": "delta"}) == 8
+            with pytest.raises(StorageError, match="still"):
+                wal.advance_seq(50)
+            wal.advance_seq(3)  # no-op: lower than current
+            assert wal.last_seq == 8
