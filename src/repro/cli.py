@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -165,7 +166,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store = DurableRepositoryStore(args.data_dir, fsync=args.fsync)
     service = _load_service(args.profiles, args, store=store)
     try:
-        snapshot = serve(service, host=args.host, port=args.port)
+        if args.workers >= 2:
+            from .service.workers import serve_pool
+
+            snapshot = serve_pool(
+                service,
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+            )
+        else:
+            snapshot = serve(service, host=args.host, port=args.port)
     finally:
         if store is not None:
             store.close()
@@ -204,7 +215,57 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _bench_scale(args)
     if args.suite == "ingest":
         return _bench_ingest(args)
+    if args.suite == "serve":
+        return _bench_serve(args)
     return _bench_selection(args)
+
+
+def _bench_serve(args: argparse.Namespace) -> int:
+    from .experiments.serve import (
+        ServeBenchSetup,
+        benchmark_serving,
+        serve_report_failures,
+    )
+
+    defaults = ServeBenchSetup()
+    setup = ServeBenchSetup(
+        users=args.users,
+        worker_counts=(
+            _parse_sizes(args.workers_list)
+            if args.workers_list
+            else defaults.worker_counts
+        ),
+        duration_seconds=args.duration,
+        client_processes=args.client_procs,
+        client_threads=args.client_threads,
+        delta_every=args.delta_every,
+        rps_floor=args.rps_floor,
+        seed=args.seed,
+    )
+    report = benchmark_serving(setup)
+    out = args.out or "BENCH_serve.json"
+    Path(out).write_text(json.dumps(report, indent=1) + "\n")
+    for row in report["rows"]:
+        spread = row["per_worker_select_share"]
+        spread_note = (
+            " spread=" + "/".join(f"{s:.0%}" for s in spread)
+            if len(spread) > 1
+            else ""
+        )
+        print(
+            f"serve workers={row['workers']}: {row['requests']} reqs in "
+            f"{row['seconds']:.1f}s = {row['requests_per_second']:.0f}/s "
+            f"(p50 {row['select_p50_ms']:.1f}ms, "
+            f"p99 {row['select_p99_ms']:.1f}ms, "
+            f"deltas {row['deltas_acked']}{spread_note})"
+        )
+    for gate in report["gates"]:
+        print(f"gate: {gate['name']}: {gate['status']}")
+    failures = serve_report_failures(report)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print(f"wrote {out}")
+    return 0 if not failures else 1
 
 
 def _bench_ingest(args: argparse.Namespace) -> int:
@@ -477,6 +538,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("debug", "info", "warning", "error"),
         help="per-request structured log verbosity",
     )
+    server.add_argument(
+        "--workers",
+        type=int,
+        default=int(os.environ.get("REPRO_SERVE_WORKERS", "1") or "1"),
+        help="serving processes: 1 (default) runs the in-process threaded "
+        "server; >= 2 pre-forks that many worker processes sharing the "
+        "warmed artifacts copy-on-write, with writes routed to a single "
+        "writer (env REPRO_SERVE_WORKERS overrides the default)",
+    )
     server.set_defaults(handler=_cmd_serve)
 
     store = commands.add_parser(
@@ -513,12 +583,15 @@ def build_parser() -> argparse.ArgumentParser:
         "plus sharded/stochastic selection to 500k+ users "
         "(BENCH_scale.json); 'ingest' measures durable delta throughput "
         "with/without fsync, WAL recovery time and streaming-maintainer "
-        "quality vs fresh greedy (BENCH_ingest.json)",
+        "quality vs fresh greedy (BENCH_ingest.json); 'serve' load-tests "
+        "the HTTP service across worker counts with a mixed "
+        "/select + delta workload and gates on throughput and read "
+        "scaling (BENCH_serve.json)",
     )
     bench.add_argument(
         "--suite",
         default="selection",
-        choices=("selection", "experiments", "scale", "ingest"),
+        choices=("selection", "experiments", "scale", "ingest", "serve"),
     )
     bench.add_argument(
         "--sizes", default=None,
@@ -560,6 +633,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--dict-cap", type=int, default=250_000,
         help="[scale] largest size at which the dict-based construction "
         "path is also timed for the speedup comparison",
+    )
+    bench.add_argument(
+        "--workers-list", default=None,
+        help="[serve] comma-separated worker counts to load-test "
+        "(default: 1,2,4)",
+    )
+    bench.add_argument(
+        "--duration", type=float, default=6.0,
+        help="[serve] seconds of sustained load per worker count",
+    )
+    bench.add_argument(
+        "--client-procs", type=int, default=2,
+        help="[serve] load-generator processes",
+    )
+    bench.add_argument(
+        "--client-threads", type=int, default=4,
+        help="[serve] request threads per load-generator process",
+    )
+    bench.add_argument(
+        "--delta-every", type=int, default=50,
+        help="[serve] interleave one profile delta every N selects "
+        "(0 disables writes)",
+    )
+    bench.add_argument(
+        "--rps-floor", type=float, default=25.0,
+        help="[serve] minimum acceptable read throughput (req/s) for "
+        "every worker count",
     )
     bench.add_argument(
         "--out", default=None,

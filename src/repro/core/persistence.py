@@ -20,6 +20,8 @@ unicode arrays, so a saved index selects byte-identically after reload.
 from __future__ import annotations
 
 import json
+import struct
+import zipfile
 import zlib
 from pathlib import Path
 from typing import Any
@@ -251,7 +253,9 @@ def _index_checksum(arrays: dict[str, np.ndarray]) -> int:
     return crc & 0xFFFFFFFF
 
 
-def save_index_npz(index: InstanceIndex, path: str | Path) -> None:
+def save_index_npz(
+    index: InstanceIndex, path: str | Path, compressed: bool = True
+) -> None:
     """Write an :class:`InstanceIndex` checkpoint as one ``.npz`` file.
 
     Everything needed to reconstruct the index exactly is stored —
@@ -262,6 +266,12 @@ def save_index_npz(index: InstanceIndex, path: str | Path) -> None:
     Non-vectorizable indexes (EBS big-ints) are rejected: their exact
     weights live in the instance, not the index, and belong in the JSON
     checkpoint.
+
+    ``compressed=False`` stores the arrays verbatim (``ZIP_STORED``
+    members) so :func:`load_index_npz` can memory-map them in place —
+    the layout the serving tier snapshots use, where N forked workers
+    share one page-cache copy of the CSR payload instead of N private
+    heap copies.
     """
     if not index.vectorizable:
         raise DatasetError(
@@ -286,7 +296,8 @@ def save_index_npz(index: InstanceIndex, path: str | Path) -> None:
         "wei": index.wei,
         "initial_gains": index.initial_gains,
     }
-    np.savez_compressed(
+    writer = np.savez if not compressed else np.savez_compressed
+    writer(
         Path(path),
         format=np.asarray(_INDEX_FORMAT),
         format_version=np.asarray(CHECKPOINT_VERSION, dtype=np.int64),
@@ -295,7 +306,85 @@ def save_index_npz(index: InstanceIndex, path: str | Path) -> None:
     )
 
 
-def load_index_npz(path: str | Path) -> InstanceIndex:
+#: Array members of an index ``.npz`` that are worth memory-mapping: the
+#: CSR topology and integer payloads.  The unicode id/key arrays are
+#: converted to Python objects on load regardless, so mapping them buys
+#: nothing.
+_MMAP_MEMBERS = (
+    "u_indptr",
+    "u_indices",
+    "g_indptr",
+    "g_indices",
+    "cov",
+    "wei",
+    "initial_gains",
+)
+
+_ZIP_LOCAL_HEADER = struct.Struct("<4s22xHH")  # magic, name len, extra len
+
+
+def _mmap_npz_members(
+    path: Path, wanted: tuple[str, ...]
+) -> dict[str, np.ndarray]:
+    """Memory-map the uncompressed ``.npy`` members of an ``.npz`` file.
+
+    ``.npz`` is a ZIP archive; a member written by :func:`np.savez` is a
+    ``ZIP_STORED`` (uncompressed) ``.npy`` file sitting at a computable
+    byte offset, so its array data can be mapped read-only straight out
+    of the archive with :class:`np.memmap` — no decompression, no heap
+    copy, and the pages are shared between every process that maps the
+    same file.  Members that turn out to be compressed are skipped (the
+    caller falls back to the eagerly-loaded copy for those).
+    """
+    mapped: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive, open(path, "rb") as raw:
+        for name in wanted:
+            try:
+                info = archive.getinfo(f"{name}.npy")
+            except KeyError:
+                continue
+            if info.compress_type != zipfile.ZIP_STORED:
+                continue  # deflated member: not mappable, load eagerly
+            raw.seek(info.header_offset)
+            header = raw.read(_ZIP_LOCAL_HEADER.size)
+            magic, name_len, extra_len = _ZIP_LOCAL_HEADER.unpack(header)
+            if magic != b"PK\x03\x04":
+                raise DatasetError(
+                    f"index checkpoint {path} has a corrupt ZIP member "
+                    f"header for {name!r}"
+                )
+            npy_start = (
+                info.header_offset
+                + _ZIP_LOCAL_HEADER.size
+                + name_len
+                + extra_len
+            )
+            raw.seek(npy_start)
+            version = np.lib.format.read_magic(raw)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(
+                    raw
+                )
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(
+                    raw
+                )
+            else:  # pragma: no cover — numpy writes 1.0/2.0 only
+                continue
+            if dtype.hasobject:
+                continue  # object arrays cannot be mapped
+            mapped[name] = np.memmap(
+                path,
+                mode="r",
+                dtype=dtype,
+                shape=shape,
+                order="F" if fortran else "C",
+                offset=raw.tell(),
+            )
+    return mapped
+
+
+def load_index_npz(path: str | Path, mmap: bool = False) -> InstanceIndex:
     """Read an index checkpoint written by :func:`save_index_npz`.
 
     The CSR arrays come back verbatim (dtypes included), so selections
@@ -303,8 +392,16 @@ def load_index_npz(path: str | Path) -> InstanceIndex:
     format version and array checksum are verified first (clear
     :class:`DatasetError` on mismatch); legacy header-less ``.npz``
     checkpoints still load.
+
+    With ``mmap=True`` the big integer arrays are re-opened as read-only
+    memory maps of the archive *after* that checksum verification — for
+    checkpoints written with ``compressed=False`` this keeps the CSR
+    payload in the OS page cache (shared across forked serving workers)
+    instead of private process memory.  Compressed members silently fall
+    back to the eagerly-loaded copy, so ``mmap=True`` is always safe.
     """
-    with np.load(Path(path), allow_pickle=False) as data:
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
         if str(data["format"]) != _INDEX_FORMAT:
             raise DatasetError(
                 f"expected format {_INDEX_FORMAT!r}, "
@@ -335,17 +432,20 @@ def load_index_npz(path: str | Path) -> InstanceIndex:
             GroupKey(str(p), str(b))
             for p, b in zip(data["key_property"], data["key_bucket"])
         )
-        return InstanceIndex(
-            users=users,
-            user_pos={u: i for i, u in enumerate(users)},
-            group_keys=group_keys,
-            group_pos={key: gid for gid, key in enumerate(group_keys)},
-            u_indptr=data["u_indptr"],
-            u_indices=data["u_indices"],
-            g_indptr=data["g_indptr"],
-            g_indices=data["g_indices"],
-            cov=data["cov"],
-            wei=data["wei"],
-            initial_gains=data["initial_gains"],
-            vectorizable=True,
-        )
+        arrays = {name: data[name] for name in _MMAP_MEMBERS}
+    if mmap:
+        arrays.update(_mmap_npz_members(path, _MMAP_MEMBERS))
+    return InstanceIndex(
+        users=users,
+        user_pos={u: i for i, u in enumerate(users)},
+        group_keys=group_keys,
+        group_pos={key: gid for gid, key in enumerate(group_keys)},
+        u_indptr=arrays["u_indptr"],
+        u_indices=arrays["u_indices"],
+        g_indptr=arrays["g_indptr"],
+        g_indices=arrays["g_indices"],
+        cov=arrays["cov"],
+        wei=arrays["wei"],
+        initial_gains=arrays["initial_gains"],
+        vectorizable=True,
+    )

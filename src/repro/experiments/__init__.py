@@ -30,6 +30,11 @@ from .scale import (
     benchmark_scale_path,
     scale_report_failures,
 )
+from .serve import (
+    ServeBenchSetup,
+    benchmark_serving,
+    serve_report_failures,
+)
 from .scalability import (
     ScalabilitySetup,
     linear_fit_r2,
@@ -74,6 +79,9 @@ __all__ = [
     "ScaleSetup",
     "benchmark_scale_path",
     "scale_report_failures",
+    "ServeBenchSetup",
+    "benchmark_serving",
+    "serve_report_failures",
     "ScalabilitySetup",
     "linear_fit_r2",
     "scalability_in_profile_size",

@@ -15,7 +15,22 @@ from .config import (
     DiversificationConfiguration,
     default_configuration,
 )
-from .metrics import ServiceMetrics, StageTimer, request_log_record
+from .metrics import (
+    WORKER_COUNTER_FIELDS,
+    ServiceMetrics,
+    StageTimer,
+    aggregate_worker_rows,
+    request_log_record,
+)
+from .workers import (
+    ChangeLog,
+    SharedPoolState,
+    WorkerPool,
+    WorkerRuntime,
+    WriteCoordinator,
+    make_worker_app,
+    serve_pool,
+)
 from .viz import (
     explanation_payload,
     render_html,
@@ -37,7 +52,16 @@ __all__ = [
     "default_configuration",
     "ServiceMetrics",
     "StageTimer",
+    "WORKER_COUNTER_FIELDS",
+    "aggregate_worker_rows",
     "request_log_record",
+    "ChangeLog",
+    "SharedPoolState",
+    "WorkerPool",
+    "WorkerRuntime",
+    "WriteCoordinator",
+    "make_worker_app",
+    "serve_pool",
     "explanation_payload",
     "render_html",
     "render_metrics_text",

@@ -207,6 +207,13 @@ class PodiumService:
         self.store = store
         self._swap_margin = swap_margin
         self._staleness_fraction = staleness_fraction
+        # Multi-process serving: a worker process sets this to a callable
+        # returning the pool-wide counter document, which
+        # :meth:`metrics_snapshot` merges into ``GET /metrics`` so the
+        # route reports the whole pool, not one worker's slice.
+        self.cluster_stats_provider: Callable[[], dict[str, Any]] | None = (
+            None
+        )
         # Streaming maintainers keyed by (configuration, budget); built
         # lazily on the first maintained selection, repaired on every
         # ingested delta instead of re-solving from scratch.
@@ -303,63 +310,11 @@ class PodiumService:
                 wal_started = time.perf_counter()
                 seq = self.store.log_delta(delta)
                 wal_seconds = time.perf_counter() - wal_started
-            repository = apply_delta_to_repository(self._repository, delta)
-            self._repository = repository
-            self._generation += 1
-            refreshed: list[str] = []
-            for name, entry in list(self._cache.items()):
-                current = (
-                    self._configurations.get(name)
-                    if name in self._configurations
-                    else None
-                )
-                if (
-                    current is None
-                    or entry.config is not current
-                    or entry.groups_version != entry.groups.version
-                ):
-                    del self._cache[name]
-                    continue
-                groups = reassign_groups(entry.groups, repository, delta)
-                weight, coverage = entry.config.schemes()
-                instances: dict[int, DiversificationInstance] = {}
-                for budget in entry.instances:
-                    instance = rebuild_instance(
-                        groups, repository, budget, weight, coverage
-                    )
-                    instance_index(instance)
-                    instances[budget] = instance
-                self._cache[name] = _ConfigArtifacts(
-                    config=current,
-                    generation=self._generation,
-                    groups=groups,
-                    groups_version=groups.version,
-                    instances=instances,
-                )
-                refreshed.append(name)
-            # Repair maintained selections against the refreshed indexes
-            # instead of re-solving; maintainers of dropped cache entries
-            # go with them.
-            touched = len(delta.touched)
-            for key in list(self._maintainers):
-                name, budget = key
-                entry = self._cache.get(name)
-                if entry is None or budget not in entry.instances:
-                    del self._maintainers[key]
-                    continue
-                self._maintainers[key].refresh(
-                    instance_index(entry.instances[budget]), touched
-                )
+            response = self._apply_delta_locked(delta)
             if self.store is not None:
-                self.store.adopt(repository, self._export_artifacts())
-            response = {
-                "users": len(repository),
-                "upserts": len(delta.upserts),
-                "removals": len(delta.removals),
-                "generation": self._generation,
-                "refreshed_configurations": sorted(refreshed),
-            }
-            if self.store is not None:
+                self.store.adopt(
+                    self._repository, self._export_artifacts()
+                )
                 response["wal_seq"] = seq
                 response["durable"] = True
             self.metrics.observe_ingest(
@@ -370,9 +325,122 @@ class PodiumService:
             )
             return response
 
+    def apply_replicated_delta(self, delta: ProfileDelta) -> dict[str, Any]:
+        """Apply a delta that another process already made durable.
+
+        The follower path of multi-process serving: the writer process
+        WAL-appended and applied the delta, then published it on the
+        pool's replication ring; each worker replays it here through the
+        *same* incremental machinery (:meth:`_apply_delta_locked`), so
+        every process converges to byte-identical serving state without
+        touching the store.
+        """
+        started = time.perf_counter()
+        with self._lock.write():
+            if self._repository is None:
+                raise ServiceError("no profiles loaded")
+            response = self._apply_delta_locked(delta)
+            self.metrics.observe_ingest(
+                len(delta.upserts),
+                len(delta.removals),
+                time.perf_counter() - started,
+            )
+            return response
+
+    def _apply_delta_locked(self, delta: ProfileDelta) -> dict[str, Any]:
+        """Apply a delta to the repository + caches (write lock held)."""
+        repository = apply_delta_to_repository(self._repository, delta)
+        self._repository = repository
+        self._generation += 1
+        refreshed: list[str] = []
+        for name, entry in list(self._cache.items()):
+            current = (
+                self._configurations.get(name)
+                if name in self._configurations
+                else None
+            )
+            if (
+                current is None
+                or entry.config is not current
+                or entry.groups_version != entry.groups.version
+            ):
+                del self._cache[name]
+                continue
+            groups = reassign_groups(entry.groups, repository, delta)
+            weight, coverage = entry.config.schemes()
+            instances: dict[int, DiversificationInstance] = {}
+            for budget in entry.instances:
+                instance = rebuild_instance(
+                    groups, repository, budget, weight, coverage
+                )
+                instance_index(instance)
+                instances[budget] = instance
+            self._cache[name] = _ConfigArtifacts(
+                config=current,
+                generation=self._generation,
+                groups=groups,
+                groups_version=groups.version,
+                instances=instances,
+            )
+            refreshed.append(name)
+        # Repair maintained selections against the refreshed indexes
+        # instead of re-solving; maintainers of dropped cache entries
+        # go with them.
+        touched = len(delta.touched)
+        for key in list(self._maintainers):
+            name, budget = key
+            entry = self._cache.get(name)
+            if entry is None or budget not in entry.instances:
+                del self._maintainers[key]
+                continue
+            self._maintainers[key].refresh(
+                instance_index(entry.instances[budget]), touched
+            )
+        return {
+            "users": len(repository),
+            "upserts": len(delta.upserts),
+            "removals": len(delta.removals),
+            "generation": self._generation,
+            "refreshed_configurations": sorted(refreshed),
+        }
+
     @property
     def configurations(self) -> ConfigurationStore:
         return self._configurations
+
+    # -- multi-process serving hooks ---------------------------------------
+
+    def replication_snapshot(self) -> dict[str, Any]:
+        """Full serving state for a worker that cannot catch up by deltas.
+
+        Ships the repository document plus every registered
+        configuration; the receiving worker rebuilds groups/instances
+        itself, which is deterministic given identical inputs — so a
+        fully-resynced worker answers ``/select`` exactly like the
+        writer.
+        """
+        from ..datasets.io import profiles_to_dict
+
+        with self._lock.read():
+            return {
+                "profiles": profiles_to_dict(self._repository_or_raise()),
+                "configurations": [
+                    self._configurations.get(name).to_dict()
+                    for name in self._configurations.names()
+                ],
+            }
+
+    def reset_concurrency_after_fork(self) -> None:
+        """Re-arm the service's locks in a freshly forked worker.
+
+        A fork clones lock state but not the threads holding it: a lock
+        acquired by a parent thread at fork time would stay locked
+        forever in the child.  The pool forks while holding the write
+        lock (so the cloned state is a consistent snapshot), then the
+        child replaces every lock before serving.
+        """
+        self._lock = ReadWriteLock()
+        self._build_lock = threading.Lock()
 
     # -- durable storage ---------------------------------------------------
 
@@ -435,6 +503,41 @@ class PodiumService:
             self._configurations.put(config)
             self._cache.pop(config.name, None)
 
+    def replace_configurations(
+        self, configs: list[DiversificationConfiguration]
+    ) -> None:
+        """Replace the whole configuration registry (full resync).
+
+        Used by pool workers adopting the writer's state wholesale: the
+        registry is rebuilt and every cached artifact dropped, so the
+        next request regroups against exactly the writer's
+        configurations.
+        """
+        with self._lock.write():
+            self._configurations = ConfigurationStore(tuple(configs))
+            self._cache.clear()
+            self._maintainers.clear()
+
+    def warm_artifacts(self) -> list[str]:
+        """Build every configuration's default-budget serving artifacts.
+
+        The pre-fork warm step of multi-process serving: the parent
+        builds each ``(GroupSet, instance, CSR index)`` triple once, then
+        forks — workers inherit the warmed cache copy-on-write, so no
+        worker ever pays a cold build and the numpy payloads stay shared
+        physical pages until a delta diverges them.
+        """
+        warmed: list[str] = []
+        with self._lock.read():
+            if self._repository is None:
+                return warmed
+            for name in self._configurations.names():
+                timer = StageTimer()
+                entry = self._artifacts(name, timer)
+                self._instance(entry, entry.config.budget, timer)
+                warmed.append(name)
+        return sorted(warmed)
+
     # -- introspection -----------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
@@ -464,6 +567,19 @@ class PodiumService:
                         self._maintainers.items()
                     )
                 }
+        if self.cluster_stats_provider is not None:
+            # Pool worker: merge the pool-wide view so ``GET /metrics``
+            # answered by any worker reports the whole pool — aggregated
+            # per-worker counters plus the writer's storage gauges
+            # (workers hold no store of their own).
+            try:
+                cluster = self.cluster_stats_provider()
+            except Exception as exc:  # noqa: BLE001 — metrics must serve
+                cluster = {"error": f"{type(exc).__name__}: {exc}"}
+            storage = cluster.pop("storage", None)
+            if storage is not None and "storage" not in snapshot:
+                snapshot["storage"] = storage
+            snapshot["cluster"] = cluster
         return snapshot
 
     # -- grouping module (offline step of Fig. 1) -------------------------
@@ -800,6 +916,7 @@ _STATUS_LINES = {
     400: "400 Bad Request",
     404: "404 Not Found",
     500: "500 Internal Server Error",
+    503: "503 Service Unavailable",
 }
 
 

@@ -194,6 +194,36 @@ class ServiceMetrics:
             }
 
 
+# Shared-memory counter layout for multi-process serving: every worker
+# mirrors these per-process counters into a shared slot so the parent can
+# report per-worker request distribution without an RPC round-trip to
+# each child (see :mod:`repro.service.workers`).
+WORKER_COUNTER_FIELDS = (
+    "requests",
+    "errors",
+    "selects",
+    "forwarded_writes",
+    "cache_hits",
+    "cache_misses",
+    "syncs",
+    "sync_failures",
+)
+
+
+def aggregate_worker_rows(
+    rows: list[dict[str, Any]],
+) -> dict[str, int]:
+    """Sum per-worker counter rows into pool-wide totals.
+
+    Ignores non-counter keys (``slot``, ``pid``) so rows can carry
+    identity next to the counters.
+    """
+    return {
+        field: sum(int(row.get(field, 0)) for row in rows)
+        for field in WORKER_COUNTER_FIELDS
+    }
+
+
 def request_log_record(
     route: str,
     status: int,

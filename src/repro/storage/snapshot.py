@@ -126,7 +126,14 @@ def write_snapshot(data_dir: str | Path, state: SnapshotState) -> Path:
         (stage / f"groups-{cfg_name}.json").write_text(json.dumps(groups_doc))
         has_index = False
         if artifact.index is not None and artifact.index.vectorizable:
-            save_index_npz(artifact.index, stage / f"index-{cfg_name}.npz")
+            # Stored (uncompressed) members so recovery can memory-map
+            # the CSR payload straight out of the archive; forked
+            # serving workers then share one page-cache copy.
+            save_index_npz(
+                artifact.index,
+                stage / f"index-{cfg_name}.npz",
+                compressed=False,
+            )
             has_index = True
         configs[cfg_name] = {
             "config": artifact.config,
@@ -161,8 +168,17 @@ def write_snapshot(data_dir: str | Path, state: SnapshotState) -> Path:
     return final
 
 
-def load_snapshot(path: str | Path) -> SnapshotState:
-    """Load a snapshot directory written by :func:`write_snapshot`."""
+def load_snapshot(
+    path: str | Path, mmap_indexes: bool = False
+) -> SnapshotState:
+    """Load a snapshot directory written by :func:`write_snapshot`.
+
+    ``mmap_indexes=True`` opens each configuration's CSR index payload
+    as read-only memory maps (after checksum verification) instead of
+    heap copies — snapshots written by this version store the arrays
+    uncompressed exactly so recovery can do this; older compressed
+    snapshots transparently fall back to eager loads.
+    """
     path = Path(path)
     try:
         manifest = json.loads((path / "manifest.json").read_text())
@@ -211,7 +227,9 @@ def load_snapshot(path: str | Path) -> SnapshotState:
         index = None
         if meta.get("has_index"):
             try:
-                index = load_index_npz(path / f"index-{cfg_name}.npz")
+                index = load_index_npz(
+                    path / f"index-{cfg_name}.npz", mmap=mmap_indexes
+                )
             except DatasetError as exc:
                 raise StorageError(
                     f"snapshot {path} has a corrupt index for "

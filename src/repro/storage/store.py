@@ -53,7 +53,12 @@ class DurableRepositoryStore:
     its own lock so CLI tooling is safe standalone.
     """
 
-    def __init__(self, data_dir: str | Path, fsync: bool = True) -> None:
+    def __init__(
+        self,
+        data_dir: str | Path,
+        fsync: bool = True,
+        mmap_indexes: bool = True,
+    ) -> None:
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
@@ -61,7 +66,11 @@ class DurableRepositoryStore:
         started = time.monotonic()
         snapshot_path = current_snapshot_path(self.data_dir)
         if snapshot_path is not None:
-            state = load_snapshot(snapshot_path)
+            # Recovered CSR indexes are memory-mapped by default: the
+            # serving tier forks worker processes that all reference the
+            # same page-cache copy of the snapshot payload, instead of
+            # each holding a private heap copy.
+            state = load_snapshot(snapshot_path, mmap_indexes=mmap_indexes)
         else:
             state = SnapshotState(repository=UserRepository(()))
         self.repository = state.repository
@@ -245,6 +254,17 @@ class DurableRepositoryStore:
 
     def close(self) -> None:
         self._wal.close()
+
+    def release_after_fork(self) -> None:
+        """Drop the inherited WAL descriptor in a forked worker process.
+
+        Deliberately lock-free: the fork may have happened while a
+        parent thread held ``self._lock`` (that thread does not exist in
+        the child), so taking locks here could deadlock.  The child
+        never writes through this store — it only needs to stop sharing
+        the WAL file offset with the parent.
+        """
+        self._wal.release_fd()
 
     def __enter__(self) -> "DurableRepositoryStore":
         return self

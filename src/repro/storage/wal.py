@@ -240,6 +240,21 @@ class WriteAheadLog:
                     os.fsync(self._handle.fileno())
                 self._handle.close()
 
+    def release_fd(self) -> None:
+        """Close the underlying descriptor without flushing or locking.
+
+        For forked children that inherited the log open: the parent owns
+        the file offset and buffered state, and the child must not touch
+        either (its copy of ``self._lock`` may be held by a thread that
+        did not survive the fork).  The Python file object is left as-is
+        — the child never appends, and child exit goes through
+        ``os._exit`` so no finalizer will trip over the dead fd.
+        """
+        try:
+            os.close(self._handle.fileno())
+        except (OSError, ValueError):
+            pass
+
     def __enter__(self) -> "WriteAheadLog":
         return self
 

@@ -220,3 +220,61 @@ class TestCheckpointEnvelope:
         np.savez_compressed(path, **arrays)
         index = load_index_npz(path)
         assert index.users == instance_index(table2_instance).users
+
+
+MMAP_MEMBERS = (
+    "u_indptr",
+    "u_indices",
+    "g_indptr",
+    "g_indices",
+    "cov",
+    "wei",
+    "initial_gains",
+)
+
+
+class TestIndexNpzMmap:
+    def test_uncompressed_archive_memory_maps(
+        self, table2_instance, tmp_path
+    ):
+        index = instance_index(table2_instance)
+        path = tmp_path / "index.npz"
+        save_index_npz(index, path, compressed=False)
+        restored = load_index_npz(path, mmap=True)
+        for name in MMAP_MEMBERS:
+            array = getattr(restored, name)
+            assert isinstance(array, np.memmap), name
+            assert np.array_equal(array, getattr(index, name)), name
+
+    def test_mmap_selection_identical(self, table2_instance, tmp_path):
+        index = instance_index(table2_instance)
+        path = tmp_path / "index.npz"
+        save_index_npz(index, path, compressed=False)
+        restored = load_index_npz(path, mmap=True)
+        original = select_from_index(index, table2_instance.budget)
+        replay = select_from_index(restored, table2_instance.budget)
+        assert replay.selected == original.selected
+        assert replay.score == original.score
+
+    def test_compressed_archive_falls_back_to_eager(
+        self, table2_instance, tmp_path
+    ):
+        index = instance_index(table2_instance)
+        path = tmp_path / "index.npz"
+        save_index_npz(index, path)  # compressed: members are deflated
+        restored = load_index_npz(path, mmap=True)
+        for name in MMAP_MEMBERS:
+            array = getattr(restored, name)
+            assert not isinstance(array, np.memmap), name
+            assert np.array_equal(array, getattr(index, name)), name
+
+    def test_mmap_checksum_still_enforced(self, table2_instance, tmp_path):
+        index = instance_index(table2_instance)
+        path = tmp_path / "index.npz"
+        save_index_npz(index, path, compressed=False)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+        arrays["cov"] = arrays["cov"] + 1  # corrupt without fixing the CRC
+        np.savez(path, **arrays)
+        with pytest.raises(DatasetError, match="checksum"):
+            load_index_npz(path, mmap=True)
