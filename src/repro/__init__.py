@@ -45,17 +45,21 @@ from .core import (
     SingleCoverage,
     UserProfile,
     UserRepository,
+    TripleStore,
     approximation_ratio,
     build_columnar_instance,
+    build_index_external,
     build_instance,
     build_simple_groups,
     covered_groups,
     custom_select,
     explain_selection,
     greedy_select,
+    open_index_npz,
     optimal_select,
     refine_users,
     select_from_index,
+    select_sharded_streaming,
     subset_score,
 )
 from .datasets.synth import generate_profile_columns
@@ -89,11 +93,13 @@ __all__ = [
     "SelectionResult",
     "SingleCoverage",
     "StreamingMaintainer",
+    "TripleStore",
     "WriteAheadLog",
     "UserProfile",
     "UserRepository",
     "approximation_ratio",
     "build_columnar_instance",
+    "build_index_external",
     "build_instance",
     "build_simple_groups",
     "covered_groups",
@@ -101,9 +107,11 @@ __all__ = [
     "explain_selection",
     "generate_profile_columns",
     "greedy_select",
+    "open_index_npz",
     "optimal_select",
     "refine_users",
     "select_from_index",
+    "select_sharded_streaming",
     "subset_score",
     "__version__",
 ]

@@ -345,24 +345,43 @@ def _bench_scale(args: argparse.Namespace) -> int:
         jobs=args.jobs if args.jobs is not None else defaults.jobs,
         epsilon=args.epsilon,
         dict_cap=args.dict_cap,
+        out_of_core=args.out_of_core,
+        rss_cap_mb=args.rss_cap_mb,
+        run_entries=(
+            args.run_entries
+            if args.run_entries is not None
+            else defaults.run_entries
+        ),
+        workdir=args.workdir,
     )
     report = benchmark_scale_path(setup)
     out = args.out or "BENCH_scale.json"
     Path(out).write_text(json.dumps(report, indent=1) + "\n")
     for row in report["rows"]:
-        speedup = row["columnar_speedup"]
-        dict_note = (
-            f", dict {row['dict_build_seconds']:.2f}s ({speedup:.1f}x)"
-            if speedup is not None
-            else ""
-        )
         ratios = ", ".join(
             f"{backend}={ratio:.4f}"
             for backend, ratio in row["quality_ratio"].items()
         )
+        if row.get("mode") == "out_of_core":
+            build_note = (
+                f"external build {row['external_build_seconds']:.2f}s "
+                f"({row['runs']} runs), mmap open "
+                f"{row['open_seconds']:.2f}s"
+            )
+        else:
+            speedup = row["columnar_speedup"]
+            dict_note = (
+                f", dict {row['dict_build_seconds']:.2f}s ({speedup:.1f}x)"
+                if speedup is not None
+                else ""
+            )
+            build_note = (
+                f"columnar build "
+                f"{row['columnar_build_seconds']:.2f}s{dict_note}"
+            )
         print(
             f"|U|={row['users']}: gen {row['generate_seconds']:.2f}s, "
-            f"columnar build {row['columnar_build_seconds']:.2f}s{dict_note}; "
+            f"{build_note}; "
             f"select matrix={row['select_seconds']['matrix']:.2f}s "
             f"sharded={row['select_seconds']['sharded']:.2f}s "
             f"stochastic={row['select_seconds']['stochastic']:.2f}s; "
@@ -633,6 +652,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--dict-cap", type=int, default=250_000,
         help="[scale] largest size at which the dict-based construction "
         "path is also timed for the speedup comparison",
+    )
+    bench.add_argument(
+        "--out-of-core", action="store_true",
+        help="[scale] run the disk-backed tier: spill-generated triple "
+        "store, external-sort index build, mmap-opened checkpoint, and "
+        "streaming sharded selection",
+    )
+    bench.add_argument(
+        "--rss-cap-mb", type=float, default=None,
+        help="[scale] fail the bench (nonzero exit) if any row's peak "
+        "RSS — parent and reaped children combined — exceeds this "
+        "many MiB",
+    )
+    bench.add_argument(
+        "--run-entries", type=int, default=None,
+        help="[scale --out-of-core] entries per sorted run of the "
+        "external-sort build (default: 2097152)",
+    )
+    bench.add_argument(
+        "--workdir", default=None,
+        help="[scale --out-of-core] directory for spill files "
+        "(default: system temp)",
     )
     bench.add_argument(
         "--workers-list", default=None,

@@ -1,0 +1,625 @@
+"""External-sort index construction — CSR checkpoints without the RAM.
+
+:func:`~repro.core.columnar.build_columnar_instance` is array-native but
+still in-core: it argsorts *all* triples twice (once by property, once
+per CSR direction) and holds every intermediate column concurrently, so
+its transient footprint is a small multiple of the triple set.  At 5–10M
+users that multiple is the difference between fitting and thrashing.
+
+:func:`build_index_external` produces the *same index* — byte-identical
+``.npz`` payload, same checksum — from an on-disk
+:class:`~repro.core.triplestore.TripleStore` with bounded resident
+memory:
+
+1. **partition** — one streaming pass buckets triples into per-property
+   spill files (the canonical order within each property is preserved,
+   which is exactly what one global stable sort by property yields);
+2. **bucketize** — properties are processed one at a time (bounded by
+   the largest property's support, not the triple count) with the very
+   same split/assign calls as the in-RAM path, emitting kept
+   ``(user, group)`` entries to a single spill file;
+3. **emit g-side** — entries are re-read per property block; since group
+   ids increase monotonically across properties, concatenating
+   per-block stable sorts by group id *is* the global stable sort the
+   in-RAM path computes, so ``g_indices`` streams straight into the
+   ``.npz`` member while per-user degrees and initial gains accumulate;
+4. **external sort + emit u-side** — the same scan cuts fixed-size runs,
+   stable-sorts each by dense user id and spills it; a resumable
+   :class:`KWayMerge` then streams the globally stable-by-user order
+   back off disk and into the ``u_indices`` member.
+
+The ``.npz`` members are written ``ZIP_STORED`` (the layout
+:func:`~repro.core.persistence.open_index_npz` maps in place), and the
+trailing ``payload_crc32`` is recomputed by streaming the freshly
+written archive — so the checksum provably covers what is on disk, and
+equals what ``save_index_npz(compressed=False)`` writes for the in-RAM
+build of the same triples.
+"""
+
+from __future__ import annotations
+
+import zipfile
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+import numpy as np
+
+from .buckets import (
+    assign_bucket_indices,
+    is_boolean,
+    partition_from_splits,
+    split_scores,
+)
+from .columnar import (
+    _COLUMNAR_COVERAGES,
+    _COLUMNAR_WEIGHTS,
+    _assign_fallback,
+    _columnar_coverage,
+    _columnar_weights,
+    _scheme_name,
+)
+from .errors import DatasetError, InvalidInstanceError
+from .groups import GroupingConfig, GroupKey
+from .index import _INT64_MAX, id_dtype
+from .persistence import (
+    CHECKPOINT_VERSION,
+    _INDEX_FORMAT,
+    streamed_index_checksum,
+)
+from .triplestore import TripleStore
+
+#: Entries per sorted run spilled by the external sort.  At the default
+#: (2M entries × 8–12 bytes) a 40M-entry build keeps ~20 runs on disk
+#: and one run resident while sorting.
+DEFAULT_RUN_ENTRIES = 1 << 21
+
+
+# -- streaming .npz member writing ----------------------------------------
+
+
+@contextmanager
+def _npz_member(zf: zipfile.ZipFile, name: str, dtype, shape):
+    """Open one ``.npy`` member for incremental raw-byte writes.
+
+    Yields a file-like sink positioned right after a version-1.0 array
+    header, so callers append C-contiguous chunks of exactly
+    ``dtype``/``shape`` worth of data.  The member is ``ZIP_STORED``
+    (the archive must be opened with ``ZIP_STORED``), hence mappable by
+    ``_stored_member_layouts`` afterwards.
+    """
+    header = {
+        "descr": np.lib.format.dtype_to_descr(np.dtype(dtype)),
+        "fortran_order": False,
+        "shape": tuple(shape),
+    }
+    with zf.open(f"{name}.npy", "w", force_zip64=True) as sink:
+        np.lib.format.write_array_header_1_0(sink, header)
+        yield sink
+
+
+def _write_member_array(
+    zf: zipfile.ZipFile, name: str, array: np.ndarray
+) -> None:
+    """Write one whole array as a stored ``.npy`` member."""
+    array = np.asarray(array)
+    if not array.flags.c_contiguous:
+        array = np.ascontiguousarray(array)  # keeps 0-d scalars 0-d
+    with _npz_member(zf, name, array.dtype, array.shape) as sink:
+        sink.write(array.tobytes())
+
+
+# -- sorted runs + k-way merge --------------------------------------------
+
+
+class SortedRunWriter:
+    """Cut an entry stream into fixed-size runs, each sorted by user.
+
+    Entries arrive in canonical (property-major) order; each run of
+    ``run_entries`` is stable-sorted by its ``"u"`` field before
+    spilling, so within a run — and, because runs partition the
+    canonical order, across the merge of all runs — equal users keep
+    their canonical relative order.  That is the invariant that makes
+    the merged stream equal to one global stable sort.
+    """
+
+    def __init__(
+        self, directory: str | Path, entry_dtype, run_entries: int
+    ) -> None:
+        if run_entries < 1:
+            raise DatasetError(
+                f"run_entries must be >= 1, got {run_entries}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.entry_dtype = np.dtype(entry_dtype)
+        self.run_entries = int(run_entries)
+        self.run_paths: list[Path] = []
+        self.run_counts: list[int] = []
+        self._pending: list[np.ndarray] = []
+        self._pending_count = 0
+
+    def append(self, users: np.ndarray, gids: np.ndarray) -> None:
+        block = np.empty(len(users), dtype=self.entry_dtype)
+        block["u"] = users
+        block["g"] = gids
+        self._pending.append(block)
+        self._pending_count += len(block)
+        while self._pending_count >= self.run_entries:
+            self._spill(self.run_entries)
+
+    def _spill(self, count: int) -> None:
+        buffered = (
+            np.concatenate(self._pending)
+            if len(self._pending) != 1
+            else self._pending[0]
+        )
+        run, rest = buffered[:count], buffered[count:]
+        self._pending = [rest] if len(rest) else []
+        self._pending_count = len(rest)
+        order = np.argsort(run["u"], kind="stable")
+        path = self.directory / f"run{len(self.run_paths):05d}.bin"
+        path.write_bytes(run[order].tobytes())
+        self.run_paths.append(path)
+        self.run_counts.append(int(count))
+
+    def close(self) -> None:
+        """Spill the final partial run (if any)."""
+        if self._pending_count:
+            self._spill(self._pending_count)
+
+
+class KWayMerge:
+    """Streaming, resumable merge of user-sorted runs into global order.
+
+    Each call to :meth:`next_block` buffers a bounded window of every
+    run, computes the *barrier* — the smallest last-buffered key among
+    runs that still have unread data on disk — and emits every buffered
+    entry with key strictly below it.  No unread entry can precede the
+    emitted ones (runs are sorted), and since *all* occurrences of an
+    emitted key are buffered, concatenating the per-run emit prefixes in
+    run order and stable-sorting by key reproduces the exact global
+    stable sort.
+
+    The merge is resumable: :meth:`state` captures the per-run emitted
+    offsets (plain ints — trivially serializable), and constructing a
+    new merge with ``state=`` continues from the same position, reading
+    runs from disk only past what was already consumed.
+    """
+
+    def __init__(
+        self,
+        run_paths,
+        run_counts,
+        entry_dtype,
+        buffer_entries: int = 1 << 16,
+        state: dict | None = None,
+    ) -> None:
+        self.run_paths = [Path(p) for p in run_paths]
+        self.run_counts = [int(c) for c in run_counts]
+        if len(self.run_paths) != len(self.run_counts):
+            raise DatasetError("run paths and counts must be parallel")
+        self.entry_dtype = np.dtype(entry_dtype)
+        self.buffer_entries = max(1, int(buffer_entries))
+        k = len(self.run_paths)
+        if state is None:
+            self._consumed = [0] * k
+        else:
+            consumed = list(state["consumed"])
+            if len(consumed) != k:
+                raise DatasetError(
+                    "merge state does not match the run set"
+                )
+            self._consumed = [int(c) for c in consumed]
+        self._buffers: list[np.ndarray] = [
+            np.empty(0, dtype=self.entry_dtype) for _ in range(k)
+        ]
+
+    @property
+    def emitted(self) -> int:
+        return sum(self._consumed)
+
+    @property
+    def total(self) -> int:
+        return sum(self.run_counts)
+
+    def state(self) -> dict:
+        """Serializable resume point (per-run emitted entry counts)."""
+        return {"consumed": list(self._consumed)}
+
+    def _read(self, run: int, offset: int, count: int) -> np.ndarray:
+        itemsize = self.entry_dtype.itemsize
+        with open(self.run_paths[run], "rb") as handle:
+            handle.seek(offset * itemsize)
+            raw = handle.read(count * itemsize)
+        if len(raw) != count * itemsize:
+            raise DatasetError(
+                f"sorted run {self.run_paths[run]} is shorter than its "
+                f"recorded {self.run_counts[run]} entries"
+            )
+        return np.frombuffer(raw, dtype=self.entry_dtype)
+
+    def next_block(self):
+        """Next merged slice in global stable order, or ``None`` at end."""
+        if self.emitted >= self.total:
+            return None
+        k = len(self.run_paths)
+        window = self.buffer_entries
+        while True:
+            # Top every buffer up to the current window size.
+            unread = [0] * k
+            for i in range(k):
+                have = len(self._buffers[i])
+                offset = self._consumed[i] + have
+                on_disk = self.run_counts[i] - offset
+                if have < window and on_disk > 0:
+                    take = min(window - have, on_disk)
+                    extra = self._read(i, offset, take)
+                    self._buffers[i] = (
+                        np.concatenate([self._buffers[i], extra])
+                        if have
+                        else extra
+                    )
+                    on_disk -= take
+                unread[i] = on_disk
+            # Barrier: smallest key that might still be unread.
+            barrier = None
+            for i in range(k):
+                if unread[i] > 0:
+                    last = self._buffers[i]["u"][-1]
+                    if barrier is None or last < barrier:
+                        barrier = last
+            parts: list[np.ndarray] = []
+            cuts = [0] * k
+            for i in range(k):
+                buffered = self._buffers[i]
+                if not len(buffered):
+                    continue
+                if barrier is None:
+                    cut = len(buffered)
+                else:
+                    cut = int(
+                        np.searchsorted(buffered["u"], barrier, side="left")
+                    )
+                cuts[i] = cut
+                if cut:
+                    parts.append(buffered[:cut])
+            if parts:
+                break
+            if barrier is None:  # pragma: no cover — guarded by `emitted`
+                return None
+            # Every buffered key ties the barrier: widen the window so at
+            # least one run buffers past it (or drains entirely).
+            window *= 2
+        for i in range(k):
+            if cuts[i]:
+                self._consumed[i] += cuts[i]
+                self._buffers[i] = self._buffers[i][cuts[i]:]
+        merged = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        order = np.argsort(merged["u"], kind="stable")
+        return merged[order]
+
+
+# -- the builder ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExternalBuildInfo:
+    """What :func:`build_index_external` wrote and how."""
+
+    path: Path
+    n_total: int
+    n_users: int
+    n_groups: int
+    n_entries: int
+    n_runs: int
+    run_entries: int
+    weight_scheme: str
+    coverage_scheme: str
+    payload_crc32: int
+
+
+def build_index_external(
+    store: TripleStore | str | Path,
+    budget: int,
+    out_path: str | Path,
+    grouping: GroupingConfig | None = None,
+    weight_scheme=None,
+    coverage_scheme=None,
+    run_entries: int = DEFAULT_RUN_ENTRIES,
+    chunk_entries: int = 1 << 20,
+    workdir: str | Path | None = None,
+) -> ExternalBuildInfo:
+    """Build an index checkpoint from a triple store, out of core.
+
+    Produces a ``.npz`` whose array payload — and therefore
+    ``payload_crc32`` — is byte-identical to
+    ``save_index_npz(build_columnar_instance(store.to_columnar(), ...)
+    .index, path, compressed=False)``, while keeping resident memory
+    bounded by the largest single property plus O(users) bookkeeping
+    vectors, never O(triples).
+
+    Spill files (per-property partitions, the entry file, the sorted
+    runs) live in a temporary directory under ``workdir`` (default: next
+    to ``out_path``, so same-filesystem rename semantics and disk-space
+    accounting apply) and are deleted on exit, success or not.
+    """
+    if isinstance(store, (str, Path)):
+        store = TripleStore.open(store)
+    if budget < 1:
+        raise InvalidInstanceError(f"budget must be >= 1, got {budget}")
+    config = grouping or GroupingConfig()
+    weight_name = _scheme_name(weight_scheme, "LBS")
+    coverage_name = _scheme_name(coverage_scheme, "Single")
+    if weight_name not in _COLUMNAR_WEIGHTS:
+        _columnar_weights(weight_name, np.empty(0, dtype=np.int64), 1, 1)
+    if coverage_name not in _COLUMNAR_COVERAGES:
+        _columnar_coverage(coverage_name, np.empty(0, dtype=np.int64), 1, 1)
+
+    out_path = Path(out_path)
+    n_total = store.n_users
+    labels = store.property_labels
+    n_props = len(labels)
+    user_dtype = np.dtype(store.manifest["columns"]["user_col"]["dtype"])
+    pair_dtype = np.dtype([("u", user_dtype), ("s", "<f8")])
+
+    with TemporaryDirectory(
+        prefix="podium-extbuild-",
+        dir=str(workdir) if workdir is not None else str(out_path.parent),
+    ) as tmp_name:
+        tmp = Path(tmp_name)
+        prop_dir = tmp / "props"
+        prop_dir.mkdir()
+
+        # Stage 1 — partition triples by property (canonical order kept
+        # within each property: per-chunk stable sort + append order).
+        support = np.zeros(n_props, dtype=np.int64)
+        for users_chunk, props_chunk, scores_chunk in store.iter_entries(
+            chunk_entries
+        ):
+            props64 = np.asarray(props_chunk, dtype=np.int64)
+            support += np.bincount(props64, minlength=n_props)
+            by_prop = np.argsort(props64, kind="stable")
+            users_sorted = np.asarray(users_chunk)[by_prop]
+            scores_sorted = np.asarray(scores_chunk)[by_prop]
+            counts = np.bincount(props64[by_prop], minlength=n_props)
+            offsets = np.zeros(n_props + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            for j in np.flatnonzero(counts):
+                lo, hi = int(offsets[j]), int(offsets[j + 1])
+                block = np.empty(hi - lo, dtype=pair_dtype)
+                block["u"] = users_sorted[lo:hi]
+                block["s"] = scores_sorted[lo:hi]
+                with open(prop_dir / f"p{int(j):06d}.bin", "ab") as sink:
+                    sink.write(block.tobytes())
+
+        # Stage 2 — bucketize one property at a time (identical split /
+        # assign / drop-empty decisions as build_columnar_instance),
+        # spilling kept (user, gid) entries in property order.
+        entry_dtype = np.dtype([("u", user_dtype), ("g", "<i4")])
+        entries_path = tmp / "entries.bin"
+        group_keys: list[GroupKey] = []
+        group_buckets: list = []
+        group_sizes: list[int] = []
+        kept_counts: list[int] = []
+        appears = np.zeros(n_total, dtype=bool)
+        with open(entries_path, "wb") as entries_sink:
+            for j, label in enumerate(labels):
+                if support[j] < config.min_support:
+                    continue
+                pair_path = prop_dir / f"p{j:06d}.bin"
+                pairs = (
+                    np.fromfile(pair_path, dtype=pair_dtype)
+                    if pair_path.is_file()
+                    else np.empty(0, dtype=pair_dtype)
+                )
+                scores_j = np.ascontiguousarray(pairs["s"])
+                if config.fixed_splits is not None and not is_boolean(
+                    scores_j
+                ):
+                    buckets = partition_from_splits(config.fixed_splits)
+                else:
+                    buckets = split_scores(
+                        scores_j,
+                        k=config.buckets_per_property,
+                        strategy=config.strategy,
+                    )
+                assignment = assign_bucket_indices(buckets, scores_j)
+                if assignment is None:
+                    assignment = _assign_fallback(buckets, scores_j)
+                counts = np.bincount(
+                    assignment[assignment >= 0], minlength=len(buckets)
+                )
+                gid_map = np.full(len(buckets), -1, dtype=np.int64)
+                for position, bucket in enumerate(buckets):
+                    if config.drop_empty and counts[position] == 0:
+                        continue
+                    gid_map[position] = len(group_keys)
+                    group_keys.append(GroupKey(label, bucket.label))
+                    group_buckets.append(bucket)
+                    group_sizes.append(int(counts[position]))
+                gids = np.where(assignment >= 0, gid_map[assignment], -1)
+                keep = gids >= 0
+                kept_users = pairs["u"][keep]
+                appears[np.asarray(kept_users, dtype=np.int64)] = True
+                block = np.empty(len(kept_users), dtype=entry_dtype)
+                block["u"] = kept_users
+                block["g"] = gids[keep]
+                entries_sink.write(block.tobytes())
+                kept_counts.append(len(kept_users))
+                pair_path.unlink(missing_ok=True)
+
+        n_groups = len(group_keys)
+        if n_groups > np.iinfo(np.int32).max:  # pragma: no cover
+            raise DatasetError(
+                f"{n_groups} groups exceed the int32 entry encoding"
+            )
+        sizes = np.asarray(group_sizes, dtype=np.int64)
+        total_entries = int(sizes.sum())
+        assert total_entries == sum(kept_counts)
+
+        # Stage 3 — dense user ids in sorted-id order.  Pattern stores
+        # (zero-padded fixed-width ids) sort lexicographically exactly
+        # as numerically, so the sort is the identity over `present`;
+        # array stores gather and argsort the present ids (bounded by
+        # the present users, not the triples).
+        present = np.flatnonzero(appears)
+        del appears
+        if store.has_pattern_ids:
+            sorted_rows = present
+            users_np_dtype = np.dtype(f"<U{store.id_width}")
+        else:
+            ids_present = np.asarray(store.user_id_strings(present))
+            id_order = np.argsort(ids_present, kind="stable")
+            sorted_rows = present[id_order]
+            width = (
+                int(np.char.str_len(ids_present).max())
+                if len(ids_present)
+                else 1
+            )
+            users_np_dtype = np.dtype(f"<U{width}")
+        n_users = len(sorted_rows)
+        dense_of_row = np.full(
+            n_total, -1, dtype=id_dtype(max(n_total, 1))
+        )
+        dense_of_row[sorted_rows] = np.arange(
+            n_users, dtype=dense_of_row.dtype
+        )
+
+        # Weights / coverage / exact mass check — before any member is
+        # written, so a non-vectorizable instance fails without output.
+        population = max(n_total, 1)
+        weights = _columnar_weights(weight_name, sizes, budget, population)
+        cov = _columnar_coverage(coverage_name, sizes, budget, population)
+        mass = sum(w * int(s) for w, s in zip(weights, sizes))
+        if mass > _INT64_MAX:
+            raise InvalidInstanceError(
+                "columnar instance weights exceed int64; use the "
+                "dict-based path whose exact big-int fallback handles this"
+            )
+        wei = np.fromiter(weights, dtype=np.int64, count=n_groups)
+
+        u_dtype, g_dtype = id_dtype(n_users), id_dtype(n_groups)
+        degree = np.zeros(n_users, dtype=np.int64)
+        gains = np.zeros(n_users, dtype=np.int64)
+        run_dtype = np.dtype(
+            [("u", np.dtype(u_dtype).newbyteorder("<")), ("g", "<i4")]
+        )
+        runs = SortedRunWriter(tmp / "runs", run_dtype, run_entries)
+
+        archive = zipfile.ZipFile(out_path, "w", zipfile.ZIP_STORED)
+        try:
+            # Stage 4 — stream the g-side CSR straight into the archive.
+            # Group ids increase monotonically across property blocks,
+            # so per-block stable sorts by gid concatenate into the
+            # global stable sort.  The same scan feeds the external sort
+            # (runs), the degree vector and the initial gains.
+            with _npz_member(
+                archive, "g_indices", np.dtype(u_dtype), (total_entries,)
+            ) as sink, open(entries_path, "rb") as entries_source:
+                for kept in kept_counts:
+                    raw = entries_source.read(kept * entry_dtype.itemsize)
+                    block = np.frombuffer(raw, dtype=entry_dtype)
+                    dense_u = dense_of_row[
+                        np.asarray(block["u"], dtype=np.int64)
+                    ].astype(np.int64)
+                    gid = np.asarray(block["g"], dtype=np.int64)
+                    by_gid = np.argsort(gid, kind="stable")
+                    sink.write(dense_u[by_gid].astype(u_dtype).tobytes())
+                    degree += np.bincount(dense_u, minlength=n_users)
+                    np.add.at(gains, dense_u, wei[gid])
+                    runs.append(dense_u, gid)
+            runs.close()
+            entries_path.unlink(missing_ok=True)
+            del dense_of_row
+
+            # Stage 5 — k-way merge the runs into the u-side CSR.
+            merge = KWayMerge(runs.run_paths, runs.run_counts, run_dtype)
+            written = 0
+            with _npz_member(
+                archive, "u_indices", np.dtype(g_dtype), (total_entries,)
+            ) as sink:
+                while (block := merge.next_block()) is not None:
+                    sink.write(block["g"].astype(g_dtype).tobytes())
+                    written += len(block)
+            if written != total_entries:
+                raise DatasetError(
+                    f"external merge emitted {written} of "
+                    f"{total_entries} entries"
+                )
+
+            # Stage 6 — remaining members.  Indptrs come from the
+            # accumulated degree/size vectors; the user-id member is
+            # synthesized (pattern) or gathered (array) in chunks.
+            u_indptr = np.zeros(n_users + 1, dtype=np.int64)
+            np.cumsum(degree, out=u_indptr[1:])
+            g_indptr = np.zeros(n_groups + 1, dtype=np.int64)
+            np.cumsum(sizes, out=g_indptr[1:])
+            if n_users:
+                with _npz_member(
+                    archive, "users", users_np_dtype, (n_users,)
+                ) as sink:
+                    for lo in range(0, n_users, chunk_entries):
+                        rows = sorted_rows[lo:lo + chunk_entries]
+                        ids = store.user_id_strings(rows)
+                        sink.write(
+                            np.ascontiguousarray(
+                                ids, dtype=users_np_dtype
+                            ).tobytes()
+                        )
+            else:
+                _write_member_array(
+                    archive, "users", np.asarray((), dtype=np.str_)
+                )
+            _write_member_array(
+                archive,
+                "key_property",
+                np.asarray(
+                    [k.property_label for k in group_keys], dtype=np.str_
+                ),
+            )
+            _write_member_array(
+                archive,
+                "key_bucket",
+                np.asarray(
+                    [k.bucket_label for k in group_keys], dtype=np.str_
+                ),
+            )
+            _write_member_array(archive, "u_indptr", u_indptr)
+            _write_member_array(archive, "g_indptr", g_indptr)
+            _write_member_array(archive, "cov", cov)
+            _write_member_array(archive, "wei", wei)
+            _write_member_array(archive, "initial_gains", gains)
+            _write_member_array(
+                archive, "format", np.asarray(_INDEX_FORMAT)
+            )
+            _write_member_array(
+                archive,
+                "format_version",
+                np.asarray(CHECKPOINT_VERSION, dtype=np.int64),
+            )
+        finally:
+            archive.close()
+
+    # Stage 7 — checksum what actually landed on disk, then append the
+    # envelope member.  Streaming the archive back means the recorded
+    # CRC covers the written bytes, not an in-memory shadow — and it
+    # equals save_index_npz's checksum of the in-RAM build by parity.
+    crc = streamed_index_checksum(out_path)
+    with zipfile.ZipFile(out_path, "a", zipfile.ZIP_STORED) as archive:
+        _write_member_array(
+            archive, "payload_crc32", np.asarray(crc, dtype=np.uint32)
+        )
+    return ExternalBuildInfo(
+        path=out_path,
+        n_total=n_total,
+        n_users=n_users,
+        n_groups=n_groups,
+        n_entries=total_entries,
+        n_runs=len(runs.run_counts),
+        run_entries=int(run_entries),
+        weight_scheme=weight_name,
+        coverage_scheme=coverage_name,
+        payload_crc32=crc,
+    )

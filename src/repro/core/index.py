@@ -297,6 +297,65 @@ class InstanceIndex:
             weights=weights,
         )
 
+    def take_rows(self, rows: np.ndarray) -> "InstanceIndex":
+        """Small eager sub-index over a subset of user rows.
+
+        The streaming sharded backend's merge round runs here: the union
+        of shard winners (≤ 2·shards·budget rows) is gathered out of the
+        — possibly memory-mapped — parent index into a self-contained
+        index whose resident size is O(union), never O(n).  Groups are
+        kept whole (same keys, coverage and weights) with membership
+        restricted to ``rows``, so every gain the merge round computes
+        equals the parent's gain for the same candidate: greedy over a
+        ``take_rows`` union is exactly greedy over the parent restricted
+        to that union.  ``rows`` must be ascending so the sub-index keeps
+        the sorted-by-id row order the argmax tie-break rides on.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if len(rows) and (np.diff(rows) <= 0).any():
+            raise ValueError("take_rows requires strictly ascending rows")
+        users = tuple(str(self.users[int(r)]) for r in rows)
+        degrees = (self.u_indptr[rows + 1] - self.u_indptr[rows]).astype(
+            np.int64
+        )
+        u_indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(degrees, out=u_indptr[1:])
+        if int(u_indptr[-1]):
+            u_indices = np.concatenate(
+                [
+                    self.u_indices[self.u_indptr[r]:self.u_indptr[r + 1]]
+                    for r in rows
+                ]
+            )
+        else:
+            u_indices = np.empty(0, dtype=self.u_indices.dtype)
+        entry_user = np.repeat(
+            np.arange(len(rows), dtype=id_dtype(max(len(rows), 1))), degrees
+        )
+        order = np.argsort(u_indices, kind="stable")
+        g_indices = entry_user[order]
+        g_indptr = np.zeros(self.n_groups + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(
+                np.asarray(u_indices, dtype=np.int64),
+                minlength=self.n_groups,
+            ),
+            out=g_indptr[1:],
+        )
+        weights = (
+            [int(w) for w in self.wei] if self.wei is not None else None
+        )
+        return InstanceIndex.from_csr(
+            users=users,
+            group_keys=self.group_keys,
+            u_indptr=u_indptr,
+            u_indices=np.asarray(u_indices),
+            g_indptr=g_indptr,
+            g_indices=g_indices,
+            cov=np.array(self.cov, dtype=np.int64),
+            weights=weights,
+        )
+
     # -- row access --------------------------------------------------------
 
     def groups_of_row(self, user_dense_id: int) -> np.ndarray:

@@ -21,8 +21,10 @@ from __future__ import annotations
 
 import json
 import struct
+import warnings
 import zipfile
 import zlib
+from collections.abc import Mapping, Sequence
 from pathlib import Path
 from typing import Any
 
@@ -323,20 +325,21 @@ _MMAP_MEMBERS = (
 _ZIP_LOCAL_HEADER = struct.Struct("<4s22xHH")  # magic, name len, extra len
 
 
-def _mmap_npz_members(
+def _stored_member_layouts(
     path: Path, wanted: tuple[str, ...]
-) -> dict[str, np.ndarray]:
-    """Memory-map the uncompressed ``.npy`` members of an ``.npz`` file.
+) -> dict[str, tuple[int, np.dtype, tuple[int, ...], bool]]:
+    """Locate uncompressed ``.npy`` members inside an ``.npz`` archive.
 
     ``.npz`` is a ZIP archive; a member written by :func:`np.savez` is a
     ``ZIP_STORED`` (uncompressed) ``.npy`` file sitting at a computable
-    byte offset, so its array data can be mapped read-only straight out
-    of the archive with :class:`np.memmap` — no decompression, no heap
-    copy, and the pages are shared between every process that maps the
-    same file.  Members that turn out to be compressed are skipped (the
-    caller falls back to the eagerly-loaded copy for those).
+    byte offset.  For every requested member that is stored verbatim,
+    returns ``(data_offset, dtype, shape, fortran_order)`` — enough to
+    either :class:`np.memmap` the array in place or stream its raw bytes
+    with bounded memory.  Missing or compressed members are simply
+    absent from the result (the caller decides whether that is a
+    fallback or an error).
     """
-    mapped: dict[str, np.ndarray] = {}
+    layouts: dict[str, tuple[int, np.dtype, tuple[int, ...], bool]] = {}
     with zipfile.ZipFile(path) as archive, open(path, "rb") as raw:
         for name in wanted:
             try:
@@ -344,7 +347,7 @@ def _mmap_npz_members(
             except KeyError:
                 continue
             if info.compress_type != zipfile.ZIP_STORED:
-                continue  # deflated member: not mappable, load eagerly
+                continue  # deflated member: not mappable / streamable
             raw.seek(info.header_offset)
             header = raw.read(_ZIP_LOCAL_HEADER.size)
             magic, name_len, extra_len = _ZIP_LOCAL_HEADER.unpack(header)
@@ -371,17 +374,94 @@ def _mmap_npz_members(
                 )
             else:  # pragma: no cover — numpy writes 1.0/2.0 only
                 continue
-            if dtype.hasobject:
-                continue  # object arrays cannot be mapped
-            mapped[name] = np.memmap(
-                path,
-                mode="r",
-                dtype=dtype,
-                shape=shape,
-                order="F" if fortran else "C",
-                offset=raw.tell(),
-            )
+            layouts[name] = (raw.tell(), dtype, tuple(shape), fortran)
+    return layouts
+
+
+def _mmap_npz_members(
+    path: Path, wanted: tuple[str, ...]
+) -> dict[str, np.ndarray]:
+    """Memory-map the uncompressed ``.npy`` members of an ``.npz`` file.
+
+    The array data of a ``ZIP_STORED`` member is mapped read-only
+    straight out of the archive with :class:`np.memmap` — no
+    decompression, no heap copy, and the pages are shared between every
+    process that maps the same file.  Members that turn out to be
+    compressed are skipped (the caller falls back to the eagerly-loaded
+    copy for those).
+    """
+    mapped: dict[str, np.ndarray] = {}
+    for name, (offset, dtype, shape, fortran) in _stored_member_layouts(
+        path, wanted
+    ).items():
+        if dtype.hasobject:
+            continue  # object arrays cannot be mapped
+        mapped[name] = np.memmap(
+            path,
+            mode="r",
+            dtype=dtype,
+            shape=shape,
+            order="F" if fortran else "C",
+            offset=offset,
+        )
     return mapped
+
+
+#: ``.npz`` members that are checkpoint metadata, not array payload —
+#: excluded from the payload checksum.
+_ENVELOPE_MEMBERS = ("format", "format_version", "payload_crc32")
+
+
+def streamed_index_checksum(
+    path: str | Path, chunk_bytes: int = 1 << 22
+) -> int:
+    """Recompute an index checkpoint's payload CRC32 with bounded memory.
+
+    Replays exactly what :func:`_index_checksum` computes over the
+    in-memory arrays — per member (in sorted name order) the
+    ``name:dtype:shape:`` header followed by the raw array bytes — but
+    reads ``ZIP_STORED`` members straight off disk in ``chunk_bytes``
+    slices, so a multi-gigabyte checkpoint verifies without ever being
+    resident.  Compressed members (legacy checkpoints) are decompressed
+    whole as a fallback.
+    """
+    path = Path(path)
+    with zipfile.ZipFile(path) as archive:
+        names = sorted(
+            info.filename[:-4]
+            for info in archive.infolist()
+            if info.filename.endswith(".npy")
+        )
+    names = [name for name in names if name not in _ENVELOPE_MEMBERS]
+    layouts = _stored_member_layouts(path, tuple(names))
+    crc = 0
+    with zipfile.ZipFile(path) as archive, open(path, "rb") as raw:
+        for name in names:
+            layout = layouts.get(name)
+            if layout is None:  # compressed member: no streamable layout
+                with archive.open(f"{name}.npy") as member:
+                    array = np.lib.format.read_array(
+                        member, allow_pickle=False
+                    )
+                array = np.ascontiguousarray(array)
+                header = f"{name}:{array.dtype.str}:{array.shape}:".encode()
+                crc = zlib.crc32(array.tobytes(), zlib.crc32(header, crc))
+                continue
+            offset, dtype, shape, _fortran = layout
+            header = f"{name}:{dtype.str}:{shape}:".encode()
+            crc = zlib.crc32(header, crc)
+            remaining = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+            raw.seek(offset)
+            while remaining > 0:
+                data = raw.read(min(chunk_bytes, remaining))
+                if not data:
+                    raise DatasetError(
+                        f"index checkpoint {path} is truncated inside "
+                        f"member {name!r}"
+                    )
+                crc = zlib.crc32(data, crc)
+                remaining -= len(data)
+    return crc & 0xFFFFFFFF
 
 
 def load_index_npz(path: str | Path, mmap: bool = False) -> InstanceIndex:
@@ -434,7 +514,20 @@ def load_index_npz(path: str | Path, mmap: bool = False) -> InstanceIndex:
         )
         arrays = {name: data[name] for name in _MMAP_MEMBERS}
     if mmap:
-        arrays.update(_mmap_npz_members(path, _MMAP_MEMBERS))
+        mapped = _mmap_npz_members(path, _MMAP_MEMBERS)
+        unmapped = [name for name in _MMAP_MEMBERS if name not in mapped]
+        if unmapped:
+            warnings.warn(
+                f"index checkpoint {path}: member(s) "
+                f"{', '.join(repr(n) for n in unmapped)} are "
+                f"DEFLATE-compressed and cannot be memory-mapped; falling "
+                f"back to eagerly-loaded copies for them.  Re-save the "
+                f"checkpoint with save_index_npz(..., compressed=False) to "
+                f"keep the CSR payload out of private process memory.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        arrays.update(mapped)
     return InstanceIndex(
         users=users,
         user_pos={u: i for i, u in enumerate(users)},
@@ -449,3 +542,183 @@ def load_index_npz(path: str | Path, mmap: bool = False) -> InstanceIndex:
         initial_gains=arrays["initial_gains"],
         vectorizable=True,
     )
+
+
+class LazyUserIds(Sequence):
+    """Read-only user-id sequence over a memory-mapped unicode array.
+
+    Stands in for the eager ``tuple[str, ...]`` on lazily opened
+    indexes: ``len``, indexing, slicing and iteration behave
+    identically, but ids are decoded only when asked for.  At 5M users
+    the eager tuple (plus its inverse dict) costs on the order of a
+    gigabyte of heap — most of the out-of-core RSS budget — while this
+    wrapper holds a single mmap reference.
+    """
+
+    __slots__ = ("_ids",)
+
+    def __init__(self, ids: np.ndarray) -> None:
+        self._ids = ids
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __getitem__(self, item):  # type: ignore[override]
+        if isinstance(item, slice):
+            return tuple(str(u) for u in self._ids[item])
+        return str(self._ids[item])
+
+    def __iter__(self):
+        for u in self._ids:
+            yield str(u)
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return f"LazyUserIds(n={len(self._ids)})"
+
+
+class SortedIdPositions(Mapping):
+    """``user_pos`` stand-in: binary search over the sorted id array.
+
+    Index checkpoints store user ids sorted ascending (that is the row
+    order of the CSR), so the id→row dict can be replaced by
+    :func:`np.searchsorted` against the mapped array — O(log n) per
+    lookup, zero resident copies.  Selection resolves a handful of ids
+    per pick, so the log factor is invisible next to the gain scans.
+    """
+
+    __slots__ = ("_ids",)
+
+    def __init__(self, ids: np.ndarray) -> None:
+        self._ids = ids
+
+    def get(self, key, default=None):
+        ids = self._ids
+        if not isinstance(key, str) or len(ids) == 0:
+            return default
+        if len(key) > ids.dtype.itemsize // 4:
+            # Longer than any stored id: casting for searchsorted would
+            # truncate and could produce a false hit.
+            return default
+        pos = int(np.searchsorted(ids, key))
+        if pos < len(ids) and str(ids[pos]) == key:
+            return pos
+        return default
+
+    def __getitem__(self, key):
+        pos = self.get(key)
+        if pos is None:
+            raise KeyError(key)
+        return pos
+
+    def __contains__(self, key) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __iter__(self):
+        return (str(u) for u in self._ids)
+
+
+#: Members :func:`open_index_npz` maps instead of loading: the CSR
+#: topology, the integer payloads, and — unlike plain ``mmap=True`` —
+#: the fixed-width user-id array itself.
+_LAZY_MEMBERS = _MMAP_MEMBERS + ("users",)
+
+#: Attribute attached to lazily opened indexes recording the checkpoint
+#: they were mapped from, so shard workers can re-open the same file
+#: instead of pickling the index across the fork boundary.
+_SOURCE_PATH_ATTR = "_source_path"
+
+
+def index_source_path(index: InstanceIndex) -> str | None:
+    """Checkpoint path a lazily opened index was mapped from, if any."""
+    return getattr(index, _SOURCE_PATH_ATTR, None)
+
+
+def open_index_npz(path: str | Path, verify: bool = True) -> InstanceIndex:
+    """Open an uncompressed index checkpoint fully memory-mapped.
+
+    :func:`load_index_npz` — even with ``mmap=True`` — first loads every
+    member eagerly (the ``np.load`` pass plus the id tuple and its
+    inverse dict), which at millions of users costs more transient heap
+    than the selection it serves.  This opener never materializes the
+    payload: the small envelope and group-key members are read eagerly,
+    every large member (user ids included) is memory-mapped in place,
+    ``index.users`` becomes a :class:`LazyUserIds` sequence and
+    ``index.user_pos`` a :class:`SortedIdPositions` binary-search
+    mapping.  Resident cost is O(groups), independent of the user count.
+
+    Requires the checkpoint to have been written uncompressed
+    (``save_index_npz(..., compressed=False)`` or
+    :func:`~repro.core.external.build_index_external`); compressed
+    members raise a :class:`DatasetError` instead of silently ballooning
+    the heap.  ``verify=True`` replays the payload CRC32 with
+    bounded-memory streaming reads before anything is mapped.
+    """
+    path = Path(path)
+    with zipfile.ZipFile(path) as archive:
+        names = {
+            info.filename[:-4]
+            for info in archive.infolist()
+            if info.filename.endswith(".npy")
+        }
+
+        def read_small(name: str) -> np.ndarray:
+            with archive.open(f"{name}.npy") as member:
+                return np.lib.format.read_array(member, allow_pickle=False)
+
+        if "format" not in names or str(read_small("format")) != _INDEX_FORMAT:
+            raise DatasetError(
+                f"{path} is not an index checkpoint "
+                f"(missing format {_INDEX_FORMAT!r})"
+            )
+        stored_crc: int | None = None
+        if "format_version" in names:
+            version = int(read_small("format_version"))
+            if version > CHECKPOINT_VERSION:
+                raise DatasetError(
+                    f"index checkpoint format_version {version} is newer "
+                    f"than this reader (supports <= {CHECKPOINT_VERSION}); "
+                    f"upgrade to load it"
+                )
+            stored_crc = int(read_small("payload_crc32"))
+        key_property = read_small("key_property")
+        key_bucket = read_small("key_bucket")
+    if verify and stored_crc is not None:
+        actual = streamed_index_checksum(path)
+        if actual != stored_crc:
+            raise DatasetError(
+                f"index checkpoint checksum mismatch (stored {stored_crc}, "
+                f"computed {actual}): the file is corrupted or truncated"
+            )
+    mapped = _mmap_npz_members(path, _LAZY_MEMBERS)
+    unmapped = [name for name in _LAZY_MEMBERS if name not in mapped]
+    if unmapped:
+        raise DatasetError(
+            f"open_index_npz needs every large member ZIP_STORED, but "
+            f"{', '.join(repr(n) for n in unmapped)} of {path} are "
+            f"compressed or missing — rewrite the checkpoint with "
+            f"save_index_npz(..., compressed=False), or use load_index_npz "
+            f"for an eager load"
+        )
+    group_keys = tuple(
+        GroupKey(str(p), str(b)) for p, b in zip(key_property, key_bucket)
+    )
+    ids = mapped["users"]
+    index = InstanceIndex(
+        users=LazyUserIds(ids),
+        user_pos=SortedIdPositions(ids),
+        group_keys=group_keys,
+        group_pos={key: gid for gid, key in enumerate(group_keys)},
+        u_indptr=mapped["u_indptr"],
+        u_indices=mapped["u_indices"],
+        g_indptr=mapped["g_indptr"],
+        g_indices=mapped["g_indices"],
+        cov=mapped["cov"],
+        wei=mapped["wei"],
+        initial_gains=mapped["initial_gains"],
+        vectorizable=True,
+    )
+    object.__setattr__(index, _SOURCE_PATH_ATTR, str(path))
+    return index

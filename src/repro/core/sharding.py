@@ -77,3 +77,73 @@ def solve_shards(
             return list(executor.map(_solve_shard, range(len(pools))))
     finally:
         _PARENT = None
+
+
+#: Parent payload for range-sharded solves: ``{"solve", "bounds",
+#: "path", "index"}``.  When ``path`` is set (the index was opened from
+#: an ``.npz`` checkpoint), ``index`` is ``None`` in the parent and each
+#: forked worker lazily re-opens its *own* mapping of the checkpoint —
+#: the worker then touches only the pages of its row range, so resident
+#: memory per worker is O(shard), not O(n).
+_RANGE_PARENT: dict | None = None
+
+
+def _solve_range_shard(shard: int):
+    """Worker entry point: solve one contiguous row range."""
+    payload = _RANGE_PARENT
+    assert payload is not None, "worker forked without parent payload"
+    index = payload.get("index")
+    if index is None:
+        from .persistence import open_index_npz
+
+        # The parent already verified the checkpoint when it opened it;
+        # re-verifying per worker would stream the whole file S times.
+        index = open_index_npz(payload["path"], verify=False)
+        payload["index"] = index  # cached for this worker's later tasks
+    lo, hi = payload["bounds"][shard]
+    return payload["solve"](index, lo, hi)
+
+
+def solve_range_shards(
+    solve: Callable,
+    index,
+    bounds: Sequence[tuple[int, int]],
+    jobs: int | None = 1,
+) -> list:
+    """Apply ``solve(index, lo, hi)`` to contiguous row ranges.
+
+    The range-sharded twin of :func:`solve_shards` for indexes whose
+    rows — not candidate-id lists — define the shards.  ``solve`` must
+    be deterministic so serial and parallel execution agree.  When the
+    index carries a source checkpoint path
+    (:func:`repro.core.persistence.open_index_npz` attaches one), forked
+    workers do not reuse the parent's mapping at all: each re-opens the
+    checkpoint lazily and pages in only its own range, keeping the whole
+    process tree's unique resident memory at O(shard) per worker.
+    In-RAM indexes fall back to plain copy-on-write inheritance.
+    """
+    bounds = list(bounds)
+    jobs = normalize_jobs(jobs)
+    if jobs <= 1 or len(bounds) <= 1 or not _fork_available():
+        return [solve(index, lo, hi) for lo, hi in bounds]
+
+    from .persistence import index_source_path
+
+    path = index_source_path(index)
+    global _RANGE_PARENT
+    _RANGE_PARENT = {
+        "solve": solve,
+        "bounds": bounds,
+        "path": path,
+        "index": None if path is not None else index,
+    }
+    try:
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(bounds)), mp_context=context
+        ) as executor:
+            return list(
+                executor.map(_solve_range_shard, range(len(bounds)))
+            )
+    finally:
+        _RANGE_PARENT = None

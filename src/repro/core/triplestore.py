@@ -1,0 +1,450 @@
+"""On-disk ``(user, property, score)`` triple store — out-of-core input.
+
+The columnar pipeline's in-RAM input is :class:`ColumnarProfiles`: three
+parallel numpy columns plus a user-id array.  At 5–10M users those
+columns are still only a few hundred megabytes, but every *producer*
+(the synthetic generator) and *consumer* (the index builder) of the
+in-RAM form concatenates, sorts and copies them several times over —
+that transient footprint is what keeps the scale bench under 1M users.
+
+This module is the disk-backed twin: each column lives in its own raw
+little-endian array file next to a small JSON manifest recording dtypes,
+entry counts and per-column CRC32 checksums.  Producers append
+fixed-size chunks through :class:`TripleStoreWriter` (checksums are
+accumulated incrementally, so finalizing never re-reads the data);
+consumers memory-map the columns read-only through :class:`TripleStore`
+and stream them in bounded chunks.  User ids are *not* materialized: the
+manifest stores either a ``pattern`` spec (prefix + zero-pad width, the
+synthetic generator's ``u0000042`` scheme) from which any id can be
+synthesized on demand, or a fixed-width unicode array file for
+migrated populations.
+
+``repro store inspect`` reports these manifests (entry counts, dtypes,
+checksum status) alongside WAL/snapshot state — see
+:func:`inspect_triple_store` / :func:`find_triple_stores`.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+import numpy as np
+
+from .errors import DatasetError
+from .index import id_dtype
+
+TRIPLES_FORMAT = "podium-triples-v1"
+TRIPLES_VERSION = 1
+
+#: Manifest file name; its presence is what marks a directory as a
+#: triple store for discovery (:func:`find_triple_stores`).
+MANIFEST_NAME = "triples.json"
+
+#: Column names every store carries, in canonical order.
+COLUMN_NAMES = ("user_col", "prop_col", "score_col")
+
+#: Chunk size (bytes) for streaming checksum verification.
+_VERIFY_CHUNK = 1 << 22
+
+
+def _little_endian(dtype: np.dtype) -> np.dtype:
+    """Force an explicit little-endian byte order so files are portable."""
+    dtype = np.dtype(dtype)
+    if dtype.byteorder == ">":
+        raise DatasetError("triple stores are little-endian only")
+    return dtype.newbyteorder("<")
+
+
+@dataclass(frozen=True)
+class _ColumnSpec:
+    file: str
+    dtype: np.dtype
+    count: int
+    crc32: int
+
+
+class TripleStoreWriter:
+    """Append-only writer spilling triple columns to a directory.
+
+    Columns are independent append streams (the generator writes
+    ``user_col``/``prop_col`` in its first pass and ``score_col`` in its
+    second), each checksummed as it is written.  :meth:`finalize`
+    validates that the three columns are parallel and writes the
+    manifest; the directory is not a valid store before that.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        n_users: int,
+        property_labels: tuple[str, ...],
+        user_ids: np.ndarray | None = None,
+        id_prefix: str = "u",
+        id_width: int | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if n_users < 0:
+            raise DatasetError(f"n_users must be >= 0, got {n_users}")
+        self.n_users = n_users
+        self.property_labels = tuple(str(p) for p in property_labels)
+        self._dtypes = {
+            "user_col": _little_endian(id_dtype(max(n_users, 1))),
+            "prop_col": _little_endian(
+                id_dtype(max(len(self.property_labels), 1))
+            ),
+            "score_col": _little_endian(np.float64),
+        }
+        self._counts = dict.fromkeys(COLUMN_NAMES, 0)
+        self._crcs = dict.fromkeys(COLUMN_NAMES, 0)
+        self._handles = {
+            name: open(self.directory / f"{name}.bin", "wb")
+            for name in COLUMN_NAMES
+        }
+        self._user_ids = user_ids
+        if user_ids is not None:
+            self._id_spec: dict[str, Any] = {"kind": "array"}
+        else:
+            width = (
+                id_width
+                if id_width is not None
+                else max(6, len(str(max(n_users - 1, 0))))
+            )
+            self._id_spec = {
+                "kind": "pattern",
+                "prefix": id_prefix,
+                "width": width,
+            }
+        self._finalized = False
+
+    def append(self, column: str, chunk: np.ndarray) -> None:
+        """Append one chunk to ``column``, casting to the column dtype."""
+        if self._finalized:
+            raise DatasetError("triple store writer already finalized")
+        if column not in COLUMN_NAMES:
+            raise DatasetError(f"unknown triple column {column!r}")
+        data = np.ascontiguousarray(chunk, dtype=self._dtypes[column])
+        raw = data.tobytes()
+        self._handles[column].write(raw)
+        self._crcs[column] = zlib.crc32(raw, self._crcs[column])
+        self._counts[column] += len(data)
+
+    def column_dtype(self, column: str) -> np.dtype:
+        """The on-disk dtype a column's chunks are cast to."""
+        return self._dtypes[column]
+
+    def count(self, column: str) -> int:
+        """Entries appended to ``column`` so far."""
+        return self._counts[column]
+
+    def flush(self) -> None:
+        """Flush the column files so already-appended data is readable.
+
+        The generator's two-pass score stream relies on this: after the
+        first pass it memory-maps the (complete) ``prop_col.bin`` to know
+        which entries are boolean while ``score_col`` is still open.
+        """
+        for handle in self._handles.values():
+            handle.flush()
+
+    def column_path(self, column: str) -> Path:
+        return self.directory / f"{column}.bin"
+
+    def finalize(self) -> "TripleStore":
+        """Close the column files, write the manifest, open the store."""
+        if self._finalized:
+            raise DatasetError("triple store writer already finalized")
+        self._finalized = True
+        for handle in self._handles.values():
+            handle.close()
+        counts = set(self._counts.values())
+        if len(counts) != 1:
+            raise DatasetError(
+                f"triple columns are not parallel: {self._counts}"
+            )
+        manifest: dict[str, Any] = {
+            "format": TRIPLES_FORMAT,
+            "format_version": TRIPLES_VERSION,
+            "n_users": self.n_users,
+            "n_entries": self._counts["user_col"],
+            "property_labels": list(self.property_labels),
+            "user_ids": dict(self._id_spec),
+            "columns": {
+                name: {
+                    "file": f"{name}.bin",
+                    "dtype": self._dtypes[name].str,
+                    "count": self._counts[name],
+                    "crc32": self._crcs[name],
+                }
+                for name in COLUMN_NAMES
+            },
+        }
+        if self._user_ids is not None:
+            ids = np.asarray(self._user_ids, dtype=np.str_)
+            ids = np.ascontiguousarray(ids, dtype=_little_endian(ids.dtype))
+            if len(ids) != self.n_users:
+                raise DatasetError(
+                    f"user_ids has {len(ids)} entries, expected {self.n_users}"
+                )
+            raw = ids.tobytes()
+            (self.directory / "user_ids.bin").write_bytes(raw)
+            manifest["user_ids"].update(
+                {
+                    "file": "user_ids.bin",
+                    "dtype": ids.dtype.str,
+                    "count": len(ids),
+                    "crc32": zlib.crc32(raw) & 0xFFFFFFFF,
+                }
+            )
+        (self.directory / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=1) + "\n"
+        )
+        return TripleStore.open(self.directory)
+
+
+class TripleStore:
+    """Read-only, memory-mapped view of a spilled triple-column set."""
+
+    def __init__(self, directory: Path, manifest: dict[str, Any]) -> None:
+        self.directory = directory
+        self.manifest = manifest
+
+    @classmethod
+    def open(cls, directory: str | Path) -> "TripleStore":
+        directory = Path(directory)
+        path = directory / MANIFEST_NAME
+        if not path.is_file():
+            raise DatasetError(f"{directory} has no {MANIFEST_NAME} manifest")
+        try:
+            manifest = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise DatasetError(
+                f"triple-store manifest {path} is not valid JSON: {exc}"
+            ) from exc
+        if manifest.get("format") != TRIPLES_FORMAT:
+            raise DatasetError(
+                f"expected format {TRIPLES_FORMAT!r}, "
+                f"got {manifest.get('format')!r}"
+            )
+        version = manifest.get("format_version")
+        if not isinstance(version, int) or version > TRIPLES_VERSION:
+            raise DatasetError(
+                f"triple-store format_version {version!r} is newer than "
+                f"this reader (supports <= {TRIPLES_VERSION})"
+            )
+        return cls(directory, manifest)
+
+    # -- shape -------------------------------------------------------------
+
+    @property
+    def n_users(self) -> int:
+        return int(self.manifest["n_users"])
+
+    @property
+    def n_entries(self) -> int:
+        return int(self.manifest["n_entries"])
+
+    @property
+    def property_labels(self) -> tuple[str, ...]:
+        return tuple(self.manifest["property_labels"])
+
+    # -- columns -----------------------------------------------------------
+
+    def column(self, name: str) -> np.ndarray:
+        """Memory-map one triple column read-only (no heap copy)."""
+        spec = self.manifest["columns"].get(name)
+        if spec is None:
+            raise DatasetError(f"unknown triple column {name!r}")
+        dtype = np.dtype(spec["dtype"])
+        count = int(spec["count"])
+        if count == 0:
+            return np.empty(0, dtype=dtype)
+        return np.memmap(
+            self.directory / spec["file"], mode="r", dtype=dtype, shape=(count,)
+        )
+
+    def iter_entries(
+        self, chunk_entries: int = 1 << 20
+    ) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield parallel ``(user, prop, score)`` slices of bounded size."""
+        user = self.column("user_col")
+        prop = self.column("prop_col")
+        score = self.column("score_col")
+        for lo in range(0, self.n_entries, chunk_entries):
+            hi = min(lo + chunk_entries, self.n_entries)
+            yield user[lo:hi], prop[lo:hi], score[lo:hi]
+
+    # -- user ids ----------------------------------------------------------
+
+    @property
+    def id_spec(self) -> dict[str, Any]:
+        return self.manifest["user_ids"]
+
+    @property
+    def has_pattern_ids(self) -> bool:
+        return self.id_spec.get("kind") == "pattern"
+
+    @property
+    def id_width(self) -> int:
+        """Characters per user id (pattern: prefix + zero-padded digits)."""
+        spec = self.id_spec
+        if self.has_pattern_ids:
+            return len(spec["prefix"]) + int(spec["width"])
+        return np.dtype(spec["dtype"]).itemsize // 4
+
+    def user_id_strings(self, rows: np.ndarray) -> np.ndarray:
+        """Fixed-width unicode ids of the given user rows.
+
+        Pattern stores synthesize the strings (no id file exists at all);
+        array stores gather from the mmap'd id file.  Costs
+        ``O(len(rows))`` — callers stream row chunks, never all users.
+        """
+        rows = np.asarray(rows)
+        spec = self.id_spec
+        if self.has_pattern_ids:
+            ids = np.char.add(
+                spec["prefix"],
+                np.char.zfill(rows.astype(np.int64).astype(str), int(spec["width"])),
+            )
+            return ids.astype(f"<U{self.id_width}")
+        return np.asarray(self._user_id_array()[rows])
+
+    def _user_id_array(self) -> np.ndarray:
+        spec = self.id_spec
+        if self.has_pattern_ids:
+            raise DatasetError("pattern stores materialize no id array")
+        dtype = np.dtype(spec["dtype"])
+        count = int(spec["count"])
+        if count == 0:
+            return np.empty(0, dtype=dtype)
+        return np.memmap(
+            self.directory / spec["file"], mode="r", dtype=dtype, shape=(count,)
+        )
+
+    # -- integrity ---------------------------------------------------------
+
+    def verify_checksums(self) -> dict[str, bool]:
+        """Recompute every column CRC32 with bounded-memory file reads."""
+        results: dict[str, bool] = {}
+        specs = dict(self.manifest["columns"])
+        if not self.has_pattern_ids:
+            specs["user_ids"] = self.id_spec
+        for name, spec in specs.items():
+            crc = 0
+            with open(self.directory / spec["file"], "rb") as handle:
+                while chunk := handle.read(_VERIFY_CHUNK):
+                    crc = zlib.crc32(chunk, crc)
+            results[name] = (crc & 0xFFFFFFFF) == int(spec["crc32"])
+        return results
+
+    # -- conversion --------------------------------------------------------
+
+    def to_columnar(self):
+        """Materialize the in-RAM :class:`ColumnarProfiles` twin.
+
+        This deliberately reverses the spill — it loads every column (and
+        every user id) into private memory, so it is for parity tests and
+        small migrations only, never the out-of-core hot path.
+        """
+        from .columnar import ColumnarProfiles
+
+        if self.has_pattern_ids:
+            ids = self.user_id_strings(np.arange(self.n_users))
+        else:
+            ids = np.asarray(self._user_id_array())
+        return ColumnarProfiles(
+            user_ids=ids.astype(object),
+            property_labels=self.property_labels,
+            user_col=np.asarray(self.column("user_col"), dtype=np.int64),
+            prop_col=np.asarray(self.column("prop_col"), dtype=np.int64),
+            score_col=np.asarray(self.column("score_col"), dtype=np.float64),
+        )
+
+
+def write_columns(
+    profiles, directory: str | Path, chunk_entries: int = 1 << 20
+) -> TripleStore:
+    """Spill an in-RAM :class:`ColumnarProfiles` into a triple store.
+
+    The migration path for populations that already fit in memory;
+    column-native producers (the synthetic generator's spill mode) write
+    through :class:`TripleStoreWriter` directly instead.
+    """
+    writer = TripleStoreWriter(
+        directory,
+        n_users=profiles.n_users,
+        property_labels=profiles.property_labels,
+        user_ids=np.asarray(profiles.user_ids, dtype=np.str_),
+    )
+    m = profiles.n_entries
+    for lo in range(0, m, chunk_entries):
+        hi = min(lo + chunk_entries, m)
+        writer.append("user_col", profiles.user_col[lo:hi])
+        writer.append("prop_col", profiles.prop_col[lo:hi])
+        writer.append("score_col", profiles.score_col[lo:hi])
+    if m == 0:
+        pass  # manifest still records the (empty) parallel columns
+    return writer.finalize()
+
+
+def inspect_triple_store(
+    directory: str | Path, verify: bool = True
+) -> dict[str, Any]:
+    """One-store summary for ``repro store inspect`` (read-only).
+
+    Malformed manifests are reported as ``{"path", "error"}`` instead of
+    raising — an inspection tool must describe a broken directory, not
+    crash on it.
+    """
+    directory = Path(directory)
+    try:
+        store = TripleStore.open(directory)
+    except DatasetError as exc:
+        return {"path": str(directory), "error": str(exc)}
+    summary: dict[str, Any] = {
+        "path": str(directory),
+        "format": store.manifest["format"],
+        "format_version": store.manifest["format_version"],
+        "n_users": store.n_users,
+        "n_entries": store.n_entries,
+        "n_properties": len(store.property_labels),
+        "user_ids": (
+            f"pattern({store.id_spec['prefix']}, width={store.id_spec['width']})"
+            if store.has_pattern_ids
+            else f"array({store.id_spec['dtype']})"
+        ),
+        "columns": {
+            name: {"dtype": spec["dtype"], "count": spec["count"]}
+            for name, spec in store.manifest["columns"].items()
+        },
+    }
+    if verify:
+        try:
+            checks = store.verify_checksums()
+        except OSError as exc:
+            summary["checksums"] = f"error: {exc}"
+        else:
+            bad = sorted(name for name, ok in checks.items() if not ok)
+            summary["checksums"] = (
+                "ok" if not bad else f"mismatch: {', '.join(bad)}"
+            )
+    else:
+        summary["checksums"] = "skipped"
+    return summary
+
+
+def find_triple_stores(root: str | Path) -> list[Path]:
+    """Triple-store directories at ``root`` or one level below it."""
+    root = Path(root)
+    found: list[Path] = []
+    if (root / MANIFEST_NAME).is_file():
+        found.append(root)
+    if root.is_dir():
+        for child in sorted(root.iterdir()):
+            if child.is_dir() and (child / MANIFEST_NAME).is_file():
+                found.append(child)
+    return found

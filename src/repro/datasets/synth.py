@@ -369,6 +369,7 @@ def generate_profile_columns(
     seed: int = 0,
     boolean_fraction: float = 0.3,
     chunk: int = 16384,
+    store_dir=None,
 ):
     """Generate a population directly as triple columns — the scale path.
 
@@ -385,6 +386,17 @@ def generate_profile_columns(
     exactly ``size`` distinct properties with the correct (successive
     softmax) probabilities.  Users are processed in ``chunk``-row blocks
     to bound the ``(chunk, n_properties)`` noise matrix.
+
+    With ``store_dir`` set, chunks spill straight into an on-disk
+    :class:`~repro.core.triplestore.TripleStore` at that directory
+    instead of concatenating in RAM, and the store is returned.  Peak
+    memory is then bounded by the chunk size regardless of ``n_users``
+    (the out-of-core tier's entry point), and the spilled triples are
+    byte-identical to the in-RAM columns for the same arguments: numpy's
+    ``Generator`` draws the same stream whether a distribution is
+    sampled in one call or chunked, so the spill path replays the exact
+    in-RAM draw order (sizes+keys per user chunk, then all coin flips,
+    then all betas).
 
     Deterministic for a given ``(args, seed)`` pair, but the stream
     differs from :func:`generate_profile_repository` — the two generators
@@ -406,6 +418,19 @@ def generate_profile_columns(
     popularity = 1.0 / np.arange(1, n_properties + 1) ** 0.8
     popularity /= popularity.sum()
     log_pop = np.log(popularity)
+
+    if store_dir is not None:
+        return _spill_profile_columns(
+            n_users,
+            n_properties,
+            mean_profile_size,
+            rng,
+            labels,
+            is_bool,
+            log_pop,
+            chunk,
+            store_dir,
+        )
 
     user_parts: list[np.ndarray] = []
     prop_parts: list[np.ndarray] = []
@@ -441,6 +466,80 @@ def generate_profile_columns(
         prop_col=prop_col,
         score_col=score_col,
     )
+
+
+def _spill_profile_columns(
+    n_users: int,
+    n_properties: int,
+    mean_profile_size: float,
+    rng: np.random.Generator,
+    labels: tuple[str, ...],
+    is_bool: np.ndarray,
+    log_pop: np.ndarray,
+    chunk: int,
+    store_dir,
+):
+    """Spill-to-disk tail of :func:`generate_profile_columns`.
+
+    Streams ``(user, prop)`` chunks into the store's column files during
+    the Gumbel top-k pass, then scores in two more bounded passes that
+    replay the in-RAM draw order exactly: every 0/1 coin flip is drawn
+    (and parked in a temp file) before the first Beta variate, because
+    the concatenating path draws ``integers(0, 2, size=m)`` in full
+    before ``beta(2, 2, size=m)``.
+    """
+    from pathlib import Path
+
+    from ..core.triplestore import TripleStoreWriter
+
+    writer = TripleStoreWriter(
+        store_dir, n_users=n_users, property_labels=labels
+    )
+    for start in range(0, n_users, chunk):
+        rows = min(chunk, n_users - start)
+        sizes = np.clip(
+            rng.poisson(mean_profile_size, size=rows), 1, n_properties
+        )
+        keys = log_pop[None, :] + rng.gumbel(size=(rows, n_properties))
+        order = np.argsort(-keys, axis=1, kind="stable")
+        take = np.arange(n_properties)[None, :] < sizes[:, None]
+        writer.append("prop_col", order[take])
+        writer.append(
+            "user_col",
+            np.repeat(np.arange(start, start + rows, dtype=np.int64), sizes),
+        )
+    writer.flush()
+    m = writer.count("prop_col")
+
+    entry_chunk = max(chunk * 8, 1 << 16)
+    flips_path = Path(store_dir) / "tmp_flips.u1"
+    with open(flips_path, "wb") as tmp:
+        for lo in range(0, m, entry_chunk):
+            count = min(entry_chunk, m - lo)
+            tmp.write(
+                rng.integers(0, 2, size=count).astype(np.uint8).tobytes()
+            )
+    if m:
+        prop_view = np.memmap(
+            writer.column_path("prop_col"),
+            mode="r",
+            dtype=writer.column_dtype("prop_col"),
+            shape=(m,),
+        )
+        flips = np.memmap(flips_path, mode="r", dtype=np.uint8, shape=(m,))
+        for lo in range(0, m, entry_chunk):
+            hi = min(lo + entry_chunk, m)
+            betas = rng.beta(2.0, 2.0, size=hi - lo)
+            props = np.asarray(prop_view[lo:hi], dtype=np.int64)
+            writer.append(
+                "score_col",
+                np.where(
+                    is_bool[props], flips[lo:hi].astype(np.float64), betas
+                ),
+            )
+        del prop_view, flips
+    flips_path.unlink()
+    return writer.finalize()
 
 
 def _sample_useful_votes(

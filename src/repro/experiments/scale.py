@@ -29,14 +29,22 @@ import resource
 import sys
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
+from tempfile import TemporaryDirectory
 
 import numpy as np
 
 from ..core.columnar import build_columnar_instance, columnar_to_repository
-from ..core.greedy import select_from_index
+from ..core.external import build_index_external
+from ..core.greedy import select_from_index, select_sharded_streaming
 from ..core.groups import GroupingConfig, build_simple_groups
 from ..core.index import instance_index
 from ..core.instance import build_instance
+from ..core.persistence import (
+    open_index_npz,
+    save_index_npz,
+    streamed_index_checksum,
+)
 from ..datasets.synth import generate_profile_columns
 
 #: Minimum acceptable score ratio of an approximate backend vs exact
@@ -60,14 +68,169 @@ class ScaleSetup:
     #: columnar-vs-dict speedup is measured at the largest common size).
     dict_cap: int = 250_000
     grouping: GroupingConfig = field(default_factory=GroupingConfig)
+    #: Out-of-core mode: spill generation to a triple store, build the
+    #: index with the external sorter, select off the mapped checkpoint.
+    out_of_core: bool = False
+    #: Enforced peak-RSS ceiling (MiB) over the whole process tree; rows
+    #: exceeding it fail :func:`scale_report_failures`.  ``None`` = track
+    #: but don't gate.
+    rss_cap_mb: float | None = None
+    #: External-sort run size (entries) for the out-of-core builder.
+    run_entries: int = 1 << 21
+    #: Where out-of-core rows put their spill/artifact directory
+    #: (``None``: the system temp dir).
+    workdir: str | None = None
 
 
-def _peak_rss_mb() -> float:
-    """Peak resident set size of this process, in MiB (Linux: KiB units)."""
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+def _rss_mb(raw: int) -> float:
     if sys.platform == "darwin":  # pragma: no cover - ru_maxrss in bytes
-        return peak / (1024.0 * 1024.0)
-    return peak / 1024.0
+        return raw / (1024.0 * 1024.0)
+    return raw / 1024.0  # Linux reports KiB
+
+
+def _peak_rss_tree_mb() -> dict[str, float]:
+    """Peak RSS of this process *and* its reaped children, in MiB.
+
+    ``RUSAGE_SELF`` alone silently misses the sharded backends' forked
+    workers — exactly the processes whose footprint the out-of-core tier
+    exists to bound.  ``RUSAGE_CHILDREN`` is the maximum over children
+    that have been waited for; the shard executors join their workers
+    before returning, so by the time a row is recorded every worker peak
+    is visible.  ``max`` (the gated figure) bounds the largest single
+    process in the tree.
+    """
+    self_mb = _rss_mb(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    children_mb = _rss_mb(
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    )
+    return {
+        "self": self_mb,
+        "children": children_mb,
+        "max": max(self_mb, children_mb),
+    }
+
+
+def _out_of_core_row(setup: ScaleSetup, n_users: int) -> dict:
+    """One bench row through the disk-backed tier.
+
+    spill-generate → external-sort build → mmap open → matrix /
+    streaming-sharded / stochastic selection, everything off the mapped
+    checkpoint.  At sizes within ``dict_cap`` the in-RAM columnar twin
+    is also built and the two artifacts are proven byte-identical via
+    their payload checksums (``index_crc_match``) on top of the
+    selection-equality check.
+    """
+    with TemporaryDirectory(
+        prefix="podium-scale-ooc-", dir=setup.workdir
+    ) as tmp_name:
+        tmp = Path(tmp_name)
+        start = time.perf_counter()
+        store = generate_profile_columns(
+            n_users=n_users,
+            n_properties=setup.n_properties,
+            mean_profile_size=setup.mean_profile_size,
+            seed=setup.seed,
+            store_dir=tmp / "store",
+        )
+        generate_seconds = time.perf_counter() - start
+
+        index_path = tmp / "index.npz"
+        start = time.perf_counter()
+        info = build_index_external(
+            store,
+            setup.budget,
+            index_path,
+            grouping=setup.grouping,
+            run_entries=setup.run_entries,
+        )
+        build_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        index = open_index_npz(index_path)
+        open_seconds = time.perf_counter() - start
+
+        selections_match = None
+        index_crc_match = None
+        ram_exact = None
+        if n_users <= setup.dict_cap:
+            # In-RAM twin: same args (chunk included) generate identical
+            # triples, so the external artifact must checksum-match the
+            # in-RAM build's uncompressed checkpoint byte for byte.
+            columns = generate_profile_columns(
+                n_users=n_users,
+                n_properties=setup.n_properties,
+                mean_profile_size=setup.mean_profile_size,
+                seed=setup.seed,
+            )
+            columnar = build_columnar_instance(
+                columns, setup.budget, grouping=setup.grouping
+            )
+            ram_path = tmp / "ram.npz"
+            save_index_npz(columnar.index, ram_path, compressed=False)
+            index_crc_match = (
+                streamed_index_checksum(ram_path) == info.payload_crc32
+            )
+            ram_exact = select_from_index(
+                columnar.index, setup.budget, method="matrix"
+            )
+            del columnar, columns
+            gc.collect()
+
+        select_seconds: dict[str, float] = {}
+        start = time.perf_counter()
+        exact = select_from_index(index, setup.budget, method="matrix")
+        select_seconds["matrix"] = time.perf_counter() - start
+        if ram_exact is not None:
+            selections_match = ram_exact.selected == exact.selected
+
+        start = time.perf_counter()
+        sharded = select_sharded_streaming(
+            index, setup.budget, shards=setup.shards, jobs=setup.jobs
+        )
+        select_seconds["sharded"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        stochastic = select_from_index(
+            index,
+            setup.budget,
+            method="stochastic",
+            epsilon=setup.epsilon,
+            rng=np.random.default_rng(setup.seed),
+        )
+        select_seconds["stochastic"] = time.perf_counter() - start
+
+        exact_score = int(exact.score)
+        store_bytes = sum(
+            p.stat().st_size for p in (tmp / "store").iterdir()
+        )
+        rss = _peak_rss_tree_mb()
+        return {
+            "users": n_users,
+            "mode": "out_of_core",
+            "entries": info.n_entries,
+            "groups": info.n_groups,
+            "runs": info.n_runs,
+            "generate_seconds": generate_seconds,
+            "external_build_seconds": build_seconds,
+            "open_seconds": open_seconds,
+            "store_bytes": store_bytes,
+            "index_bytes": index_path.stat().st_size,
+            "index_crc_match": index_crc_match,
+            "selections_match": selections_match,
+            "select_seconds": select_seconds,
+            "exact_score": exact_score,
+            "quality_ratio": {
+                "sharded": (
+                    sharded.score / exact_score if exact_score else 1.0
+                ),
+                "stochastic": (
+                    stochastic.score / exact_score if exact_score else 1.0
+                ),
+            },
+            "peak_rss_mb": rss["max"],
+            "peak_rss_self_mb": rss["self"],
+            "peak_rss_children_mb": rss["children"],
+        }
 
 
 def benchmark_scale_path(setup: ScaleSetup | None = None) -> dict:
@@ -79,6 +242,9 @@ def benchmark_scale_path(setup: ScaleSetup | None = None) -> dict:
         # objects behind; reclaim them so GC churn and allocator
         # fragmentation don't bleed into this row's timings.
         gc.collect()
+        if setup.out_of_core:
+            rows.append(_out_of_core_row(setup, n_users))
+            continue
         start = time.perf_counter()
         columns = generate_profile_columns(
             n_users=n_users,
@@ -149,8 +315,10 @@ def benchmark_scale_path(setup: ScaleSetup | None = None) -> dict:
                 stochastic.score / exact_score if exact_score else 1.0
             ),
         }
+        rss = _peak_rss_tree_mb()
         row = {
             "users": n_users,
+            "mode": "in_ram",
             "entries": columns.n_entries,
             "groups": index.n_groups,
             "generate_seconds": generate_seconds,
@@ -165,7 +333,9 @@ def benchmark_scale_path(setup: ScaleSetup | None = None) -> dict:
             "select_seconds": select_seconds,
             "exact_score": exact_score,
             "quality_ratio": quality_ratio,
-            "peak_rss_mb": _peak_rss_mb(),
+            "peak_rss_mb": rss["max"],
+            "peak_rss_self_mb": rss["self"],
+            "peak_rss_children_mb": rss["children"],
         }
         rows.append(row)
     return {
@@ -178,6 +348,9 @@ def benchmark_scale_path(setup: ScaleSetup | None = None) -> dict:
         "jobs": setup.jobs,
         "epsilon": setup.epsilon,
         "dict_cap": setup.dict_cap,
+        "out_of_core": setup.out_of_core,
+        "rss_cap_mb": setup.rss_cap_mb,
+        "run_entries": setup.run_entries,
         "quality_floor": QUALITY_FLOOR,
         "rows": rows,
     }
@@ -187,15 +360,24 @@ def scale_report_failures(report: dict) -> list[str]:
     """Acceptance checks over a scale report; empty list means all green.
 
     Enforced: every approximate backend stays at or above
-    :data:`QUALITY_FLOOR` of the exact greedy score on every row, and the
-    dict-vs-columnar selection check (where run) agrees.
+    :data:`QUALITY_FLOOR` of the exact greedy score on every row, the
+    dict-vs-columnar (or mapped-vs-in-RAM) selection check agrees where
+    run, the external artifact checksum-matches the in-RAM build where
+    both were built, and — when the report carries an ``rss_cap_mb`` —
+    no row's whole-tree peak RSS exceeds it.
     """
     failures: list[str] = []
+    rss_cap = report.get("rss_cap_mb")
     for row in report["rows"]:
         users = row["users"]
         if row["selections_match"] is False:
             failures.append(
                 f"users={users}: dict and columnar selections differ"
+            )
+        if row.get("index_crc_match") is False:
+            failures.append(
+                f"users={users}: external index checksum differs from "
+                f"the in-RAM build"
             )
         for backend, ratio in row["quality_ratio"].items():
             if ratio < QUALITY_FLOOR:
@@ -203,4 +385,9 @@ def scale_report_failures(report: dict) -> list[str]:
                     f"users={users}: {backend} quality ratio "
                     f"{ratio:.4f} < {QUALITY_FLOOR}"
                 )
+        if rss_cap is not None and row["peak_rss_mb"] > rss_cap:
+            failures.append(
+                f"users={users}: peak RSS {row['peak_rss_mb']:.1f} MiB "
+                f"exceeds the {rss_cap:.1f} MiB cap"
+            )
     return failures

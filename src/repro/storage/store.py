@@ -24,6 +24,7 @@ from typing import Any, Callable
 
 from ..core.errors import StorageError, UnknownUserError
 from ..core.profiles import UserRepository
+from ..core.triplestore import find_triple_stores, inspect_triple_store
 from ..core.updates import (
     ProfileDelta,
     apply_delta_to_repository,
@@ -320,4 +321,10 @@ def inspect_data_dir(data_dir: str | Path) -> dict[str, Any]:
         )
     else:
         summary["replay_pending"] = len(wal.records)
+    stores = [
+        inspect_triple_store(store_dir)
+        for store_dir in find_triple_stores(data_dir)
+    ]
+    if stores:
+        summary["triple_stores"] = stores
     return summary

@@ -1,0 +1,294 @@
+"""External-sort index builder: byte parity with the in-RAM path."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DatasetError,
+    KWayMerge,
+    SortedRunWriter,
+    build_columnar_instance,
+    build_index_external,
+    load_index_npz,
+    save_index_npz,
+    select_from_index,
+    streamed_index_checksum,
+)
+from repro.core.groups import GroupingConfig
+from repro.datasets.synth import generate_profile_columns
+
+ENTRY_DTYPE = np.dtype([("u", "<i4"), ("g", "<i4")])
+
+
+def _npz_members(path):
+    with np.load(path, allow_pickle=False) as data:
+        return {name: np.array(data[name]) for name in data.files}
+
+
+def _assert_byte_identical(external_path, ram_path):
+    external = _npz_members(external_path)
+    ram = _npz_members(ram_path)
+    assert set(external) == set(ram)
+    for name in sorted(ram):
+        a, b = external[name], ram[name]
+        assert a.dtype == b.dtype, name
+        assert a.shape == b.shape, name
+        np.testing.assert_array_equal(a, b, err_msg=name)
+    assert streamed_index_checksum(external_path) == (
+        streamed_index_checksum(ram_path)
+    )
+
+
+class TestByteParity:
+    @pytest.mark.parametrize("weights", ["Iden", "LBS"])
+    @pytest.mark.parametrize("coverage", ["Single", "Prop"])
+    def test_schemes_byte_identical(self, tmp_path, weights, coverage):
+        store = generate_profile_columns(
+            n_users=400,
+            n_properties=15,
+            mean_profile_size=5.0,
+            seed=11,
+            store_dir=tmp_path / "store",
+        )
+        columns = generate_profile_columns(
+            n_users=400, n_properties=15, mean_profile_size=5.0, seed=11
+        )
+        external_path = tmp_path / "external.npz"
+        info = build_index_external(
+            store,
+            budget=10,
+            out_path=external_path,
+            weight_scheme=weights,
+            coverage_scheme=coverage,
+            run_entries=500,
+            chunk_entries=300,
+        )
+        columnar = build_columnar_instance(
+            columns,
+            budget=10,
+            weight_scheme=weights,
+            coverage_scheme=coverage,
+        )
+        ram_path = tmp_path / "ram.npz"
+        save_index_npz(columnar.index, ram_path, compressed=False)
+        _assert_byte_identical(external_path, ram_path)
+        assert info.payload_crc32 == streamed_index_checksum(ram_path)
+        assert info.weight_scheme == weights
+        assert info.coverage_scheme == coverage
+
+    @pytest.mark.parametrize(
+        "chunk",
+        [1, 37, 1000],  # chunk = 1, non-divisor, chunk > n_users
+        ids=["chunk-1", "non-divisor", "chunk-gt-n"],
+    )
+    def test_odd_generation_chunks_stay_parity(self, tmp_path, chunk):
+        # The spill generator draws RNG noise per chunk, so parity holds
+        # exactly when both modes use the same chunk size — including
+        # degenerate ones.
+        store = generate_profile_columns(
+            n_users=150,
+            n_properties=10,
+            mean_profile_size=4.0,
+            seed=5,
+            chunk=chunk,
+            store_dir=tmp_path / "store",
+        )
+        columns = generate_profile_columns(
+            n_users=150,
+            n_properties=10,
+            mean_profile_size=4.0,
+            seed=5,
+            chunk=chunk,
+        )
+        external_path = tmp_path / "external.npz"
+        build_index_external(
+            store, budget=8, out_path=external_path, run_entries=128
+        )
+        ram_path = tmp_path / "ram.npz"
+        save_index_npz(
+            build_columnar_instance(columns, budget=8).index,
+            ram_path,
+            compressed=False,
+        )
+        _assert_byte_identical(external_path, ram_path)
+
+    @pytest.mark.parametrize(
+        "run_entries,chunk_entries",
+        [(1, 1), (97, 64), (10**6, 10**6)],
+        ids=["tiny", "non-divisor", "one-run"],
+    )
+    def test_odd_builder_granularities(
+        self, tmp_path, run_entries, chunk_entries
+    ):
+        store = generate_profile_columns(
+            n_users=120,
+            n_properties=8,
+            mean_profile_size=3.0,
+            seed=2,
+            store_dir=tmp_path / "store",
+        )
+        columns = generate_profile_columns(
+            n_users=120, n_properties=8, mean_profile_size=3.0, seed=2
+        )
+        external_path = tmp_path / "external.npz"
+        build_index_external(
+            store,
+            budget=6,
+            out_path=external_path,
+            run_entries=run_entries,
+            chunk_entries=chunk_entries,
+        )
+        ram_path = tmp_path / "ram.npz"
+        save_index_npz(
+            build_columnar_instance(columns, budget=6).index,
+            ram_path,
+            compressed=False,
+        )
+        _assert_byte_identical(external_path, ram_path)
+
+    def test_builder_accepts_store_path(self, tmp_path):
+        store = generate_profile_columns(
+            n_users=80,
+            n_properties=6,
+            mean_profile_size=3.0,
+            seed=4,
+            store_dir=tmp_path / "store",
+        )
+        info = build_index_external(
+            store.directory, budget=5, out_path=tmp_path / "index.npz"
+        )
+        assert info.n_users <= 80
+        restored = load_index_npz(tmp_path / "index.npz")
+        result = select_from_index(restored, 5)
+        assert len(result.selected) == 5
+
+    def test_artifact_selects_like_in_ram(self, tmp_path):
+        store = generate_profile_columns(
+            n_users=300,
+            n_properties=12,
+            mean_profile_size=4.0,
+            seed=9,
+            store_dir=tmp_path / "store",
+        )
+        columns = generate_profile_columns(
+            n_users=300, n_properties=12, mean_profile_size=4.0, seed=9
+        )
+        build_index_external(
+            store,
+            budget=10,
+            out_path=tmp_path / "index.npz",
+            grouping=GroupingConfig(),
+            run_entries=256,
+        )
+        restored = load_index_npz(tmp_path / "index.npz")
+        columnar = build_columnar_instance(columns, budget=10)
+        mine = select_from_index(restored, 10, method="matrix")
+        theirs = select_from_index(columnar.index, 10, method="matrix")
+        assert mine.selected == theirs.selected
+        assert mine.score == theirs.score
+
+
+class TestKWayMerge:
+    def _make_runs(self, tmp_path, n_entries=1000, run_entries=230, seed=0):
+        """Spill a random canonical stream into >= 3 sorted runs."""
+        rng = np.random.default_rng(seed)
+        users = rng.integers(0, 120, size=n_entries).astype(np.int32)
+        gids = np.arange(n_entries, dtype=np.int32)  # tags canonical order
+        writer = SortedRunWriter(tmp_path / "runs", ENTRY_DTYPE, run_entries)
+        for lo in range(0, n_entries, 113):
+            writer.append(users[lo : lo + 113], gids[lo : lo + 113])
+        writer.close()
+        assert len(writer.run_paths) >= 3
+        expected = np.empty(n_entries, dtype=ENTRY_DTYPE)
+        expected["u"] = users
+        expected["g"] = gids
+        expected = expected[np.argsort(expected["u"], kind="stable")]
+        return writer, expected
+
+    def test_full_merge_is_global_stable_sort(self, tmp_path):
+        writer, expected = self._make_runs(tmp_path)
+        merge = KWayMerge(
+            writer.run_paths, writer.run_counts, ENTRY_DTYPE,
+            buffer_entries=64,
+        )
+        blocks = []
+        while (block := merge.next_block()) is not None:
+            blocks.append(block)
+        merged = np.concatenate(blocks)
+        np.testing.assert_array_equal(merged, expected)
+        assert merge.emitted == merge.total == len(expected)
+
+    def test_resume_mid_merge_continues_exactly(self, tmp_path):
+        writer, expected = self._make_runs(tmp_path)
+        first = KWayMerge(
+            writer.run_paths, writer.run_counts, ENTRY_DTYPE,
+            buffer_entries=32,
+        )
+        prefix = [first.next_block(), first.next_block()]
+        state = first.state()
+        assert 0 < first.emitted < first.total
+        # A brand-new merge over the same runs picks up from the state,
+        # re-reading only past the already-emitted offsets.
+        resumed = KWayMerge(
+            writer.run_paths, writer.run_counts, ENTRY_DTYPE,
+            buffer_entries=32, state=state,
+        )
+        blocks = list(prefix)
+        while (block := resumed.next_block()) is not None:
+            blocks.append(block)
+        np.testing.assert_array_equal(np.concatenate(blocks), expected)
+
+    def test_resume_at_every_cut_point(self, tmp_path):
+        writer, expected = self._make_runs(
+            tmp_path, n_entries=400, run_entries=90
+        )
+        # Interrupt after each possible number of blocks and finish with
+        # a resumed merge: every cut must reproduce the same stream.
+        cut = 0
+        while True:
+            first = KWayMerge(
+                writer.run_paths, writer.run_counts, ENTRY_DTYPE,
+                buffer_entries=48,
+            )
+            blocks = []
+            for _ in range(cut):
+                block = first.next_block()
+                if block is None:
+                    break
+                blocks.append(block)
+            resumed = KWayMerge(
+                writer.run_paths, writer.run_counts, ENTRY_DTYPE,
+                buffer_entries=48, state=first.state(),
+            )
+            while (block := resumed.next_block()) is not None:
+                blocks.append(block)
+            np.testing.assert_array_equal(
+                np.concatenate(blocks), expected, err_msg=f"cut={cut}"
+            )
+            if first.emitted >= first.total:
+                break
+            cut += 1
+
+    def test_state_mismatch_rejected(self, tmp_path):
+        writer, _ = self._make_runs(tmp_path)
+        with pytest.raises(DatasetError, match="state"):
+            KWayMerge(
+                writer.run_paths, writer.run_counts, ENTRY_DTYPE,
+                state={"consumed": [0]},
+            )
+
+    def test_truncated_run_detected(self, tmp_path):
+        writer, _ = self._make_runs(tmp_path)
+        path = writer.run_paths[0]
+        path.write_bytes(path.read_bytes()[:-8])
+        merge = KWayMerge(
+            writer.run_paths, writer.run_counts, ENTRY_DTYPE,
+            buffer_entries=1 << 20,
+        )
+        with pytest.raises(DatasetError, match="shorter"):
+            while merge.next_block() is not None:
+                pass
+
+    def test_run_entries_validated(self, tmp_path):
+        with pytest.raises(DatasetError, match="run_entries"):
+            SortedRunWriter(tmp_path / "runs", ENTRY_DTYPE, 0)

@@ -262,7 +262,8 @@ class TestIndexNpzMmap:
         index = instance_index(table2_instance)
         path = tmp_path / "index.npz"
         save_index_npz(index, path)  # compressed: members are deflated
-        restored = load_index_npz(path, mmap=True)
+        with pytest.warns(RuntimeWarning, match=r"DEFLATE-compressed"):
+            restored = load_index_npz(path, mmap=True)
         for name in MMAP_MEMBERS:
             array = getattr(restored, name)
             assert not isinstance(array, np.memmap), name

@@ -1,0 +1,92 @@
+"""Scale benchmark: out-of-core rows, RSS accounting, and failure gates."""
+
+import pytest
+
+from repro.experiments.scale import (
+    ScaleSetup,
+    _peak_rss_tree_mb,
+    benchmark_scale_path,
+    scale_report_failures,
+)
+
+
+@pytest.fixture(scope="module")
+def ooc_report(tmp_path_factory):
+    setup = ScaleSetup(
+        user_sizes=(800,),
+        budget=10,
+        shards=2,
+        jobs=1,
+        out_of_core=True,
+        run_entries=600,
+        workdir=str(tmp_path_factory.mktemp("ooc-bench")),
+    )
+    return benchmark_scale_path(setup)
+
+
+class TestOutOfCoreRow:
+    def test_row_shape(self, ooc_report):
+        (row,) = ooc_report["rows"]
+        assert row["mode"] == "out_of_core"
+        assert row["users"] == 800
+        assert row["runs"] >= 1
+        assert row["store_bytes"] > 0
+        assert row["index_bytes"] > 0
+        assert set(row["select_seconds"]) == {
+            "matrix", "sharded", "stochastic",
+        }
+
+    def test_parity_checks_ran_and_passed(self, ooc_report):
+        (row,) = ooc_report["rows"]
+        # 800 <= dict_cap, so the in-RAM twin was built and compared.
+        assert row["index_crc_match"] is True
+        assert row["selections_match"] is True
+
+    def test_quality_within_floor(self, ooc_report):
+        (row,) = ooc_report["rows"]
+        assert row["quality_ratio"]["sharded"] >= 0.95
+        assert row["quality_ratio"]["stochastic"] >= 0.95
+
+    def test_rss_fields_aggregate_children(self, ooc_report):
+        (row,) = ooc_report["rows"]
+        assert row["peak_rss_mb"] == pytest.approx(
+            max(row["peak_rss_self_mb"], row["peak_rss_children_mb"])
+        )
+        assert row["peak_rss_mb"] > 0
+
+    def test_payload_records_setup(self, ooc_report):
+        assert ooc_report["out_of_core"] is True
+        assert ooc_report["run_entries"] == 600
+
+    def test_no_failures(self, ooc_report):
+        assert scale_report_failures(ooc_report) == []
+
+
+class TestFailureGates:
+    def test_rss_cap_breach_fails(self, ooc_report):
+        capped = dict(ooc_report, rss_cap_mb=0.5)
+        failures = scale_report_failures(capped)
+        assert any("cap" in f for f in failures)
+
+    def test_generous_rss_cap_passes(self, ooc_report):
+        capped = dict(ooc_report, rss_cap_mb=1 << 20)
+        assert scale_report_failures(capped) == []
+
+    def test_crc_mismatch_fails(self, ooc_report):
+        broken = dict(ooc_report)
+        broken["rows"] = [dict(ooc_report["rows"][0], index_crc_match=False)]
+        failures = scale_report_failures(broken)
+        assert any("checksum" in f or "crc" in f.lower() for f in failures)
+
+    def test_quality_floor_breach_fails(self, ooc_report):
+        row = dict(ooc_report["rows"][0])
+        row["quality_ratio"] = dict(row["quality_ratio"], sharded=0.5)
+        failures = scale_report_failures(dict(ooc_report, rows=[row]))
+        assert any("quality" in f for f in failures)
+
+
+class TestRssTree:
+    def test_helper_reports_positive_and_consistent(self):
+        rss = _peak_rss_tree_mb()
+        assert rss["self"] > 0
+        assert rss["max"] == max(rss["self"], rss["children"])
