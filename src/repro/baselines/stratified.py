@@ -21,8 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.buckets import split_scores
-from ..core.errors import InvalidBudgetError
+from ..core.buckets import assign_bucket_indices, split_scores
+from ..core.errors import InvalidBudgetError, PodiumError
 from ..core.instance import DiversificationInstance
 from ..core.profiles import UserRepository
 from .base import Selector
@@ -62,27 +62,60 @@ class StratifiedSelector(Selector):
 
     name = "Stratified"
 
-    def __init__(self, strata_buckets: int = 3) -> None:
+    def __init__(
+        self, strata_buckets: int = 3, method: str = "vector"
+    ) -> None:
+        if method not in ("vector", "python"):
+            raise PodiumError(
+                f"method must be 'vector' or 'python', got {method!r}"
+            )
         self._strata_buckets = strata_buckets
+        self._method = method
 
     def _stratify(
         self, repository: UserRepository
     ) -> list[list[str]]:
+        """Partition users into strata (identical lists on both methods).
+
+        ``"vector"`` assigns every carrier to its bucket with one
+        ``searchsorted`` (first-containing-bucket fallback when the
+        partition does not tile ``[0, 1]``); ``"python"`` is the original
+        per-user loop.  Both walk ``scores_for`` order, so the strata —
+        and therefore the rng draws in :meth:`select` — are identical.
+        """
         if not repository.property_labels:
             return [repository.user_ids]
         variable = max(repository.property_labels, key=repository.support)
         user_ids, scores = repository.scores_for(variable)
+        scores = np.asarray(scores)
         buckets = split_scores(
-            np.asarray(scores), k=self._strata_buckets, strategy="quantile"
+            scores, k=self._strata_buckets, strategy="quantile"
         )
-        strata: list[list[str]] = [[] for _ in buckets]
-        carriers = set()
-        for user_id, score in zip(user_ids, scores):
-            carriers.add(user_id)
-            for index, bucket in enumerate(buckets):
-                if bucket.contains(float(score)):
-                    strata[index].append(user_id)
-                    break
+        if self._method == "vector":
+            assignment = assign_bucket_indices(buckets, scores)
+            if assignment is None:
+                assignment = np.full(len(scores), -1, dtype=np.int64)
+                for position, bucket in enumerate(buckets):
+                    if bucket.closed_hi:
+                        mask = (scores >= bucket.lo) & (scores <= bucket.hi)
+                    else:
+                        mask = (scores >= bucket.lo) & (scores < bucket.hi)
+                    assignment[mask & (assignment < 0)] = position
+            ids = np.asarray(user_ids, dtype=object)
+            strata = [
+                list(ids[assignment == position])
+                for position in range(len(buckets))
+            ]
+            carriers = set(user_ids)
+        else:
+            strata = [[] for _ in buckets]
+            carriers = set()
+            for user_id, score in zip(user_ids, scores):
+                carriers.add(user_id)
+                for index, bucket in enumerate(buckets):
+                    if bucket.contains(float(score)):
+                        strata[index].append(user_id)
+                        break
         unknown = [u for u in repository.user_ids if u not in carriers]
         if unknown:
             strata.append(unknown)

@@ -163,7 +163,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.data_dir:
         from .storage import DurableRepositoryStore
 
-        store = DurableRepositoryStore(args.data_dir, fsync=args.fsync)
+        store = DurableRepositoryStore(
+            args.data_dir,
+            fsync=args.fsync,
+            mmap_indexes=not args.eager_artifacts,
+        )
     service = _load_service(args.profiles, args, store=store)
     try:
         if args.workers >= 2:
@@ -259,8 +263,21 @@ def _bench_serve(args: argparse.Namespace) -> int:
             f"p99 {row['select_p99_ms']:.1f}ms, "
             f"deltas {row['deltas_acked']}{spread_note})"
         )
+    rss = report.get("worker_rss")
+    if rss:
+        for row in rss["rows"]:
+            mean = row["mean_worker_rss_kb"]
+            mean_note = (
+                f"{mean / 1024.0:.1f} MiB/worker" if mean else "RSS n/a"
+            )
+            print(
+                f"serve boot {row['mode']} (workers={rss['workers']}, "
+                f"|U|={rss['users']}): {row['boot_seconds']:.2f}s, "
+                f"{mean_note}, "
+                f"{row['mapped_artifact_indexes']} mapped index(es)"
+            )
     for gate in report["gates"]:
-        print(f"gate: {gate['name']}: {gate['status']}")
+        print(f"gate: {gate['name']}: {gate['status']} ({gate['detail']})")
     failures = serve_report_failures(report)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
@@ -428,6 +445,7 @@ def _bench_experiments(args: argparse.Namespace) -> int:
 def _bench_selection(args: argparse.Namespace) -> int:
     from .experiments.scalability import (
         ScalabilitySetup,
+        benchmark_index_native_stages,
         benchmark_selection_backends,
     )
 
@@ -439,6 +457,8 @@ def _bench_selection(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     report = benchmark_selection_backends(setup)
+    stages = benchmark_index_native_stages(setup)
+    report["stages"] = stages
     out = args.out or "BENCH_selection.json"
     Path(out).write_text(json.dumps(report, indent=1) + "\n")
     for row in report["rows"]:
@@ -450,8 +470,27 @@ def _bench_selection(args: argparse.Namespace) -> int:
         extra = f", matrix speedup {speedup:.1f}x" if speedup else ""
         match = "ok" if row["selections_match"] else "MISMATCH"
         print(f"|U|={row['users']}: {timings}{extra} [{match}]")
+    for row in stages["rows"]:
+        parity = (
+            "ok"
+            if row["explanation_parity"] and row["customization_parity"]
+            else "MISMATCH"
+        )
+        print(
+            f"|U|={row['users']} stages (B={stages['budget']}): "
+            f"explain {row['explanation_seconds']['python']:.4f}s -> "
+            f"{row['explanation_seconds']['index']:.4f}s "
+            f"({row['speedup_explanation']:.1f}x), "
+            f"customize {row['customization_seconds']['eager']:.4f}s -> "
+            f"{row['customization_seconds']['matrix']:.4f}s "
+            f"({row['speedup_customization']:.1f}x) [{parity}]"
+        )
     print(f"wrote {out}")
-    return 0 if all(r["selections_match"] for r in report["rows"]) else 1
+    ok = all(r["selections_match"] for r in report["rows"]) and all(
+        r["explanation_parity"] and r["customization_parity"]
+        for r in stages["rows"]
+    )
+    return 0 if ok else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -565,6 +604,17 @@ def build_parser() -> argparse.ArgumentParser:
         "server; >= 2 pre-forks that many worker processes sharing the "
         "warmed artifacts copy-on-write, with writes routed to a single "
         "writer (env REPRO_SERVE_WORKERS overrides the default)",
+    )
+    server.add_argument(
+        "--eager-artifacts",
+        action="store_true",
+        default=bool(os.environ.get("REPRO_EAGER_ARTIFACTS")),
+        help="load recovered snapshot indexes into private heap memory "
+        "instead of memory-mapping the checkpoint (the default maps, so "
+        "pre-forked workers share one page-cache copy of the CSR "
+        "payload; this flag exists for the serve benchmark's "
+        "mmap-vs-eager RSS comparison, env REPRO_EAGER_ARTIFACTS "
+        "also enables it)",
     )
     server.set_defaults(handler=_cmd_serve)
 

@@ -28,8 +28,12 @@ from fractions import Fraction
 
 import numpy as np
 
-from .errors import InfeasibleSelectionError, InvalidFeedbackError
-from .greedy import SelectionResult, greedy_select
+from .errors import (
+    InfeasibleSelectionError,
+    InvalidBudgetError,
+    InvalidFeedbackError,
+)
+from .greedy import SelectionResult, _rows_loop, greedy_select
 from .groups import GroupKey, GroupSet
 from .index import InstanceIndex, attach_index, instance_index
 from .instance import DiversificationInstance
@@ -112,20 +116,16 @@ def refine_users(
     return eligible
 
 
-def _refine_users_index(
-    index: InstanceIndex,
-    repository: UserRepository,
-    feedback: CustomizationFeedback,
-) -> list[str]:
-    """Vectorized :func:`refine_users`: boolean masks over CSR incidence.
+def _refine_mask_index(
+    index: InstanceIndex, feedback: CustomizationFeedback
+) -> np.ndarray:
+    """Refined user set ``U'`` as a boolean mask over dense rows.
 
     Must-not groups clear their members' bits with one row gather; each
     must-have property sets an "in some must-have bucket" mask the same
-    way and AND-s it in.  Users the index does not know sit in no group:
-    they can never violate must-not and only pass when there is no
-    must-have constraint — exactly the eager loop's semantics.  The
-    returned pool preserves repository iteration order, like the eager
-    implementation.
+    way and AND-s it in.  Pure array work: no id string is decoded, so
+    a memory-mapped index refines without touching its lazy id
+    sequence.
     """
     eligible = np.ones(index.n_users, dtype=bool)
     if feedback.must_not:
@@ -145,8 +145,28 @@ def _refine_users_index(
         in_some_bucket = np.zeros(index.n_users, dtype=bool)
         in_some_bucket[index.members_of_rows(wanted)] = True
         eligible &= in_some_bucket
+    return eligible
+
+
+def _refine_users_index(
+    index: InstanceIndex,
+    repository: UserRepository,
+    feedback: CustomizationFeedback,
+) -> list[str]:
+    """Vectorized :func:`refine_users`: boolean masks over CSR incidence.
+
+    Users the index does not know sit in no group: they can never
+    violate must-not and only pass when there is no must-have
+    constraint — exactly the eager loop's semantics.  The returned pool
+    preserves repository iteration order, like the eager
+    implementation.  The fully-indexed serving path never calls this —
+    it stays on dense rows (:func:`_refine_mask_index`); this id-string
+    materialization exists only for repositories with users outside
+    the index.
+    """
+    eligible = _refine_mask_index(index, feedback)
     eligible_ids = {index.users[i] for i in np.flatnonzero(eligible)}
-    if must_have_by_property:
+    if feedback.must_have:
         return [u for u in repository.user_ids if u in eligible_ids]
     indexed = index.user_pos
     return [
@@ -318,7 +338,7 @@ def _score_over_keys(
         ids = np.fromiter(
             (index.group_pos[k] for k in keys), dtype=np.int64, count=len(keys)
         )
-        hits = index.group_hits(index.selection_mask(selected))
+        hits = index.selection_hits(selected)
         return int(
             np.sum(index.wei[ids] * np.minimum(hits[ids], index.cov[ids]))
         )
@@ -371,6 +391,20 @@ def custom_select(
         if method in ("matrix", "sharded", "stochastic")
         else None
     )
+    if (
+        method == "matrix"
+        and base_index is not None
+        and base_index.vectorizable
+        and base_index.n_users == len(repository)
+    ):
+        # Fully-indexed fast path: refine, rescale and select entirely on
+        # dense rows.  No candidate id list is ever materialized — on a
+        # memory-mapped index only the ≤ budget winners are decoded.
+        fast = _custom_select_rows(
+            repository, instance, base_index, feedback, budget, rng
+        )
+        if fast is not None:
+            return fast
     if base_index is not None and base_index.vectorizable:
         feedback.validate(instance.groups)
         pool = _refine_users_index(base_index, repository, feedback)
@@ -411,14 +445,98 @@ def custom_select(
     )
 
 
+def _custom_select_rows(
+    repository: UserRepository,
+    instance: DiversificationInstance,
+    base_index: InstanceIndex,
+    feedback: CustomizationFeedback,
+    budget: int | None,
+    rng: np.random.Generator | None,
+) -> CustomSelectionResult | None:
+    """CUSTOM-DIVERSITY on dense rows (every repository user indexed).
+
+    Selects identically to the id-pool path: the eligible rows ascend in
+    user-id order (the index invariant), so the row-loop's argmax
+    reproduces ``_matrix_loop(derived, sorted(pool), ...)`` pick for
+    pick, and ``refined_pool_size`` equals ``len(pool)`` because no user
+    sits outside the index.  Returns ``None`` when the *derived* index
+    cannot vectorize (the priority rescale pushed a weight past int64) —
+    the caller falls back to the exact dict path.
+    """
+    budget = instance.budget if budget is None else budget
+    if budget < 1:
+        raise InvalidBudgetError(f"budget must be >= 1, got {budget}")
+    feedback.validate(instance.groups)
+    eligible = _refine_mask_index(base_index, feedback)
+    pool_size = int(np.count_nonzero(eligible))
+    if not pool_size:
+        raise InfeasibleSelectionError(
+            "customization feedback filtered out every user"
+        )
+    derived = customized_index(instance, feedback)
+    if derived is None or not derived.vectorizable:
+        return None
+    rescaled = customized_instance(instance, feedback)
+    attach_index(rescaled, derived)
+    picked, gains, score = _rows_loop(
+        derived, np.flatnonzero(eligible), budget, rng
+    )
+    result = SelectionResult(
+        selected=tuple(str(derived.users[r]) for r in picked),
+        score=score,
+        gains=tuple(gains),
+        instance=rescaled,
+    )
+    standard = feedback.resolve_standard(instance.groups)
+    priority_score = _score_over_keys(
+        instance, base_index, feedback.priority, result.selected
+    )
+    standard_score = _score_over_keys(
+        instance, base_index, standard, result.selected
+    )
+    return CustomSelectionResult(
+        result=result,
+        feedback=feedback,
+        refined_pool_size=pool_size,
+        priority_score=priority_score,
+        standard_score=standard_score,
+    )
+
+
 def feedback_group_coverage(
     instance: DiversificationInstance,
     feedback: CustomizationFeedback,
     selected: Iterable[str],
+    method: str = "index",
 ) -> float:
-    """Fraction of priority groups covered by ``selected`` (Fig. 4 metric)."""
+    """Fraction of priority groups covered by ``selected`` (Fig. 4 metric).
+
+    ``method="index"`` (default) gathers hit counts at the priority
+    groups' dense ids off the cached CSR index — one segment sum, no
+    membership-set intersection; ``method="python"`` is the dict oracle.
+    Both return the identical float (covered counts are exact integers).
+    """
     if not feedback.priority:
         return 1.0
+    if method == "index":
+        index = instance_index(instance)
+        hits = index.selection_hits(selected)
+        ids = np.fromiter(
+            (index.group_pos[k] for k in feedback.priority),
+            dtype=np.int64,
+            count=len(feedback.priority),
+        )
+        required = np.fromiter(
+            (int(instance.cov[k]) for k in feedback.priority),
+            dtype=np.int64,
+            count=len(feedback.priority),
+        )
+        covered = int(np.count_nonzero(hits[ids] >= required))
+        return covered / len(feedback.priority)
+    if method != "python":
+        raise InvalidFeedbackError(
+            f"unknown coverage method {method!r}; use 'index' or 'python'"
+        )
     selected_set = set(selected)
     covered = sum(
         1

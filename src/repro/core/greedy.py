@@ -449,6 +449,69 @@ def _range_loop(
     return picked, gains, score
 
 
+def _rows_loop(
+    index: InstanceIndex,
+    rows: np.ndarray,
+    budget: int,
+    rng: np.random.Generator | None,
+) -> tuple[list[int], list[Weight], int]:
+    """The eager recurrence over an arbitrary ascending dense-row set.
+
+    Generalizes :func:`_range_loop` to a non-contiguous candidate pool
+    (the customization path's refined user set ``U'`` as a row mask):
+    no candidate id strings and no ``user_pos`` lookups are ever built,
+    so a memory-mapped index refines and selects without decoding any
+    id but the ≤ budget winners.  ``rows`` must be ascending so the
+    first ``argmax`` is the minimal tied user id; the picks equal
+    ``_matrix_loop(index, [index.users[r] for r in rows], ...)`` row
+    for row.  Returns dense row ids.
+    """
+    assert index.wei is not None and index.initial_gains is not None
+    rows = np.asarray(rows, dtype=np.int64)
+    n = rows.size
+    gain = np.asarray(index.initial_gains[rows]).astype(np.int64)
+    dense_to_row = np.full(index.n_users, -1, dtype=np.int64)
+    dense_to_row[rows] = np.arange(n, dtype=np.int64)
+    remaining = np.array(index.cov, dtype=np.int64)
+    active = np.ones(n, dtype=bool)
+    picked: list[int] = []
+    gains: list[Weight] = []
+    score = 0
+    for _ in range(budget):
+        if not active.any():
+            break
+        if rng is None:
+            masked = np.where(active, gain, np.int64(-1))
+            row = int(np.argmax(masked))
+            realized = int(masked[row])
+        else:
+            masked = np.where(active, gain, np.int64(-1))
+            tied = np.flatnonzero(masked == masked.max())
+            row = int(tied[int(rng.integers(tied.size))])
+            realized = int(masked[row])
+        active[row] = False
+        picked.append(int(rows[row]))
+        gains.append(realized)
+        score += realized
+
+        touched = np.asarray(index.groups_of_row(int(rows[row])), dtype=np.int64)
+        hit = touched[remaining[touched] > 0]
+        remaining[hit] -= 1
+        exhausted = hit[remaining[hit] == 0]
+        if exhausted.size:
+            members = np.asarray(
+                index.members_of_rows(exhausted), dtype=np.int64
+            )
+            weights = np.repeat(
+                index.wei[exhausted], index.row_sizes(exhausted)
+            )
+            candidate = dense_to_row[members]
+            keep = candidate >= 0
+            np.subtract.at(gain, candidate[keep], weights[keep])
+
+    return picked, gains, score
+
+
 def _greedy_matrix(
     pool: list[str],
     instance: DiversificationInstance,

@@ -103,7 +103,13 @@ class GroupSet:
 
     def __init__(self, groups: Iterable[Group] = ()) -> None:
         self._groups: dict[GroupKey, Group] = {}
-        self._user_groups: dict[str, set[GroupKey]] = {}
+        #: User → groups reverse links, built lazily on the first reverse
+        #: lookup (``groups_of``/``degree``/``max_degree``).  Projections
+        #: like :meth:`subset` only ever walk the forward direction, so
+        #: deferring the build keeps them O(|keys|) instead of O(Σ|G|) —
+        #: the customization path derives a restricted group set per
+        #: request and never asks it a reverse question.
+        self._user_groups: dict[str, set[GroupKey]] | None = None
         #: Lazily-built immutable views handed out by :meth:`groups_of`;
         #: entries are invalidated whenever a user's link set changes.
         self._views: dict[str, frozenset[GroupKey]] = {}
@@ -134,18 +140,37 @@ class GroupSet:
         ``groups_of`` never see stale empty entries.
         """
         previous = self._groups.get(group.key)
-        if previous is not None:
-            for user_id in previous.members:
-                links = self._user_groups[user_id]
-                links.discard(group.key)
-                if not links:
-                    del self._user_groups[user_id]
+        if self._user_groups is not None:
+            # Reverse links exist: maintain them incrementally.  (Views
+            # can only be populated once the links exist, so the lazy
+            # branch below has nothing to invalidate.)
+            if previous is not None:
+                for user_id in previous.members:
+                    links = self._user_groups[user_id]
+                    links.discard(group.key)
+                    if not links:
+                        del self._user_groups[user_id]
+                    self._views.pop(user_id, None)
+            for user_id in group.members:
+                self._user_groups.setdefault(user_id, set()).add(group.key)
                 self._views.pop(user_id, None)
         self._groups[group.key] = group
-        for user_id in group.members:
-            self._user_groups.setdefault(user_id, set()).add(group.key)
-            self._views.pop(user_id, None)
         self._version += 1
+
+    def _links(self) -> dict[str, set[GroupKey]]:
+        """The user → groups map, built on first demand.
+
+        Building from the current ``_groups`` state folds any
+        replacements that happened while the map was unbuilt, so the
+        result is identical to eager incremental maintenance.
+        """
+        if self._user_groups is None:
+            links: dict[str, set[GroupKey]] = {}
+            for group in self._groups.values():
+                for user_id in group.members:
+                    links.setdefault(user_id, set()).add(group.key)
+            self._user_groups = links
+        return self._user_groups
 
     def __len__(self) -> int:
         return len(self._groups)
@@ -175,13 +200,13 @@ class GroupSet:
         """
         view = self._views.get(user_id)
         if view is None:
-            view = frozenset(self._user_groups.get(user_id, ()))
+            view = frozenset(self._links().get(user_id, ()))
             self._views[user_id] = view
         return view
 
     def degree(self, user_id: str) -> int:
         """``|{G in G-set | u in G}|`` — the user's group membership count."""
-        return len(self._user_groups.get(user_id, ()))
+        return len(self._links().get(user_id, ()))
 
     def max_group_size(self) -> int:
         """``max_G |G|`` (appears in the complexity bound of Prop. 4.4)."""
@@ -189,7 +214,7 @@ class GroupSet:
 
     def max_degree(self) -> int:
         """``max_u |{G | u in G}|`` (the other Prop. 4.4 factor)."""
-        return max((len(k) for k in self._user_groups.values()), default=0)
+        return max((len(k) for k in self._links().values()), default=0)
 
     def top_k(self, k: int) -> list[Group]:
         """The ``k`` largest groups, ties broken by key for determinism."""

@@ -33,7 +33,7 @@ scores and coverage queries share one build.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
 import numpy as np
@@ -215,6 +215,7 @@ class InstanceIndex:
         g_indices: np.ndarray,
         cov: np.ndarray,
         weights: list | None,
+        user_pos: Mapping[str, int] | None = None,
     ) -> "InstanceIndex":
         """Assemble an index from pre-built CSR arrays.
 
@@ -240,9 +241,14 @@ class InstanceIndex:
         if vectorizable:
             wei = np.fromiter(weights, dtype=np.int64, count=n_groups)
             initial_gains = _segment_sums(wei[u_indices], u_indptr)
+        if user_pos is None:
+            # Callers whose ``users`` is an unchanged lazy sequence (a
+            # mapped checkpoint) pass the id→row mapping through instead:
+            # enumerating here would decode the whole id array.
+            user_pos = {u: i for i, u in enumerate(users)}
         return cls(
             users=users,
-            user_pos={u: i for i, u in enumerate(users)},
+            user_pos=user_pos,
             group_keys=group_keys,
             group_pos={key: gid for gid, key in enumerate(group_keys)},
             u_indptr=u_indptr,
@@ -295,6 +301,7 @@ class InstanceIndex:
             g_indices=g_indices,
             cov=self.cov[group_dense_ids].copy(),
             weights=weights,
+            user_pos=self.user_pos,
         )
 
     def take_rows(self, rows: np.ndarray) -> "InstanceIndex":
@@ -394,6 +401,26 @@ class InstanceIndex:
         return _segment_sums(
             mask[self.g_indices].astype(np.int64), self.g_indptr
         )
+
+    def selection_hits(self, user_ids: Iterable[str]) -> np.ndarray:
+        """``|U ∩ G|`` per group, touching only the selected users' rows.
+
+        Same exact counts as ``group_hits(selection_mask(user_ids))``,
+        but O(Σ_u deg(u)) over the selection instead of a pass over the
+        full incidence — for a budget-sized selection that is a few
+        hundred entries, not millions.  On a memory-mapped index only
+        the selected rows' pages fault in.  Duplicate and unknown ids
+        contribute nothing, exactly like the mask path.
+        """
+        rows = {self.user_pos.get(u) for u in user_ids}
+        rows.discard(None)
+        if not rows:
+            return np.zeros(self.n_groups, dtype=np.int64)
+        parts = [self.groups_of_row(r) for r in rows]
+        counts = np.bincount(
+            np.concatenate(parts), minlength=self.n_groups
+        )
+        return counts.astype(np.int64, copy=False)
 
     def subset_score(self, user_ids: Iterable[str]) -> Weight:
         """Exact ``score_G`` of a subset; requires :attr:`vectorizable`."""

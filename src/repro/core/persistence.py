@@ -256,7 +256,7 @@ def _index_checksum(arrays: dict[str, np.ndarray]) -> int:
 
 
 def save_index_npz(
-    index: InstanceIndex, path: str | Path, compressed: bool = True
+    index: InstanceIndex, path: str | Path, compressed: bool = False
 ) -> None:
     """Write an :class:`InstanceIndex` checkpoint as one ``.npz`` file.
 
@@ -269,11 +269,19 @@ def save_index_npz(
     weights live in the instance, not the index, and belong in the JSON
     checkpoint.
 
-    ``compressed=False`` stores the arrays verbatim (``ZIP_STORED``
-    members) so :func:`load_index_npz` can memory-map them in place —
-    the layout the serving tier snapshots use, where N forked workers
-    share one page-cache copy of the CSR payload instead of N private
-    heap copies.
+    The default stores the arrays verbatim (``ZIP_STORED`` members) so
+    :func:`open_index_npz` / :func:`load_index_npz` can memory-map them
+    in place — the layout the serving tier depends on, where N forked
+    workers share one page-cache copy of the CSR payload instead of N
+    private heap copies.  Pass ``compressed=True`` for DEFLATE members
+    when the checkpoint is an archival/transfer artifact and mapping
+    does not matter.
+
+    .. note:: **Migration.** Checkpoints written before the default
+       flipped (DEFLATE-compressed) still load through
+       :func:`load_index_npz`; only :func:`open_index_npz` requires
+       stored members.  Re-save once with the new default to make an
+       old checkpoint mappable.
     """
     if not index.vectorizable:
         raise DatasetError(
@@ -634,6 +642,23 @@ _SOURCE_PATH_ATTR = "_source_path"
 def index_source_path(index: InstanceIndex) -> str | None:
     """Checkpoint path a lazily opened index was mapped from, if any."""
     return getattr(index, _SOURCE_PATH_ATTR, None)
+
+
+def index_npz_mappable(path: str | Path) -> bool:
+    """Whether :func:`open_index_npz` can fully map this checkpoint.
+
+    True iff every large member (CSR topology, integer payloads and the
+    user-id array) is ``ZIP_STORED``.  Legacy DEFLATE-compressed
+    checkpoints return False — callers fall back to
+    :func:`load_index_npz` for those instead of letting
+    :func:`open_index_npz` raise.  Probe failures (missing file, not a
+    ZIP) also return False so the eager loader reports the real error.
+    """
+    try:
+        layouts = _stored_member_layouts(Path(path), _LAZY_MEMBERS)
+    except (OSError, zipfile.BadZipFile, DatasetError):
+        return False
+    return all(name in layouts for name in _LAZY_MEMBERS)
 
 
 def open_index_npz(path: str | Path, verify: bool = True) -> InstanceIndex:

@@ -26,6 +26,8 @@ from ..baselines import (
     PodiumSelector,
     Selector,
 )
+from ..core.customization import CustomizationFeedback, custom_select
+from ..core.explanations import explain_selection
 from ..core.greedy import greedy_select
 from ..core.groups import GroupingConfig, build_simple_groups
 from ..core.index import instance_index
@@ -57,6 +59,12 @@ class ScalabilitySetup:
     fixed_users: int = 2000
     seed: int = 3
     repetitions: int = 3
+    #: Selection budget of the post-selection stage benchmark
+    #: (:func:`benchmark_index_native_stages`).  Larger than the Fig. 5
+    #: budget because explanation/customization cost scales with the
+    #: panel size being explained, and the paper's prototype serves
+    #: panels well beyond 8 members.
+    stage_budget: int = 64
 
 
 def scalability_selectors() -> list[Selector]:
@@ -210,6 +218,119 @@ def benchmark_selection_backends(
         "repetitions": setup.repetitions,
         "seed": setup.seed,
         "backends": list(backends),
+        "rows": rows,
+    }
+
+
+def benchmark_index_native_stages(
+    setup: ScalabilitySetup | None = None,
+) -> dict:
+    """Time the index-native post-selection stages against the dict loops.
+
+    For each population size one instance is built (budget
+    ``setup.stage_budget``), a panel is selected once, and then the two
+    request-time stages every ``POST /select`` pays are timed in both
+    implementations:
+
+    * **explanation** — :func:`repro.core.explanations.explain_selection`
+      with three distribution properties, ``method="python"`` (dict
+      oracle) versus ``method="index"`` (CSR hits + memoized payload);
+    * **customization** — :func:`repro.core.customization.custom_select`
+      with a representative feedback (one must-not group, two priority
+      groups), ``method="eager"`` versus ``method="matrix"``.
+
+    Each stage runs once untimed (warming the cached index, reverse
+    links and explanation sort orders — the steady state a serving
+    process sits in) and then ``repetitions`` timed runs; the median is
+    reported.  Every row also records exact-parity flags: the payloads
+    and selections must be equal, not just close.
+    """
+    setup = setup or ScalabilitySetup()
+    rows: list[dict] = []
+    for n_users in setup.user_sizes:
+        repository = generate_profile_repository(
+            n_users=n_users,
+            n_properties=setup.n_properties,
+            mean_profile_size=setup.mean_profile_size,
+            seed=setup.seed,
+        )
+        groups = build_simple_groups(repository, GroupingConfig(min_support=2))
+        instance = build_instance(
+            repository, setup.stage_budget, groups=groups
+        )
+        properties = sorted(repository.property_labels)[:3]
+        keys = sorted(instance.groups.keys, key=str)
+        feedback = CustomizationFeedback(
+            must_not=frozenset(keys[:1]),
+            priority=frozenset(keys[1:3]),
+        )
+        result = greedy_select(repository, instance, method="matrix")
+
+        def timed(fn, repetitions=setup.repetitions):
+            fn()  # warm caches: index, reverse links, sort orders
+            samples = []
+            for _ in range(repetitions):
+                start = time.perf_counter()
+                value = fn()
+                samples.append(time.perf_counter() - start)
+            return value, float(np.median(samples))
+
+        explain_python, explain_python_s = timed(
+            lambda: explain_selection(
+                result, distribution_properties=properties, method="python"
+            )
+        )
+        explain_index, explain_index_s = timed(
+            lambda: explain_selection(
+                result, distribution_properties=properties, method="index"
+            )
+        )
+        custom_eager, custom_eager_s = timed(
+            lambda: custom_select(
+                repository, instance, feedback, method="eager"
+            )
+        )
+        custom_matrix, custom_matrix_s = timed(
+            lambda: custom_select(
+                repository, instance, feedback, method="matrix"
+            )
+        )
+        rows.append(
+            {
+                "users": n_users,
+                "groups": len(instance.groups),
+                "explanation_seconds": {
+                    "python": explain_python_s,
+                    "index": explain_index_s,
+                },
+                "customization_seconds": {
+                    "eager": custom_eager_s,
+                    "matrix": custom_matrix_s,
+                },
+                "speedup_explanation": explain_python_s / explain_index_s
+                if explain_index_s
+                else float("inf"),
+                "speedup_customization": custom_eager_s / custom_matrix_s
+                if custom_matrix_s
+                else float("inf"),
+                "explanation_parity": explain_python == explain_index,
+                "customization_parity": (
+                    custom_eager.selected == custom_matrix.selected
+                    and custom_eager.result.score == custom_matrix.result.score
+                    and custom_eager.priority_score
+                    == custom_matrix.priority_score
+                    and custom_eager.standard_score
+                    == custom_matrix.standard_score
+                ),
+            }
+        )
+    return {
+        "experiment": "index_native_stages",
+        "budget": setup.stage_budget,
+        "n_properties": setup.n_properties,
+        "mean_profile_size": setup.mean_profile_size,
+        "repetitions": setup.repetitions,
+        "seed": setup.seed,
         "rows": rows,
     }
 

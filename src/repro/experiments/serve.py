@@ -20,6 +20,12 @@ Two gate families turn the numbers into exit codes
   ``workers=2`` by ``scale_2x_floor``).  On hosts without the cores to
   show the effect the gates are recorded as ``skipped (cpu-limited)``
   rather than silently passed — the numbers are still in the report.
+* **Worker boot RSS** — the pool is booted twice from one snapshot
+  (:func:`measure_worker_boot_rss`): default memory-mapped artifact
+  recovery versus ``--eager-artifacts``.  The mapped boot must adopt at
+  least one mmap-backed index and undercut the eager boot's mean
+  per-worker ``VmRSS``.  Self-skips on single-core hosts and on hosts
+  without ``/proc`` — recorded as skipped, never silently passed.
 
 ``repro bench --suite serve`` writes the report to ``BENCH_serve.json``.
 """
@@ -75,6 +81,12 @@ class ServeBenchSetup:
     #: Read-scaling floors vs the workers=1 baseline (cpu-gated).
     scale_2x_floor: float = 1.3
     scale_4x_floor: float = 2.5
+    #: Population of the worker boot-RSS comparison.  Larger than the
+    #: load-test population so the checkpoint index is big enough for
+    #: the mapped-versus-heap difference to clear RSS noise.
+    rss_users: int = 4000
+    #: Worker count booted (twice) for the RSS comparison.
+    rss_workers: int = 2
 
 
 def _http(
@@ -90,31 +102,37 @@ def _http(
 
 
 def _boot_server(
-    profiles: str, data_dir: str, budget: int, workers: int
+    profiles: str | None,
+    data_dir: str,
+    budget: int,
+    workers: int,
+    extra_args: tuple[str, ...] = (),
 ) -> tuple[subprocess.Popen, int]:
     env = dict(os.environ, PYTHONUNBUFFERED="1")
     env["PYTHONPATH"] = _SRC_ROOT + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--data-dir",
+        data_dir,
+        "--budget",
+        str(budget),
+        "--port",
+        "0",
+        "--workers",
+        str(workers),
+        "--log-level",
+        "warning",
+    ]
+    if profiles is not None:
+        command[4:4] = ["--profiles", profiles]
+    command.extend(extra_args)
     server = subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro",
-            "serve",
-            "--profiles",
-            profiles,
-            "--data-dir",
-            data_dir,
-            "--budget",
-            str(budget),
-            "--port",
-            "0",
-            "--workers",
-            str(workers),
-            "--log-level",
-            "warning",
-        ],
+        command,
         env=env,
         stdout=subprocess.PIPE,
         stderr=subprocess.DEVNULL,
@@ -270,6 +288,116 @@ def _worker_select_share(port: int) -> list[float]:
     return [round(c / total, 4) for c in counts]
 
 
+def _proc_rss_kb(pid: int) -> int | None:
+    """Resident set size of ``pid`` in KiB, or ``None`` off-Linux."""
+    try:
+        with open(f"/proc/{pid}/status", encoding="ascii") as status:
+            for line in status:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def _worker_pids(port: int, expected: int, timeout: float = 15.0) -> list[int]:
+    """Worker pids from the pool's shared counter rows (poll until seen)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            cluster = _http(port, "/metrics").get("cluster") or {}
+        except (OSError, urllib.error.URLError, ValueError):
+            cluster = {}
+        pids = [
+            int(row["pid"])
+            for row in cluster.get("per_worker", ())
+            if row.get("pid")
+        ]
+        if len(pids) >= expected or time.monotonic() > deadline:
+            return pids
+        time.sleep(0.2)
+
+
+def measure_worker_boot_rss(setup: ServeBenchSetup) -> dict[str, Any]:
+    """Boot the worker pool twice off one snapshot: mapped vs eager.
+
+    A seed boot builds the ``cli`` artifact and writes a snapshot whose
+    index members are stored uncompressed (mappable).  The pool is then
+    booted twice against that data directory — once with the default
+    memory-mapped recovery (``open_index_npz``) and once with
+    ``--eager-artifacts`` (private heap copies) — and each boot records
+    time-to-healthy plus every worker's post-boot ``VmRSS``.  No load is
+    driven: the comparison isolates what a freshly forked worker is
+    *resident* before serving, which is exactly the pages eager loading
+    touches and mapping defers.
+    """
+    repository = generate_profile_repository(
+        n_users=setup.rss_users,
+        n_properties=setup.n_properties,
+        mean_profile_size=setup.mean_profile_size,
+        seed=setup.seed,
+    )
+    workdir = tempfile.mkdtemp(prefix="repro-serve-rss-")
+    rows: list[dict[str, Any]] = []
+    try:
+        profiles = os.path.join(workdir, "profiles.json")
+        save_profiles(repository, profiles)
+        data_dir = os.path.join(workdir, "data")
+        seed_server, port = _boot_server(profiles, data_dir, setup.budget, 1)
+        try:
+            # Build the serving artifact, then persist it (with its CSR
+            # index) so both recovery boots adopt instead of rebuilding.
+            _http(
+                port,
+                "/select",
+                json.dumps(
+                    {"configuration": "cli", "explain": False}
+                ).encode(),
+                timeout=120,
+            )
+            _http(port, "/admin/snapshot", b"{}")
+        finally:
+            _stop_server(seed_server)
+        for mode, extra in (("mmap", ()), ("eager", ("--eager-artifacts",))):
+            started = time.monotonic()
+            server, port = _boot_server(
+                None,
+                data_dir,
+                setup.budget,
+                setup.rss_workers,
+                extra_args=extra,
+            )
+            try:
+                boot_seconds = time.monotonic() - started
+                pids = _worker_pids(port, setup.rss_workers)
+                samples = [_proc_rss_kb(pid) for pid in pids]
+                rss_kb = [kb for kb in samples if kb is not None]
+                storage = _http(port, "/metrics").get("storage") or {}
+            finally:
+                _stop_server(server)
+            rows.append(
+                {
+                    "mode": mode,
+                    "boot_seconds": boot_seconds,
+                    "worker_pids": pids,
+                    "worker_rss_kb": rss_kb,
+                    "mean_worker_rss_kb": (
+                        sum(rss_kb) / len(rss_kb) if rss_kb else None
+                    ),
+                    "mapped_artifact_indexes": int(
+                        storage.get("mapped_artifact_indexes") or 0
+                    ),
+                }
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return {
+        "users": setup.rss_users,
+        "workers": setup.rss_workers,
+        "rows": rows,
+    }
+
+
 def benchmark_serving(setup: ServeBenchSetup) -> dict[str, Any]:
     """Run the load benchmark; returns the BENCH_serve.json document."""
     repository = generate_profile_repository(
@@ -334,11 +462,18 @@ def benchmark_serving(setup: ServeBenchSetup) -> dict[str, Any]:
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 
+    cpus = os.cpu_count() or 1
+    if cpus >= 2:
+        worker_rss = measure_worker_boot_rss(setup)
+    else:
+        worker_rss = None
+
     report = {
         "setup": asdict(setup),
-        "cpu_count": os.cpu_count() or 1,
+        "cpu_count": cpus,
         "rows": rows,
-        "gates": _evaluate_gates(setup, rows),
+        "worker_rss": worker_rss,
+        "gates": _evaluate_gates(setup, rows) + [_rss_gate(worker_rss)],
     }
     return report
 
@@ -396,6 +531,55 @@ def _evaluate_gates(
             }
         )
     return gates
+
+
+def _rss_gate(worker_rss: dict[str, Any] | None) -> dict[str, Any]:
+    """Judge the mapped-vs-eager worker boot comparison.
+
+    Passes only when the mapped boot actually adopted mmap-backed
+    indexes *and* its mean per-worker RSS undercuts the eager boot.
+    Self-skips (never silently passes) on hosts that cannot show the
+    effect: single-core machines never run the comparison, and hosts
+    without ``/proc/<pid>/status`` yield no RSS samples.
+    """
+    name = "worker boot RSS (mmap vs eager)"
+    if worker_rss is None:
+        cpus = os.cpu_count() or 1
+        return {
+            "name": name,
+            "status": f"skipped (cpu-limited: {cpus} < 2 cores)",
+            "detail": "worker-pool RSS comparison not run",
+        }
+    by_mode = {row["mode"]: row for row in worker_rss["rows"]}
+    mmap_row = by_mode.get("mmap")
+    eager_row = by_mode.get("eager")
+    if (
+        mmap_row is None
+        or eager_row is None
+        or mmap_row["mean_worker_rss_kb"] is None
+        or eager_row["mean_worker_rss_kb"] is None
+    ):
+        return {
+            "name": name,
+            "status": "skipped (no /proc RSS samples on this host)",
+            "detail": "boot timings recorded, RSS not judged",
+        }
+    mmap_kb = mmap_row["mean_worker_rss_kb"]
+    eager_kb = eager_row["mean_worker_rss_kb"]
+    mapped = mmap_row["mapped_artifact_indexes"]
+    ok = mapped >= 1 and mmap_kb < eager_kb
+    detail = (
+        f"mean worker RSS {mmap_kb / 1024.0:.1f} MiB mapped vs "
+        f"{eager_kb / 1024.0:.1f} MiB eager "
+        f"({mapped} mapped artifact index(es)); boot "
+        f"{mmap_row['boot_seconds']:.2f}s vs "
+        f"{eager_row['boot_seconds']:.2f}s"
+    )
+    return {
+        "name": name,
+        "status": "passed" if ok else "failed",
+        "detail": detail,
+    }
 
 
 def serve_report_failures(report: dict[str, Any]) -> list[str]:

@@ -58,7 +58,7 @@ def top_k_coverage(
         covered = sum(1 for g in top if g.members & selected_set)
         return covered / len(top)
     index = instance_index(instance)
-    hits = index.group_hits(index.selection_mask(selected))
+    hits = index.selection_hits(selected)
     covered = int(
         np.count_nonzero(hits[[index.group_pos[g.key] for g in top]])
     )
@@ -174,19 +174,40 @@ def distribution_similarity(
     instance: DiversificationInstance,
     selected: Iterable[str],
     top_groups: int = 20,
+    method: str = "vector",
 ) -> float:
     """Mean bucket-distribution CD-sim over the top groups' properties.
 
     For each property behind one of the ``top_groups`` largest groups,
     compare the population weight share per bucket with the subset's
     member share per bucket (paper §8.2's group-bucket construction).
+
+    ``method="vector"`` reads every subset bucket count from one
+    ``group_hits`` segment sum over the instance's CSR index;
+    ``"python"`` intersects membership sets per bucket (parity oracle).
+    Both produce identical floats: a group's hit count equals the size
+    of its member ∩ selection intersection exactly.
     """
-    selected_set = set(selected)
+    _check_method(method)
+    selected = list(selected)
     properties: list[str] = []
     for group in instance.groups.top_k(top_groups):
         label = group.key.property_label
         if label not in properties:
             properties.append(label)
+
+    if method == "vector":
+        index = instance_index(instance)
+        hits = index.selection_hits(selected)
+
+        def subset_count(group: Group) -> float:
+            return float(int(hits[index.group_pos[group.key]]))
+
+    else:
+        selected_set = set(selected)
+
+        def subset_count(group: Group) -> float:
+            return float(len(group.members & selected_set))
 
     similarities: list[float] = []
     for label in properties:
@@ -195,7 +216,7 @@ def distribution_similarity(
             continue
         buckets.sort(key=lambda g: (g.bucket.lo if g.bucket else 0.0, g.label))
         all_counts = [float(instance.wei[g.key]) for g in buckets]
-        sub_counts = [float(len(g.members & selected_set)) for g in buckets]
+        sub_counts = [subset_count(g) for g in buckets]
         similarities.append(cd_sim_from_counts(sub_counts, all_counts))
     if not similarities:
         return 1.0
@@ -241,6 +262,6 @@ def evaluate_intrinsic(
             instance, selected, k, method=method
         ),
         distribution_similarity=distribution_similarity(
-            instance, selected, top_groups
+            instance, selected, top_groups, method=method
         ),
     )

@@ -82,6 +82,7 @@ from ..core.updates import (
     reassign_groups,
     rebuild_instance,
 )
+from ..core.persistence import index_source_path
 from ..storage import (
     DurableRepositoryStore,
     SnapshotArtifact,
@@ -267,6 +268,7 @@ class PodiumService:
                 config = self._configurations.get(name)
                 if artifact.config != config.to_dict():
                     continue
+                started = time.perf_counter()
                 entry = _ConfigArtifacts(
                     config=config,
                     generation=self._generation,
@@ -286,6 +288,20 @@ class PodiumService:
                     entry.instances[config.budget] = instance
                 self._cache[name] = entry
                 restored.append(name)
+                # Adoption of a checkpoint artifact stands in for the
+                # grouping+instance build a cold boot would pay; recorded
+                # as its own stage so /metrics shows open-vs-build cost
+                # (stages.artifact_open next to stages.grouping /
+                # stages.instance).  Mapped opens (open_index_npz) are
+                # split from eager heap loads.
+                stage = (
+                    "artifact_open"
+                    if index_source_path(artifact.index) is not None
+                    else "artifact_open_eager"
+                )
+                self.metrics.observe_stage(
+                    stage, time.perf_counter() - started
+                )
         return sorted(restored)
 
     def apply_profile_delta(self, delta: ProfileDelta) -> dict[str, Any]:

@@ -133,6 +133,19 @@ class ServiceMetrics:
             else:
                 self._cache_misses += 1
 
+    def observe_stage(self, name: str, seconds: float) -> None:
+        """Record one standalone pipeline stage outside a request.
+
+        The per-request stages flow in through :meth:`observe_request`;
+        this hook is for stages that happen on the boot/restore path —
+        e.g. ``artifact_open`` when a checkpoint index is memory-mapped
+        instead of rebuilt — so ``GET /metrics`` can show open-vs-build
+        cost side by side (``stages.artifact_open`` versus
+        ``stages.grouping`` + ``stages.instance``).
+        """
+        with self._lock:
+            self._observe_stage(name, seconds)
+
     def _observe_stage(self, name: str, seconds: float) -> None:
         stage = self._stages.setdefault(
             name, {"count": 0, "total_seconds": 0.0, "max_seconds": 0.0}

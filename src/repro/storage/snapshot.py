@@ -45,7 +45,9 @@ from ..core.persistence import (
     CHECKPOINT_VERSION,
     group_set_from_dict,
     group_set_to_dict,
+    index_npz_mappable,
     load_index_npz,
+    open_index_npz,
     payload_checksum,
     save_index_npz,
 )
@@ -173,11 +175,15 @@ def load_snapshot(
 ) -> SnapshotState:
     """Load a snapshot directory written by :func:`write_snapshot`.
 
-    ``mmap_indexes=True`` opens each configuration's CSR index payload
-    as read-only memory maps (after checksum verification) instead of
-    heap copies — snapshots written by this version store the arrays
-    uncompressed exactly so recovery can do this; older compressed
-    snapshots transparently fall back to eager loads.
+    ``mmap_indexes=True`` opens each configuration's index fully lazily
+    via :func:`~repro.core.persistence.open_index_npz` (after checksum
+    verification): CSR payload, integer arrays *and* the user-id array
+    become read-only memory maps of the snapshot file, so recovery and
+    every forked serving worker share one page-cache copy instead of
+    private heap pages.  Snapshots written by this version store the
+    arrays uncompressed exactly so this works; legacy
+    DEFLATE-compressed snapshots transparently fall back to eager
+    loads.
     """
     path = Path(path)
     try:
@@ -226,10 +232,12 @@ def load_snapshot(
                 )
         index = None
         if meta.get("has_index"):
+            index_path = path / f"index-{cfg_name}.npz"
             try:
-                index = load_index_npz(
-                    path / f"index-{cfg_name}.npz", mmap=mmap_indexes
-                )
+                if mmap_indexes and index_npz_mappable(index_path):
+                    index = open_index_npz(index_path)
+                else:
+                    index = load_index_npz(index_path, mmap=mmap_indexes)
             except DatasetError as exc:
                 raise StorageError(
                     f"snapshot {path} has a corrupt index for "

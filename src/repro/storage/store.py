@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any, Callable
 
 from ..core.errors import StorageError, UnknownUserError
+from ..core.persistence import index_source_path
 from ..core.profiles import UserRepository
 from ..core.triplestore import find_triple_stores, inspect_triple_store
 from ..core.updates import (
@@ -62,6 +63,7 @@ class DurableRepositoryStore:
     ) -> None:
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.mmap_indexes = mmap_indexes
         self._lock = threading.RLock()
 
         started = time.monotonic()
@@ -291,6 +293,13 @@ class DurableRepositoryStore:
                 "replay_seconds": self.replay_seconds,
                 "n_users": len(self.repository),
                 "configs": sorted(self.artifacts),
+                "mmap_indexes": self.mmap_indexes,
+                "mapped_artifact_indexes": sum(
+                    1
+                    for a in self.artifacts.values()
+                    if a.index is not None
+                    and index_source_path(a.index) is not None
+                ),
             }
 
 

@@ -1,5 +1,6 @@
 """Taxonomies, inference rules and rule mining for profile enrichment."""
 
+from .columnar import enrich_columns
 from .mining import ImplicationRule, MinedImplication, mine_implications, mine_rule
 from .rules import (
     FunctionalPropertyRule,
@@ -12,6 +13,7 @@ from .rules import (
 from .tree import Taxonomy
 
 __all__ = [
+    "enrich_columns",
     "ImplicationRule",
     "MinedImplication",
     "mine_implications",

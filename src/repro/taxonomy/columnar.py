@@ -1,0 +1,220 @@
+"""Columnar profile enrichment — vectorized twin of :class:`RuleEngine`.
+
+:meth:`RuleEngine.enrich` walks one Python dict per profile per rule; at
+the columnar tier that is the last O(|U|) interpreter loop in the
+ingestion path.  :func:`enrich_columns` applies the same rule list to a
+:class:`~repro.core.columnar.ColumnarProfiles` as array passes: one
+boolean presence mask and one float64 score vector per *touched* label
+(labels no rule reads or writes are never densified).
+
+Parity is exact, not approximate:
+
+* **Support weights** come from the fixed pre-enrichment support map,
+  exactly like the engine's (support is computed once on the original
+  repository, never from staged inferences).
+* **Aggregation order** mirrors the engine bit-for-bit: per parent the
+  present children are accumulated left-to-right in ``sorted(children)``
+  order, so the float64 rounding of ``support-mean``/``mean`` matches the
+  dict path's ``sum()`` term for term; ``max`` replicates Python's
+  keep-first-maximum semantics.
+* **Staging** matches ``merged.setdefault``: rules fire in order over
+  shared mutable state, generalization levels fire leaves-first, and an
+  inference never overwrites a present value — explicit data stays
+  authoritative.
+
+Only the two shipped rule families are vectorizable; custom
+:class:`InferenceRule` subclasses must take the dict path, which remains
+the parity oracle (``tests/taxonomy/test_columnar_rules.py``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..core.columnar import ColumnarProfiles
+from ..core.errors import TaxonomyError
+from .rules import (
+    FunctionalPropertyRule,
+    GeneralizationRule,
+    InferenceRule,
+    category_property,
+)
+
+
+class _ColumnState:
+    """Mutable per-label ``(presence, score)`` vectors, densified lazily.
+
+    The base columns are pre-sorted by property once so initializing a
+    label's state is a contiguous slice, not a scan.  State persists
+    across rules: a label inferred by rule *k* is staged input to rule
+    *k + 1*, mirroring the engine's merged-profile threading.
+    """
+
+    def __init__(self, profiles: ColumnarProfiles) -> None:
+        self.n = profiles.n_users
+        self._pos = {
+            label: j for j, label in enumerate(profiles.property_labels)
+        }
+        counts = np.bincount(
+            profiles.prop_col, minlength=len(profiles.property_labels)
+        )
+        self.support = {
+            label: int(counts[j]) for label, j in self._pos.items()
+        }
+        order = np.argsort(profiles.prop_col, kind="stable")
+        self._indptr = np.zeros(len(self._pos) + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._indptr[1:])
+        self._users = profiles.user_col[order]
+        self._scores = profiles.score_col[order]
+        self._presence: dict[str, np.ndarray] = {}
+        self._values: dict[str, np.ndarray] = {}
+        #: (rows, label, values) of every inference, in firing order.
+        self.inferred: list[tuple[np.ndarray, str, np.ndarray]] = []
+
+    def get(self, label: str) -> tuple[np.ndarray, np.ndarray]:
+        mask = self._presence.get(label)
+        if mask is None:
+            mask = np.zeros(self.n, dtype=bool)
+            values = np.zeros(self.n, dtype=np.float64)
+            j = self._pos.get(label)
+            if j is not None:
+                lo, hi = int(self._indptr[j]), int(self._indptr[j + 1])
+                rows = self._users[lo:hi]
+                mask[rows] = True
+                values[rows] = self._scores[lo:hi]
+            self._presence[label] = mask
+            self._values[label] = values
+        return mask, self._values[label]
+
+    def infer(
+        self, label: str, rows_mask: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Record ``label = values`` for ``rows_mask`` users (all absent)."""
+        mask, present_values = self.get(label)
+        self._presence[label] = mask | rows_mask
+        self._values[label] = np.where(rows_mask, values, present_values)
+        self.inferred.append(
+            (np.flatnonzero(rows_mask), label, values[rows_mask])
+        )
+
+
+def _apply_generalization(state: _ColumnState, rule: GeneralizationRule) -> None:
+    template = rule.template
+    for level in rule.taxonomy.topological_levels():
+        for parent in level:
+            children = sorted(rule.taxonomy.children(parent))
+            if not children:
+                continue
+            parent_mask, _ = state.get(category_property(template, parent))
+            child_states = [
+                state.get(category_property(template, c)) for c in children
+            ]
+            any_child = np.zeros(state.n, dtype=bool)
+            for mask, _ in child_states:
+                any_child |= mask
+            fire = any_child & ~parent_mask
+            if not fire.any():
+                continue
+            if rule.aggregate == "max":
+                # Python's max keeps the first of equal values; replicate
+                # with a strict-greater update over sorted children.
+                acc = np.zeros(state.n, dtype=np.float64)
+                seen = np.zeros(state.n, dtype=bool)
+                for mask, values in child_states:
+                    take = mask & (~seen | (values > acc))
+                    acc = np.where(take, values, acc)
+                    seen |= mask
+                inferred = acc
+            elif rule.aggregate == "mean":
+                acc = np.zeros(state.n, dtype=np.float64)
+                count = np.zeros(state.n, dtype=np.int64)
+                for mask, values in child_states:
+                    acc = np.where(mask, acc + values, acc)
+                    count += mask
+                inferred = acc / np.maximum(count, 1)
+            elif rule.aggregate == "support-mean":
+                acc = np.zeros(state.n, dtype=np.float64)
+                total = np.zeros(state.n, dtype=np.int64)
+                for child, (mask, values) in zip(children, child_states):
+                    weight = max(
+                        state.support.get(
+                            category_property(template, child), 1
+                        ),
+                        1,
+                    )
+                    acc = np.where(mask, acc + values * weight, acc)
+                    total = np.where(mask, total + weight, total)
+                inferred = acc / np.maximum(total, 1)
+            else:
+                raise TaxonomyError(f"unknown aggregate {rule.aggregate!r}")
+            state.infer(category_property(template, parent), fire, inferred)
+
+
+def _apply_functional(state: _ColumnState, rule: FunctionalPropertyRule) -> None:
+    # Snapshot presence/assertion before any update: inferences within
+    # one rule do not feed back into that rule's own reading.
+    masks = []
+    count = np.zeros(state.n, dtype=np.int64)
+    held = np.full(state.n, -1, dtype=np.int64)
+    for i, value in enumerate(rule.domain):
+        mask, scores = state.get(category_property(rule.template, value))
+        asserted = mask & (scores == 1.0)
+        masks.append(mask.copy())
+        count += asserted
+        held = np.where(asserted, i, held)
+    single = count == 1
+    zeros = np.zeros(state.n, dtype=np.float64)
+    for i, value in enumerate(rule.domain):
+        fire = single & (held != i) & ~masks[i]
+        if fire.any():
+            state.infer(category_property(rule.template, value), fire, zeros)
+
+
+def enrich_columns(
+    profiles: ColumnarProfiles, rules: Iterable[InferenceRule]
+) -> ColumnarProfiles:
+    """Vectorized :meth:`RuleEngine.enrich` over triple columns.
+
+    Returns a new :class:`ColumnarProfiles` whose per-user score sets
+    equal (bit-for-bit) those of ``RuleEngine(rules).enrich`` applied to
+    the equivalent dict repository.  Requires the entry columns to carry
+    each ``(user, property)`` pair at most once — true of every columnar
+    producer in this repo.
+    """
+    state = _ColumnState(profiles)
+    for rule in rules:
+        if isinstance(rule, GeneralizationRule):
+            _apply_generalization(state, rule)
+        elif isinstance(rule, FunctionalPropertyRule):
+            _apply_functional(state, rule)
+        else:
+            raise TaxonomyError(
+                f"columnar enrichment supports GeneralizationRule and "
+                f"FunctionalPropertyRule; {type(rule).__name__} must take "
+                f"the dict-based RuleEngine path"
+            )
+    if not state.inferred:
+        return profiles
+
+    labels = list(profiles.property_labels)
+    position = {label: j for j, label in enumerate(labels)}
+    user_parts = [profiles.user_col]
+    prop_parts = [profiles.prop_col]
+    score_parts = [profiles.score_col]
+    for rows, label, values in state.inferred:
+        j = position.get(label)
+        if j is None:
+            j = position[label] = len(labels)
+            labels.append(label)
+        user_parts.append(rows)
+        prop_parts.append(np.full(len(rows), j, dtype=np.int64))
+        score_parts.append(values)
+    return ColumnarProfiles(
+        user_ids=profiles.user_ids,
+        property_labels=tuple(labels),
+        user_col=np.concatenate(user_parts),
+        prop_col=np.concatenate(prop_parts),
+        score_col=np.concatenate(score_parts),
+    )

@@ -158,6 +158,35 @@ class TestGroupSet:
         assert len(sub) == 1
         assert GroupKey("q", "h") not in sub
 
+    def test_reverse_links_built_lazily(self):
+        gs = GroupSet([make_group("p", "h", {"a", "b"})])
+        gs.add(make_group("q", "h", {"b"}))
+        # Construction and adds never pay the reverse-link build...
+        assert gs._user_groups is None
+        # ...the first user-side query does, once, correctly.
+        assert gs.groups_of("b") == {GroupKey("p", "h"), GroupKey("q", "h")}
+        assert gs._user_groups is not None
+
+    def test_projection_skips_reverse_links(self):
+        gs = GroupSet(
+            [make_group("p", "h", {"a"}), make_group("q", "h", {"b"})]
+        )
+        gs.groups_of("a")  # parent links exist
+        sub = gs.subset([GroupKey("p", "h")])
+        # The projection copies groups only: restricted_to_groups-style
+        # rescales stay O(|keys|), never O(Σ|G|).
+        assert sub._user_groups is None
+        assert sub.groups_of("a") == {GroupKey("p", "h")}
+
+    def test_add_after_build_maintains_links(self):
+        gs = GroupSet([make_group("p", "h", {"a", "b"})])
+        assert gs.degree("a") == 1  # builds the links
+        gs.add(make_group("p", "h", {"b", "c"}))  # replace: unlinks "a"
+        gs.add(make_group("q", "h", {"a"}))
+        assert gs.groups_of("a") == {GroupKey("q", "h")}
+        assert gs.groups_of("c") == {GroupKey("p", "h")}
+        assert gs.max_degree() == 1
+
     def test_buckets_of_property(self, table2_groups):
         buckets = table2_groups.buckets_of_property("avgRating Mexican")
         labels = {g.key.bucket_label for g in buckets}

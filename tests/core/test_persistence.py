@@ -261,7 +261,7 @@ class TestIndexNpzMmap:
     ):
         index = instance_index(table2_instance)
         path = tmp_path / "index.npz"
-        save_index_npz(index, path)  # compressed: members are deflated
+        save_index_npz(index, path, compressed=True)  # members deflated
         with pytest.warns(RuntimeWarning, match=r"DEFLATE-compressed"):
             restored = load_index_npz(path, mmap=True)
         for name in MMAP_MEMBERS:

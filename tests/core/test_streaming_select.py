@@ -92,7 +92,7 @@ class TestLazyOpen:
     def test_compressed_checkpoint_rejected(self, checkpoint, tmp_path):
         _, ram = checkpoint
         compressed = tmp_path / "compressed.npz"
-        save_index_npz(ram, compressed)  # deflated members: not mappable
+        save_index_npz(ram, compressed, compressed=True)  # deflated: not mappable
         with pytest.raises(DatasetError):
             open_index_npz(compressed)
 

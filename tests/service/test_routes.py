@@ -571,3 +571,46 @@ class TestDurableStore:
         assert got["selected"] == want["selected"]
         assert got["score"] == want["score"]
         reopened.close()
+
+    @pytest.mark.parametrize("mmap_indexes", (True, False))
+    def test_restore_records_artifact_open_stage(
+        self, tmp_path, mmap_indexes
+    ):
+        """Boot-time checkpoint adoption shows up in /metrics: mapped
+        opens as ``artifact_open``, heap loads as ``artifact_open_eager``,
+        and the storage section counts the mapped indexes."""
+        from repro.storage import DurableRepositoryStore
+
+        data_dir = tmp_path / "data"
+
+        def boot(store):
+            svc = PodiumService(store=store)
+            svc.configurations.put(
+                DiversificationConfiguration(name="two", budget=2)
+            )
+            return svc
+
+        store = DurableRepositoryStore(data_dir, fsync=False)
+        svc = boot(store)
+        svc.load_repository(example_repository())
+        call = make_client(svc)
+        call("POST", "/select", {"configuration": "two"})
+        call("POST", "/admin/snapshot")
+        store.close()
+
+        reopened = DurableRepositoryStore(
+            data_dir, fsync=False, mmap_indexes=mmap_indexes
+        )
+        restarted = boot(reopened)
+        assert restarted.restore_artifacts() == ["two"]
+        status, body = make_client(restarted)("GET", "/metrics")
+        assert status == 200
+        expected_stage = (
+            "artifact_open" if mmap_indexes else "artifact_open_eager"
+        )
+        assert body["stages"][expected_stage]["count"] == 1
+        assert body["storage"]["mmap_indexes"] is mmap_indexes
+        assert body["storage"]["mapped_artifact_indexes"] == (
+            1 if mmap_indexes else 0
+        )
+        reopened.close()

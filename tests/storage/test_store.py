@@ -12,6 +12,11 @@ from repro.core.errors import StorageError, UnknownUserError
 from repro.core.greedy import select_from_index
 from repro.core.groups import GroupingConfig, build_simple_groups
 from repro.core.index import instance_index
+from repro.core.persistence import (
+    index_source_path,
+    load_index_npz,
+    save_index_npz,
+)
 from repro.core.profiles import UserProfile
 from repro.core.updates import ProfileDelta, rebuild_instance
 from repro.datasets.synth import generate_profile_repository
@@ -21,6 +26,7 @@ from repro.storage import (
     inspect_data_dir,
     scan_wal,
 )
+from repro.storage.snapshot import current_snapshot_path
 
 BUDGET = 4
 
@@ -183,6 +189,74 @@ class TestArtifacts:
         assert restored.index is None  # incidence changed after snapshot
         assert "new000" in reopened.repository
         assert len(reopened.repository) == expected_users
+        reopened.close()
+
+
+class TestMappedArtifacts:
+    def _store_with_snapshot(self, repo, tmp_path):
+        groups = build_simple_groups(repo, GroupingConfig(min_support=2))
+        index = instance_index(rebuild_instance(groups, repo, BUDGET))
+        store = DurableRepositoryStore(tmp_path, fsync=False)
+        store.initialize(repo)
+        store.set_artifacts(
+            {
+                "cfg": SnapshotArtifact(
+                    config={"budget": BUDGET}, groups=groups, index=index
+                )
+            }
+        )
+        store.snapshot()
+        want = select_from_index(index, BUDGET, method="matrix")
+        store.close()
+        return want
+
+    def test_reopen_maps_artifact_indexes(self, repo, tmp_path):
+        want = self._store_with_snapshot(repo, tmp_path)
+        reopened = DurableRepositoryStore(
+            tmp_path, fsync=False, mmap_indexes=True
+        )
+        restored = reopened.artifacts["cfg"]
+        assert index_source_path(restored.index) is not None  # mapped
+        stats = reopened.stats()
+        assert stats["mmap_indexes"] is True
+        assert stats["mapped_artifact_indexes"] == 1
+        got = select_from_index(restored.index, BUDGET, method="matrix")
+        assert got.selected == want.selected
+        assert got.score == want.score
+        reopened.close()
+
+    def test_eager_reopen_reports_zero_mapped(self, repo, tmp_path):
+        self._store_with_snapshot(repo, tmp_path)
+        reopened = DurableRepositoryStore(
+            tmp_path, fsync=False, mmap_indexes=False
+        )
+        assert index_source_path(reopened.artifacts["cfg"].index) is None
+        stats = reopened.stats()
+        assert stats["mmap_indexes"] is False
+        assert stats["mapped_artifact_indexes"] == 0
+        reopened.close()
+
+    def test_legacy_compressed_snapshot_loads_eagerly(self, repo, tmp_path):
+        """Pre-migration snapshots (DEFLATE index members) still load:
+        recovery transparently falls back to the eager reader instead of
+        refusing to map."""
+        want = self._store_with_snapshot(repo, tmp_path)
+        snap = current_snapshot_path(tmp_path)
+        index_path = snap / "index-cfg.npz"
+        save_index_npz(
+            load_index_npz(index_path), index_path, compressed=True
+        )
+        with pytest.warns(RuntimeWarning, match="DEFLATE-compressed"):
+            reopened = DurableRepositoryStore(
+                tmp_path, fsync=False, mmap_indexes=True
+            )
+        restored = reopened.artifacts["cfg"]
+        assert restored.index is not None
+        assert index_source_path(restored.index) is None  # eager fallback
+        assert reopened.stats()["mapped_artifact_indexes"] == 0
+        got = select_from_index(restored.index, BUDGET, method="matrix")
+        assert got.selected == want.selected
+        assert got.score == want.score
         reopened.close()
 
 

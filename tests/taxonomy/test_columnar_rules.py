@@ -1,0 +1,142 @@
+"""Columnar enrichment parity: ``enrich_columns`` vs ``RuleEngine``.
+
+The dict-walking :class:`RuleEngine` stays the oracle; the vectorized
+twin must reproduce its output bit-for-bit — same inferred labels, same
+float64 scores — for every shipped rule family, aggregate and rule
+chaining order, on randomized repositories.
+"""
+
+import random
+
+import pytest
+
+from repro.core import UserProfile, UserRepository
+from repro.core.columnar import ColumnarProfiles, columnar_to_repository
+from repro.core.errors import TaxonomyError
+from repro.taxonomy import (
+    FunctionalPropertyRule,
+    GeneralizationRule,
+    RuleEngine,
+    Taxonomy,
+    category_property,
+    enrich_columns,
+)
+from repro.taxonomy.rules import InferenceRule
+
+CUISINES = ("Mexican", "Spanish", "Italian", "French")
+CITIES = ("haifa", "paris", "nyc")
+
+
+@pytest.fixture(scope="module")
+def taxonomy():
+    return Taxonomy(
+        [
+            ("Mexican", "Latin"),
+            ("Spanish", "Latin"),
+            ("Italian", "European"),
+            ("French", "European"),
+            ("Latin", "AnyCuisine"),
+            ("European", "AnyCuisine"),
+        ]
+    )
+
+
+def _random_repo(seed, n_users=40):
+    """Profiles over cuisine ratings and (sometimes asserted) cities."""
+    rng = random.Random(seed)
+    profiles = []
+    for i in range(n_users):
+        scores = {}
+        for cuisine in CUISINES:
+            if rng.random() < 0.5:
+                scores[category_property("avgRating", cuisine)] = round(
+                    rng.random(), 3
+                )
+        for city in CITIES:
+            if rng.random() < 0.3:
+                # Mix hard assertions (1.0) with soft scores so the
+                # functional rule fires for some users and not others.
+                scores[category_property("livesIn", city)] = (
+                    1.0 if rng.random() < 0.6 else round(rng.random(), 3)
+                )
+        if scores:
+            profiles.append(UserProfile(f"u{i:03d}", scores))
+    return UserRepository(profiles)
+
+
+def _scores_by_user(repository):
+    return {
+        profile.user_id: dict(profile.scores) for profile in repository
+    }
+
+
+def _assert_parity(repository, rules):
+    oracle = RuleEngine(rules).enrich(repository)
+    columns = enrich_columns(
+        ColumnarProfiles.from_repository(repository), rules
+    )
+    assert _scores_by_user(columnar_to_repository(columns)) == (
+        _scores_by_user(oracle)
+    )
+
+
+class TestGeneralizationParity:
+    @pytest.mark.parametrize("aggregate", ("support-mean", "mean", "max"))
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_multi_level_aggregates(self, taxonomy, aggregate, seed):
+        rules = [
+            GeneralizationRule("avgRating", taxonomy, aggregate=aggregate)
+        ]
+        _assert_parity(_random_repo(seed), rules)
+
+    def test_explicit_parent_stays_authoritative(self, taxonomy):
+        repo = UserRepository(
+            [
+                UserProfile(
+                    "u",
+                    {
+                        category_property("avgRating", "Mexican"): 0.9,
+                        category_property("avgRating", "Latin"): 0.2,
+                    },
+                )
+            ]
+        )
+        _assert_parity(
+            repo, [GeneralizationRule("avgRating", taxonomy, "mean")]
+        )
+
+
+class TestFunctionalParity:
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_closure_matches_engine(self, seed):
+        rules = [FunctionalPropertyRule("livesIn", CITIES)]
+        _assert_parity(_random_repo(seed), rules)
+
+
+class TestChaining:
+    @pytest.mark.parametrize("seed", (3, 4))
+    def test_rules_fire_in_order_over_shared_state(self, taxonomy, seed):
+        # Generalization inferences become staged input to the
+        # functional rule (and vice versa), exactly like the engine's
+        # merged-profile threading.
+        rules = [
+            GeneralizationRule("avgRating", taxonomy),
+            FunctionalPropertyRule("livesIn", CITIES),
+            GeneralizationRule("avgRating", taxonomy, aggregate="max"),
+        ]
+        _assert_parity(_random_repo(seed), rules)
+
+
+class TestEdgeCases:
+    def test_no_inference_returns_same_object(self, taxonomy):
+        profiles = ColumnarProfiles.from_repository(_random_repo(9))
+        assert enrich_columns(profiles, []) is profiles
+
+    def test_custom_rule_rejected(self):
+        class Custom(InferenceRule):
+            def infer(self, profile, support):
+                return {}
+
+        profiles = ColumnarProfiles.from_repository(_random_repo(9))
+        with pytest.raises(TaxonomyError, match="RuleEngine path"):
+            enrich_columns(profiles, [Custom()])
