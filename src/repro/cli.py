@@ -168,7 +168,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             fsync=args.fsync,
             mmap_indexes=not args.eager_artifacts,
         )
-    service = _load_service(args.profiles, args, store=store)
+    follower = None
+    if args.follow:
+        if args.workers >= 2:
+            raise PodiumError(
+                "--follow runs single-process: pass --workers 1 (the "
+                "pre-fork pool does not forward the WAL tail, and a "
+                "standby's read traffic is served by one process)"
+            )
+        if args.profiles:
+            raise PodiumError(
+                "--follow bootstraps its state from the primary; drop "
+                "--profiles (a local --data-dir is still honoured for "
+                "the standby's own durability)"
+            )
+        from .service.replication import WalFollower
+
+        service = PodiumService(store=store)
+        service.read_only = True
+        follower = WalFollower(
+            service, args.follow, poll_interval=args.poll_interval
+        )
+        service.follower = follower
+        follower.start()
+        print(
+            f"following {args.follow} "
+            f"(applied_seq={follower.applied_seq}, read-only until "
+            f"POST /admin/promote)",
+            file=sys.stderr,
+        )
+    else:
+        service = _load_service(args.profiles, args, store=store)
     try:
         if args.workers >= 2:
             from .service.workers import serve_pool
@@ -182,6 +212,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         else:
             snapshot = serve(service, host=args.host, port=args.port)
     finally:
+        if follower is not None:
+            follower.stop()
         if store is not None:
             store.close()
     from .service.viz import render_metrics_text
@@ -595,6 +627,23 @@ def build_parser() -> argparse.ArgumentParser:
         default="info",
         choices=("debug", "info", "warning", "error"),
         help="per-request structured log verbosity",
+    )
+    server.add_argument(
+        "--follow",
+        default=None,
+        metavar="URL",
+        help="boot as a warm standby of the primary at URL: bootstrap "
+        "its profiles + configurations, tail its WAL over HTTP and "
+        "serve read traffic (writes answer 503 until POST "
+        "/admin/promote); replication lag is exported under "
+        "'replication' in /metrics",
+    )
+    server.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        help="seconds between WAL tail polls when following (default "
+        "0.5)",
     )
     server.add_argument(
         "--workers",

@@ -15,6 +15,7 @@ from .config import (
     DiversificationConfiguration,
     default_configuration,
 )
+from .replication import WalFollower
 from .metrics import (
     WORKER_COUNTER_FIELDS,
     ServiceMetrics,
@@ -52,6 +53,7 @@ __all__ = [
     "default_configuration",
     "ServiceMetrics",
     "StageTimer",
+    "WalFollower",
     "WORKER_COUNTER_FIELDS",
     "aggregate_worker_rows",
     "request_log_record",

@@ -215,6 +215,10 @@ class PodiumService:
         self.cluster_stats_provider: Callable[[], dict[str, Any]] | None = (
             None
         )
+        # WAL-shipping standby: the CLI attaches a WalFollower and flips
+        # read_only; write routes answer 503 until POST /admin/promote.
+        self.read_only = False
+        self.follower: Any | None = None
         # Streaming maintainers keyed by (configuration, budget); built
         # lazily on the first maintained selection, repaired on every
         # ingested delta instead of re-solving from scratch.
@@ -231,12 +235,16 @@ class PodiumService:
             raise ServiceError("no profiles loaded")
         return self._repository
 
-    def load_repository(self, repository: UserRepository) -> None:
+    def load_repository(
+        self, repository: UserRepository, base_seq: int | None = None
+    ) -> None:
         """Swap the user repository; invalidates all cached artifacts.
 
         With a durable store attached this starts a new epoch: the
         wholesale replacement is snapshotted immediately and the WAL is
         truncated (its deltas describe the discarded population).
+        ``base_seq`` aligns the store's sequence numbering with a
+        replication primary's WAL position during follower bootstrap.
         """
         with self._lock.write():
             self._repository = repository
@@ -244,7 +252,7 @@ class PodiumService:
             self._cache.clear()
             self._maintainers.clear()
             if self.store is not None:
-                self.store.reset(repository)
+                self.store.reset(repository, base_seq=base_seq)
 
     def restore_artifacts(self) -> list[str]:
         """Seed the artifact cache from the store's recovered snapshot.
@@ -438,13 +446,72 @@ class PodiumService:
         from ..datasets.io import profiles_to_dict
 
         with self._lock.read():
-            return {
+            document = {
                 "profiles": profiles_to_dict(self._repository_or_raise()),
                 "configurations": [
                     self._configurations.get(name).to_dict()
                     for name in self._configurations.names()
                 ],
+                "wal_seq": 0,
+                "reset_epoch": 0,
             }
+            if self.store is not None:
+                # WAL-shipping bootstrap: the follower resumes tailing
+                # from exactly this position, in this epoch.  The key is
+                # "reset_epoch", not "epoch" — the pool writer's
+                # handle_sync merges this document under its own epoch
+                # counter and must not be clobbered.
+                document["wal_seq"] = self.store.last_seq
+                document["reset_epoch"] = self.store.reset_epoch
+            return document
+
+    def wal_records_since(
+        self, from_seq: int, limit: int = 256
+    ) -> dict[str, Any]:
+        """The ``GET /admin/wal`` document a follower tails.
+
+        Ships records with ``seq > from_seq`` plus the log tip and the
+        reset-epoch counter; ``resync`` tells the follower a contiguous
+        continuation is impossible (records compacted away, or the
+        follower is ahead of this primary) and a full state transfer is
+        needed.
+        """
+        store = self._store_or_raise()
+        if limit < 1:
+            raise ServiceError(f"limit must be >= 1, got {limit}")
+        records, last_seq, resync = store.records_since(
+            from_seq, limit=limit
+        )
+        return {
+            "from_seq": from_seq,
+            "last_seq": last_seq,
+            "resync": resync,
+            "reset_epoch": store.reset_epoch,
+            "records": [
+                {"seq": r.seq, "payload": r.payload} for r in records
+            ],
+        }
+
+    def promote(self) -> dict[str, Any]:
+        """Take over as primary: stop tailing, enable writes.
+
+        Idempotent — promoting a service that never followed anything
+        just reports its current role.
+        """
+        follower = self.follower
+        was_follower = follower is not None and self.read_only
+        if follower is not None:
+            follower.promote()
+        self.read_only = False
+        document: dict[str, Any] = {
+            "read_only": False,
+            "promoted": was_follower,
+        }
+        if self.store is not None:
+            document["wal_seq"] = self.store.last_seq
+        if follower is not None:
+            document["replication"] = follower.stats()
+        return document
 
     def reset_concurrency_after_fork(self) -> None:
         """Re-arm the service's locks in a freshly forked worker.
@@ -575,6 +642,10 @@ class PodiumService:
         snapshot["service"] = self.stats()
         if self.store is not None:
             snapshot["storage"] = self.store.stats()
+        if self.follower is not None:
+            snapshot["replication"] = self.follower.stats()
+        elif self.read_only:
+            snapshot["replication"] = {"role": "follower", "state": "idle"}
         with self._lock.read():
             if self._maintainers:
                 snapshot["maintainers"] = {
@@ -969,6 +1040,19 @@ def _int_field(value: Any, name: str) -> int:
         ) from None
 
 
+#: Mutating routes a read-only follower refuses until promotion.  Local
+#: admin durability ops (snapshot/compact) stay allowed: they persist
+#: the follower's own replicated state without diverging from the
+#: primary's history.
+_WRITE_ROUTES = frozenset(
+    {
+        ("POST", "/profiles"),
+        ("POST", "/profiles/delta"),
+        ("POST", "/configurations"),
+    }
+)
+
+
 def _dispatch(
     service: PodiumService,
     method: str,
@@ -977,6 +1061,16 @@ def _dispatch(
     timer: StageTimer,
 ) -> tuple[int, Any, str]:
     """Resolve one request to ``(status, payload, content_type)``."""
+    if service.read_only and (method, path) in _WRITE_ROUTES:
+        return (
+            503,
+            {
+                "error": "read-only: this instance follows a primary's "
+                "WAL; write to the primary, or POST /admin/promote to "
+                "take over"
+            },
+            _JSON,
+        )
     if method == "GET" and path == "/health":
         return 200, {"status": "ok", **service.stats()}, _JSON
     if method == "GET" and path == "/metrics":
@@ -1006,6 +1100,20 @@ def _dispatch(
         return 200, service.snapshot_store(), _JSON
     if method == "POST" and path == "/admin/compact":
         return 200, service.compact_store(), _JSON
+    if method == "GET" and path == "/admin/wal":
+        query = _query(environ)
+        return (
+            200,
+            service.wal_records_since(
+                _int_field(query.get("from_seq", 0), "from_seq"),
+                _int_field(query.get("limit", 256), "limit"),
+            ),
+            _JSON,
+        )
+    if method == "GET" and path == "/admin/state":
+        return 200, service.replication_snapshot(), _JSON
+    if method == "POST" and path == "/admin/promote":
+        return 200, service.promote(), _JSON
     if method == "GET" and path == "/explain.html":
         query = _query(environ)
         html = service.explanation_page(

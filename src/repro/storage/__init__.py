@@ -1,10 +1,18 @@
 """Durable storage & streaming maintenance for the serving layer.
 
 Write-ahead log (:mod:`.wal`), atomic snapshots (:mod:`.snapshot`), the
-recovering store facade (:mod:`.store`) and the streaming selection
-maintainer (:mod:`.maintainer`).
+recovering store facade (:mod:`.store`), the streaming selection
+maintainer (:mod:`.maintainer`) and the injectable filesystem shim the
+chaos harness drives faults through (:mod:`.faults`).
 """
 
+from .faults import (
+    REAL_FS,
+    CrashFS,
+    FaultPlan,
+    FilesystemShim,
+    SimulatedCrash,
+)
 from .maintainer import StreamingMaintainer
 from .snapshot import (
     SnapshotArtifact,
@@ -17,7 +25,12 @@ from .store import DurableRepositoryStore, inspect_data_dir
 from .wal import WalRecord, WalScan, WriteAheadLog, scan_wal
 
 __all__ = [
+    "REAL_FS",
+    "CrashFS",
     "DurableRepositoryStore",
+    "FaultPlan",
+    "FilesystemShim",
+    "SimulatedCrash",
     "SnapshotArtifact",
     "SnapshotState",
     "StreamingMaintainer",

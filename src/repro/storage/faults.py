@@ -1,0 +1,340 @@
+"""Injectable filesystem shim for crash/fault simulation.
+
+The durable tier (:mod:`.wal`, :mod:`.snapshot`, :mod:`.store`) performs
+every state-changing syscall through a :class:`FilesystemShim`.  In
+production that is :data:`REAL_FS` — thin pass-throughs with zero
+behavioural difference.  Under test, :class:`CrashFS` replaces it and
+turns the syscall stream into a deterministic fault surface:
+
+* **Op counting** — every shim call gets a global index and a label
+  (``"file_write:<path>"``), so a harness can first run a workload
+  fault-free to enumerate its syscalls, then re-run it crashing at each
+  index in turn.
+* **Crash injection** — at the planned index the shim raises
+  :class:`SimulatedCrash` *instead of* completing the operation
+  (content writes may first apply a partial prefix, like a real torn
+  write).  ``SimulatedCrash`` derives from ``BaseException`` so no
+  ``except Exception`` error boundary in production code can swallow
+  a simulated death.
+* **Errno injection** — at the planned index the shim raises a real
+  ``OSError`` (default ``ENOSPC``) after the same optional partial
+  effect; unlike a crash, the process survives and the caller's error
+  handling runs.
+* **Power-loss model** — content written through the shim is *volatile*
+  until the file (or its data) is fsynced through the shim; directory
+  operations (``replace``/``rmtree``) persist immediately.  When a
+  crash fires, :meth:`CrashFS.lose_volatile` truncates every file back
+  to its durable length — the on-disk state then is what a machine that
+  lost power would reboot to.  ``drop_fsync=True`` models a lying disk:
+  fsync returns success but promotes nothing to durable, which is how
+  the harness proves it *would* detect a missing-fsync bug.
+
+The model is deliberately pragmatic: content durability is tracked as a
+byte length per file (exact for the append-only WAL and write-once
+snapshot files this layer produces), and renames are assumed durable
+once issued.  Files written *outside* the shim (e.g. numpy index
+archives) are treated as durable — the harness documents that blind
+spot instead of pretending to cover it.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import os
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, BinaryIO
+
+
+class SimulatedCrash(BaseException):
+    """The process 'died' at a planned syscall.
+
+    A ``BaseException`` on purpose: production error boundaries catch
+    ``Exception`` (and must keep doing so), but a simulated crash has to
+    unwind all the way to the test harness, exactly like ``SIGKILL``
+    would end the process.
+    """
+
+
+class FilesystemShim:
+    """Pass-through syscall surface the durable tier writes through.
+
+    Methods mirror the exact operations the storage layer performs, at
+    the granularity faults need to be injected at — not a general VFS.
+    """
+
+    # -- file content -----------------------------------------------------
+
+    def file_write(self, handle: BinaryIO, data: bytes) -> None:
+        """Append ``data`` via an open handle and push it to the OS."""
+        handle.write(data)
+        handle.flush()
+
+    def file_fsync(self, handle: BinaryIO) -> None:
+        """Make everything written through ``handle`` durable."""
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def write_bytes(self, path: str | Path, data: bytes) -> None:
+        """Create/overwrite ``path`` with ``data`` (volatile until fsync)."""
+        with open(path, "wb") as handle:
+            handle.write(data)
+
+    def truncate_file(self, path: str | Path, size: int) -> None:
+        """Cut ``path`` to ``size`` bytes and make the cut durable."""
+        with open(path, "rb+") as handle:
+            handle.truncate(size)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- durability points ------------------------------------------------
+
+    def fsync_path(self, path: str | Path) -> None:
+        """fsync a file by path (staged snapshot payloads)."""
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def fsync_dir(self, path: str | Path) -> None:
+        """Flush directory metadata so renames survive power loss.
+
+        Best effort: platforms without directory fds simply skip it,
+        matching the storage layer's historical behaviour.
+        """
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # -- metadata ---------------------------------------------------------
+
+    def replace(self, src: str | Path, dst: str | Path) -> None:
+        """Atomic rename (the commit point of snapshot/pointer writes)."""
+        os.replace(src, dst)
+
+    def rmtree(self, path: str | Path) -> None:
+        """Recursively delete a directory tree."""
+        shutil.rmtree(path)
+
+
+#: The production shim: every call is a direct syscall.
+REAL_FS = FilesystemShim()
+
+
+@dataclass
+class FaultPlan:
+    """What to inject, and where in the syscall stream.
+
+    ``crash_at``/``errno_at`` are indexes into the shim's global op
+    counter (see :attr:`CrashFS.ops`).  The faulted op is *not* applied
+    — except content writes, which may first persist a partial prefix
+    (``partial_writes``), modelling a tear mid-record.
+    """
+
+    crash_at: int | None = None
+    errno_at: int | None = None
+    errno_code: int = _errno.ENOSPC
+    partial_writes: bool = True
+    drop_fsync: bool = False
+
+
+class CrashFS(FilesystemShim):
+    """Fault-injecting shim with a power-loss model.
+
+    Tracks, per touched file, the byte length known durable (content
+    present at first touch counts as durable — it was either fsynced by
+    an earlier session or seeded by the test).  :meth:`lose_volatile`
+    rewinds every file to that length, producing the post-power-loss
+    disk image.
+    """
+
+    def __init__(
+        self, plan: FaultPlan | None = None, rng: Any | None = None
+    ) -> None:
+        self.plan = plan or FaultPlan()
+        self.rng = rng
+        self.ops: list[str] = []
+        #: path -> durable byte length (0 covers "created but never
+        #: fsynced": the dir entry survives, the content does not).
+        self.durable: dict[str, int] = {}
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def op_count(self) -> int:
+        return len(self.ops)
+
+    def _track(self, path: str | Path) -> str:
+        key = os.path.abspath(str(path))
+        if key not in self.durable:
+            try:
+                self.durable[key] = os.path.getsize(key)
+            except OSError:
+                self.durable[key] = 0
+        return key
+
+    def _mark_durable(self, path: str | Path) -> None:
+        if self.plan.drop_fsync:
+            return
+        key = os.path.abspath(str(path))
+        try:
+            self.durable[key] = os.path.getsize(key)
+        except OSError:
+            self.durable[key] = 0
+
+    def _fault(self, label: str) -> bool:
+        """Count one op; return True when it must not be applied.
+
+        Raising happens in the caller *after* any partial effect, via
+        :meth:`_raise`.
+        """
+        index = len(self.ops)
+        self.ops.append(label)
+        return index == self.plan.crash_at or index == self.plan.errno_at
+
+    def _raise(self, label: str) -> None:
+        index = len(self.ops) - 1
+        if index == self.plan.crash_at:
+            raise SimulatedCrash(f"simulated crash at op {index}: {label}")
+        raise OSError(
+            self.plan.errno_code,
+            f"{os.strerror(self.plan.errno_code)} "
+            f"(injected at op {index}: {label})",
+        )
+
+    def _partial(self, data: bytes) -> bytes:
+        if not self.plan.partial_writes or len(data) < 2:
+            return b""
+        if self.rng is not None:
+            return data[: int(self.rng.integers(1, len(data)))]
+        return data[: len(data) // 2]
+
+    # -- shimmed operations ------------------------------------------------
+
+    def file_write(self, handle: BinaryIO, data: bytes) -> None:
+        label = f"file_write:{handle.name}"
+        self._track(handle.name)
+        if self._fault(label):
+            torn = self._partial(data)
+            if torn:
+                handle.write(torn)
+                handle.flush()
+            self._raise(label)
+        handle.write(data)
+        handle.flush()
+
+    def file_fsync(self, handle: BinaryIO) -> None:
+        label = f"file_fsync:{handle.name}"
+        if self._fault(label):
+            self._raise(label)
+        handle.flush()
+        os.fsync(handle.fileno())
+        self._mark_durable(handle.name)
+
+    def write_bytes(self, path: str | Path, data: bytes) -> None:
+        label = f"write_bytes:{path}"
+        self._track(path)
+        if self._fault(label):
+            torn = self._partial(data)
+            if torn:
+                with open(path, "wb") as handle:
+                    handle.write(torn)
+            self._raise(label)
+        with open(path, "wb") as handle:
+            handle.write(data)
+
+    def truncate_file(self, path: str | Path, size: int) -> None:
+        label = f"truncate_file:{path}"
+        key = self._track(path)
+        if self._fault(label):
+            self._raise(label)
+        with open(path, "rb+") as handle:
+            handle.truncate(size)
+            handle.flush()
+            os.fsync(handle.fileno())
+        # A truncation that completed is durable by construction; bytes
+        # beyond it can never come back.
+        self.durable[key] = min(self.durable.get(key, size), size)
+
+    def fsync_path(self, path: str | Path) -> None:
+        label = f"fsync_path:{path}"
+        self._track(path)
+        if self._fault(label):
+            self._raise(label)
+        super().fsync_path(path)
+        self._mark_durable(path)
+
+    def fsync_dir(self, path: str | Path) -> None:
+        label = f"fsync_dir:{path}"
+        if self._fault(label):
+            self._raise(label)
+        super().fsync_dir(path)
+
+    def replace(self, src: str | Path, dst: str | Path) -> None:
+        label = f"replace:{src}->{dst}"
+        if self._fault(label):
+            self._raise(label)
+        os.replace(src, dst)
+        self._rekey(src, dst)
+
+    def rmtree(self, path: str | Path) -> None:
+        label = f"rmtree:{path}"
+        if self._fault(label):
+            self._raise(label)
+        shutil.rmtree(path)
+        prefix = os.path.abspath(str(path))
+        for key in [k for k in self.durable if self._under(k, prefix)]:
+            del self.durable[key]
+
+    def _rekey(self, src: str | Path, dst: str | Path) -> None:
+        """Move volatile/durable tracking across a rename (file or tree)."""
+        src_key = os.path.abspath(str(src))
+        dst_key = os.path.abspath(str(dst))
+        moved = {
+            k: v for k, v in self.durable.items() if self._under(k, src_key)
+        }
+        for key in moved:
+            del self.durable[key]
+        for key, value in moved.items():
+            self.durable[dst_key + key[len(src_key):]] = value
+
+    @staticmethod
+    def _under(key: str, prefix: str) -> bool:
+        return key == prefix or key.startswith(prefix + os.sep)
+
+    # -- the power-loss event ----------------------------------------------
+
+    def lose_volatile(self, worst_case: bool = True) -> list[str]:
+        """Rewind every tracked file to its durable length.
+
+        The disk image afterwards is what survives a power loss at the
+        crash point: fsynced bytes stay, everything newer is gone.  With
+        ``worst_case=False`` and an rng attached, each file keeps a
+        random amount of its volatile suffix instead (power loss flushed
+        *some* pages) — both outcomes are admissible, recovery must
+        handle either.  Returns the paths that lost bytes.
+        """
+        lost: list[str] = []
+        for key, durable_len in self.durable.items():
+            try:
+                size = os.path.getsize(key)
+            except OSError:
+                continue  # deleted/renamed away: nothing to rewind
+            if size <= durable_len:
+                continue
+            keep = durable_len
+            if not worst_case and self.rng is not None:
+                keep = int(self.rng.integers(durable_len, size + 1))
+            if keep >= size:
+                continue
+            with open(key, "rb+") as handle:
+                handle.truncate(keep)
+            lost.append(key)
+        return lost

@@ -22,18 +22,28 @@ reassignment path did.  Persisting the buckets (and replaying
 post-snapshot deltas through the same ``reassign_groups`` code) removes
 that degree of freedom.
 
-Writes are atomic: the snapshot is staged in a temp directory, renamed
-into place, and only then does ``CURRENT`` flip (itself via
-``os.replace``).  A crash mid-snapshot leaves either the old ``CURRENT``
-or no pointer at all — never a pointer to a half-written directory.
+Writes are atomic *and power-loss safe*: every staged file is written
+and fsynced, the stage directory is fsynced, the stage is renamed to a
+final directory name that is never reused (re-snapshots at the same
+sequence get a ``.N`` suffix instead of deleting the live directory
+first), the rename is made durable with a directory fsync, and only
+then does ``CURRENT`` flip (its temp file fsynced before the
+``os.replace``).  A crash at any point leaves either the old
+``CURRENT`` or the new one — never a pointer to a half-written,
+half-synced or deleted directory.  Should a legacy layout still present
+a dangling pointer, loading falls back to the newest snapshot directory
+that carries a manifest.
+
+All state-changing syscalls go through the injectable filesystem shim
+(:mod:`.faults`), which is how the chaos harness proves the ordering
+above actually holds at every crash point.
 """
 
 from __future__ import annotations
 
 import json
-import os
-import shutil
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -53,6 +63,7 @@ from ..core.persistence import (
 )
 from ..core.profiles import UserRepository
 from ..datasets.io import profiles_from_dict, profiles_to_dict
+from .faults import REAL_FS, FilesystemShim
 
 _MANIFEST_FORMAT = "podium-snapshot-v1"
 _CURRENT = "CURRENT"
@@ -87,45 +98,117 @@ def _snap_name(wal_seq: int) -> str:
 
 
 def current_snapshot_path(data_dir: str | Path) -> Path | None:
-    """Resolve the live snapshot directory, or ``None`` if there is none."""
+    """Resolve the live snapshot directory, or ``None`` if there is none.
+
+    A damaged pointer — empty, torn, or naming a directory that no
+    longer exists (the pre-fix re-snapshot path could delete the live
+    directory before renaming its replacement in) — falls back to the
+    newest snapshot directory holding a manifest, because only committed
+    snapshots survive pruning.  Recovery raises only when no usable
+    snapshot exists at all.
+    """
     root = snapshots_dir(data_dir)
     pointer = root / _CURRENT
     if not pointer.exists():
         return None
     name = pointer.read_text().strip()
     path = root / name
-    if not name.startswith(_SNAP_PREFIX) or not path.is_dir():
+    if name.startswith(_SNAP_PREFIX) and path.is_dir():
+        return path
+    fallback = _newest_valid_snapshot(root)
+    if fallback is None:
         raise StorageError(
             f"snapshot pointer {pointer} names missing or invalid "
-            f"snapshot {name!r}"
+            f"snapshot {name!r} and no other snapshot is recoverable"
         )
-    return path
+    warnings.warn(
+        f"snapshot pointer {pointer} names missing or invalid snapshot "
+        f"{name!r}; falling back to {fallback.name}",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return fallback
 
 
-def write_snapshot(data_dir: str | Path, state: SnapshotState) -> Path:
+def _snap_sort_key(name: str) -> tuple[int, int]:
+    """Order snapshot names by (sequence, re-snapshot suffix)."""
+    body = name[len(_SNAP_PREFIX):]
+    seq_text, _, suffix = body.partition(".")
+    try:
+        seq = int(seq_text)
+    except ValueError:
+        seq = -1
+    try:
+        revision = int(suffix) if suffix else 0
+    except ValueError:
+        revision = 0
+    return (seq, revision)
+
+
+def _newest_valid_snapshot(root: Path) -> Path | None:
+    """Newest ``snap-*`` directory that still holds a manifest."""
+    candidates = sorted(
+        (
+            entry
+            for entry in root.iterdir()
+            if entry.name.startswith(_SNAP_PREFIX)
+            and entry.is_dir()
+            and (entry / "manifest.json").is_file()
+        ),
+        key=lambda entry: _snap_sort_key(entry.name),
+    )
+    return candidates[-1] if candidates else None
+
+
+def write_snapshot(
+    data_dir: str | Path,
+    state: SnapshotState,
+    fs: FilesystemShim | None = None,
+) -> Path:
     """Atomically write ``state`` as the new live snapshot.
 
-    Returns the final snapshot directory.  Older snapshot directories
-    are pruned after the pointer flips (keeping only the new one), so a
-    crash during pruning at worst leaves an orphan directory that the
-    next snapshot removes.
+    Crash-safety ordering (each step durable before the next):
+
+    1. stage every payload file, then fsync each one *and* the stage
+       directory — a crash after the later pointer flip must never
+       leave ``CURRENT`` naming a directory whose file contents were
+       still sitting in the page cache;
+    2. rename the stage to a never-before-used final name (re-snapshots
+       at the same sequence take a ``.N`` suffix rather than deleting
+       the live directory — the old snapshot stays intact until the new
+       pointer is durable) and fsync the snapshots root;
+    3. write the pointer's temp file, fsync it, ``os.replace`` it over
+       ``CURRENT``, and fsync the root again — the commit point;
+    4. prune superseded snapshot directories and stale stage leftovers.
+       A crash during pruning at worst leaves orphans that the next
+       snapshot removes.
+
+    Returns the final snapshot directory.
     """
+    fs = fs if fs is not None else REAL_FS
     root = snapshots_dir(data_dir)
     root.mkdir(parents=True, exist_ok=True)
     name = _snap_name(state.wal_seq)
+    revision = 0
+    while (root / name).exists():
+        revision += 1
+        name = f"{_snap_name(state.wal_seq)}.{revision}"
     final = root / name
     stage = root / f".tmp-{name}"
     if stage.exists():
-        shutil.rmtree(stage)
+        fs.rmtree(stage)
     stage.mkdir()
 
-    (stage / "profiles.json").write_text(
-        json.dumps(profiles_to_dict(state.repository))
+    fs.write_bytes(
+        stage / "profiles.json",
+        json.dumps(profiles_to_dict(state.repository)).encode(),
     )
     configs: dict[str, dict[str, Any]] = {}
     for cfg_name, artifact in state.artifacts.items():
         groups_doc = group_set_to_dict(artifact.groups)
-        (stage / f"groups-{cfg_name}.json").write_text(json.dumps(groups_doc))
+        fs.write_bytes(
+            stage / f"groups-{cfg_name}.json", json.dumps(groups_doc).encode()
+        )
         has_index = False
         if artifact.index is not None and artifact.index.vectorizable:
             # Stored (uncompressed) members so recovery can memory-map
@@ -152,21 +235,38 @@ def write_snapshot(data_dir: str | Path, state: SnapshotState) -> Path:
         "created_unix": time.time(),
         "configs": configs,
     }
-    (stage / "manifest.json").write_text(json.dumps(manifest, indent=1))
+    fs.write_bytes(
+        stage / "manifest.json", json.dumps(manifest, indent=1).encode()
+    )
 
-    if final.exists():  # re-snapshot at the same seq: replace wholesale
-        shutil.rmtree(final)
-    os.replace(stage, final)
+    # Durability point of the payload: every staged file's *content*
+    # must be on disk before any rename makes the directory reachable.
+    for staged in sorted(stage.iterdir()):
+        fs.fsync_path(staged)
+    fs.fsync_dir(stage)
+
+    fs.replace(stage, final)
+    fs.fsync_dir(root)
 
     pointer = root / _CURRENT
     tmp_pointer = root / f".{_CURRENT}.tmp"
-    tmp_pointer.write_text(name + "\n")
-    os.replace(tmp_pointer, pointer)
-    _fsync_dir(root)
+    fs.write_bytes(tmp_pointer, (name + "\n").encode())
+    fs.fsync_path(tmp_pointer)
+    fs.replace(tmp_pointer, pointer)
+    fs.fsync_dir(root)
 
     for entry in root.iterdir():
-        if entry.name.startswith(_SNAP_PREFIX) and entry.name != name:
-            shutil.rmtree(entry, ignore_errors=True)
+        stale_stage = (
+            entry.name.startswith(".tmp-") and entry.name != stage.name
+        )
+        superseded = (
+            entry.name.startswith(_SNAP_PREFIX) and entry.name != name
+        )
+        if stale_stage or superseded:
+            try:
+                fs.rmtree(entry)
+            except OSError:
+                pass  # orphan: the next snapshot retries
     return final
 
 
@@ -254,15 +354,3 @@ def load_snapshot(
         wal_seq=int(manifest.get("wal_seq", 0)),
         generation=int(manifest.get("generation", 0)),
     )
-
-
-def _fsync_dir(path: Path) -> None:
-    """Flush directory metadata so renames survive power loss (POSIX)."""
-    try:
-        fd = os.open(path, os.O_RDONLY)
-    except OSError:
-        return  # platform without directory fds: best effort
-    try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)

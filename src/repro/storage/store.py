@@ -33,6 +33,7 @@ from ..core.updates import (
     profile_delta_to_dict,
     reassign_groups,
 )
+from .faults import REAL_FS, FilesystemShim
 from .snapshot import (
     SnapshotArtifact,
     SnapshotState,
@@ -40,7 +41,7 @@ from .snapshot import (
     load_snapshot,
     write_snapshot,
 )
-from .wal import WriteAheadLog, scan_wal
+from .wal import WalRecord, WriteAheadLog, scan_wal
 
 _KIND_DELTA = "delta"
 
@@ -60,10 +61,12 @@ class DurableRepositoryStore:
         data_dir: str | Path,
         fsync: bool = True,
         mmap_indexes: bool = True,
+        fs: FilesystemShim | None = None,
     ) -> None:
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self.mmap_indexes = mmap_indexes
+        self._fs = fs if fs is not None else REAL_FS
         self._lock = threading.RLock()
 
         started = time.monotonic()
@@ -80,8 +83,13 @@ class DurableRepositoryStore:
         self.artifacts: dict[str, SnapshotArtifact] = dict(state.artifacts)
         self.generation = state.generation
         self.snapshot_seq = state.wal_seq
+        # Counts wholesale epoch replacements (reset) this process
+        # performed.  Sequence numbering survives a reset, so this
+        # counter is what tells a replication follower that history was
+        # rewritten and a contiguous tail no longer means convergence.
+        self.reset_epoch = 0
 
-        self._wal = WriteAheadLog(self.wal_path, fsync=fsync)
+        self._wal = WriteAheadLog(self.wal_path, fsync=fsync, fs=self._fs)
         if self._wal.last_seq < state.wal_seq:
             # Post-compaction restart: the log was truncated after the
             # snapshot; resume global numbering from the snapshot.
@@ -230,6 +238,7 @@ class DurableRepositoryStore:
                     wal_seq=self.last_seq,
                     generation=self.generation,
                 ),
+                fs=self._fs,
             )
             self.snapshot_seq = self.last_seq
             return path
@@ -241,19 +250,58 @@ class DurableRepositoryStore:
             self._wal.truncate()
             return path
 
-    def reset(self, repository: UserRepository) -> None:
+    def reset(
+        self,
+        repository: UserRepository,
+        base_seq: int | None = None,
+    ) -> None:
         """Replace the repository wholesale (new epoch).
 
         The previous history is discarded: artifacts are cleared (their
-        group sets describe the old population), the WAL is truncated
-        and a fresh snapshot makes the new repository durable.
+        group sets describe the old population), a fresh snapshot makes
+        the new repository durable, and only then is the WAL truncated.
+        Snapshot-before-truncate is the crash-safety point: the snapshot
+        captures ``wal_seq == last_seq``, so every pre-reset WAL record
+        is ``<= snapshot_seq`` and skipped on replay — a crash anywhere
+        in between recovers the *new* epoch, never the replaced
+        population over an already-emptied log.
+
+        ``base_seq`` lets a replication follower adopt the primary's
+        sequence numbering before its own appends continue it.
         """
         with self._lock:
             self.repository = repository
             self.artifacts = {}
             self.generation += 1
-            self._wal.truncate()
+            self.reset_epoch += 1
+            if base_seq is not None:
+                self._wal.truncate(base_seq=int(base_seq))
             self.snapshot()
+            self._wal.truncate()
+
+    def records_since(
+        self, from_seq: int, limit: int = 512
+    ) -> tuple[tuple[WalRecord, ...], int, bool]:
+        """WAL records past ``from_seq`` for a replication follower.
+
+        Returns ``(records, last_seq, resync)``.  ``resync`` is true when
+        the log can no longer serve a contiguous continuation from
+        ``from_seq`` — compaction or a reset discarded the records the
+        follower still needs — in which case the follower must fall back
+        to a full state transfer.
+        """
+        with self._lock:
+            if from_seq > self.last_seq:
+                # The follower is ahead of us: divergent histories
+                # (e.g. it was promoted and we are the stale primary).
+                return (), self.last_seq, True
+        records, last_seq = self._wal.read_since(from_seq, limit=limit)
+        if records and records[0].seq != from_seq + 1:
+            return (), last_seq, True
+        if not records and from_seq < last_seq:
+            # Behind, but the log holds nothing to ship (compacted away).
+            return (), last_seq, True
+        return records, last_seq, False
 
     def close(self) -> None:
         self._wal.close()
@@ -284,6 +332,7 @@ class DurableRepositoryStore:
                 "data_dir": str(self.data_dir),
                 "fsync": self.fsync,
                 "generation": self.generation,
+                "reset_epoch": self.reset_epoch,
                 "wal_seq": self.last_seq,
                 "wal_bytes": self._wal.size_bytes,
                 "wal_records_pending": self.last_seq - self.snapshot_seq,

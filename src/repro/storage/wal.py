@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from ..core.errors import StorageError
+from .faults import REAL_FS, FilesystemShim
 
 _HEADER = struct.Struct(">II")  # (payload length, payload crc32)
 
@@ -141,21 +142,27 @@ class WriteAheadLog:
     the service acknowledges deltas at.
     """
 
-    def __init__(self, path: str | Path, fsync: bool = True) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        fsync: bool = True,
+        fs: FilesystemShim | None = None,
+    ) -> None:
         self.path = Path(path)
         self.fsync = fsync
+        self._fs = fs if fs is not None else REAL_FS
         self._lock = threading.Lock()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         scan = scan_wal(self.path)
         self.truncated_bytes = scan.torn_bytes
         if scan.torn_bytes:
-            with open(self.path, "rb+") as handle:
-                handle.truncate(scan.valid_bytes)
-                handle.flush()
-                os.fsync(handle.fileno())
+            self._fs.truncate_file(self.path, scan.valid_bytes)
         self._last_seq = scan.last_seq
         self._bytes = scan.valid_bytes
         self._handle = open(self.path, "ab")
+        # Resume hint for sequential tail readers (WAL shipping): the
+        # (seq, offset) record boundary the previous read_since ended at.
+        self._read_hint: tuple[int, int] = (0, 0)
 
     # -- introspection -----------------------------------------------------
 
@@ -176,6 +183,13 @@ class WriteAheadLog:
 
         The payload must be a JSON object; ``seq`` is reserved for the
         log's own envelope.
+
+        A failed append (``ENOSPC`` mid-write, a torn device write)
+        never corrupts the log: the tail is rolled back to the last
+        intact record boundary before the error propagates, so
+        ``last_seq`` does not advance and the *next* append lands on a
+        clean boundary instead of burying itself behind garbage bytes
+        that recovery would treat as the torn tail.
         """
         if "seq" in payload:
             raise StorageError("payload field 'seq' is reserved by the WAL")
@@ -184,13 +198,35 @@ class WriteAheadLog:
                 raise StorageError(f"WAL {self.path} is closed")
             seq = self._last_seq + 1
             record = _encode(seq, payload)
-            self._handle.write(record)
-            self._handle.flush()
-            if self.fsync:
-                os.fsync(self._handle.fileno())
+            try:
+                self._fs.file_write(self._handle, record)
+                if self.fsync:
+                    self._fs.file_fsync(self._handle)
+            except OSError:
+                self._heal_tail()
+                raise
             self._last_seq = seq
             self._bytes += len(record)
             return seq
+
+    def _heal_tail(self) -> None:
+        """Roll a partially-written record back off the log (lock held).
+
+        Best effort by necessity — on a full disk even the truncate can
+        fail, but truncation releases space rather than consuming it, so
+        in practice the tail is restored and the logical state
+        (``last_seq``, ``size_bytes``) stays at the last acknowledged
+        record either way.
+        """
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+        try:
+            self._fs.truncate_file(self.path, self._bytes)
+        except OSError:
+            pass
+        self._handle = open(self.path, "ab")
 
     def truncate(self, base_seq: int | None = None) -> None:
         """Drop every record (log compaction).
@@ -203,15 +239,13 @@ class WriteAheadLog:
             if self._handle.closed:
                 raise StorageError(f"WAL {self.path} is closed")
             self._handle.close()
-            with open(self.path, "rb+") as handle:
-                handle.truncate(0)
-                handle.flush()
-                os.fsync(handle.fileno())
+            self._fs.truncate_file(self.path, 0)
             self._handle = open(self.path, "ab")
             self._last_seq = (
                 self._last_seq if base_seq is None else int(base_seq)
             )
             self._bytes = 0
+            self._read_hint = (0, 0)
 
     def advance_seq(self, seq: int) -> None:
         """Raise the sequence counter to at least ``seq``.
@@ -237,7 +271,7 @@ class WriteAheadLog:
             if not self._handle.closed:
                 self._handle.flush()
                 if self.fsync:
-                    os.fsync(self._handle.fileno())
+                    self._fs.file_fsync(self._handle)
                 self._handle.close()
 
     def release_fd(self) -> None:
@@ -264,3 +298,72 @@ class WriteAheadLog:
     def records(self) -> Iterator[WalRecord]:
         """Re-scan the on-disk log (used by inspect/replay tooling)."""
         yield from scan_wal(self.path).records
+
+    # -- tail reading (WAL shipping) ----------------------------------------
+
+    def read_since(
+        self, from_seq: int, limit: int = 512
+    ) -> tuple[tuple[WalRecord, ...], int]:
+        """Records with ``seq > from_seq`` (at most ``limit``), plus the
+        newest sequence number known.
+
+        Reads the on-disk file independently of the writer handle, so a
+        follower can tail the log while appends are in flight (an
+        append's bytes appear atomically at the tail; a half-flushed
+        record parses as torn and is simply picked up by the next
+        poll).  Sequential pollers are O(new bytes): the scan resumes
+        from the record boundary the previous call ended at whenever
+        that boundary is at or before ``from_seq``.
+        """
+        with self._lock:
+            hint_seq, hint_offset = self._read_hint
+            known_last = self._last_seq
+        start_seq, offset = (
+            (hint_seq, hint_offset) if hint_seq <= from_seq else (0, 0)
+        )
+        try:
+            data = self.path.read_bytes()
+        except OSError:
+            return (), known_last
+        records: list[WalRecord] = []
+        last_seq = start_seq
+        boundary = (last_seq, offset)
+        while offset + _HEADER.size <= len(data) and len(records) < limit:
+            length, crc = _HEADER.unpack_from(data, offset)
+            start = offset + _HEADER.size
+            if length > MAX_RECORD_BYTES or start + length > len(data):
+                break  # torn/in-flight tail: re-read next poll
+            body = data[start:start + length]
+            if zlib.crc32(body) & 0xFFFFFFFF != crc:
+                break
+            try:
+                payload = json.loads(body.decode())
+                seq = int(payload.pop("seq"))
+            except (ValueError, KeyError, UnicodeDecodeError):
+                break
+            if seq <= last_seq:
+                raise StorageError(
+                    f"WAL {self.path} sequence regression at offset "
+                    f"{offset}: {seq} after {last_seq}"
+                )
+            offset = start + length
+            last_seq = seq
+            boundary = (seq, offset)
+            if seq > from_seq:
+                records.append(
+                    WalRecord(
+                        seq=seq,
+                        payload=payload,
+                        offset=offset - _HEADER.size - length,
+                        length=_HEADER.size + length,
+                    )
+                )
+        with self._lock:
+            # Only advance the hint: truncation resets it under the same
+            # lock, and a stale racing reader must not resurrect it.
+            if boundary[1] > self._read_hint[1] and boundary[1] <= (
+                self._bytes
+            ):
+                self._read_hint = boundary
+            known_last = self._last_seq
+        return tuple(records), max(known_last, last_seq)

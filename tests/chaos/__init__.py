@@ -1,0 +1,1 @@
+"""Chaos tests: crash/fault injection against the durable tier."""

@@ -1,0 +1,180 @@
+"""Self-tests of the fault-injection shim (the harness's foundation).
+
+If the power-loss model were wrong — volatile bytes surviving, fsyncs
+not promoting, renames losing tracking — every chaos result downstream
+would be noise.  These tests pin the model, including the negative
+control: with ``drop_fsync`` (a lying disk) the shim must *detect* a
+snapshot whose payloads never truly reached the platter, which is
+exactly how the harness would have caught the historical missing-fsync
+bug in ``write_snapshot``.
+"""
+
+import errno
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.storage import (
+    CrashFS,
+    DurableRepositoryStore,
+    FaultPlan,
+    SimulatedCrash,
+    scan_wal,
+)
+from repro.storage.wal import WriteAheadLog
+
+from .harness import base_repository, same_repository
+
+
+class TestPowerLossModel:
+    def test_unfsynced_bytes_are_lost(self, tmp_path):
+        fs = CrashFS(FaultPlan())
+        target = tmp_path / "f"
+        fs.write_bytes(target, b"hello")
+        fs.lose_volatile()
+        assert target.read_bytes() == b""
+
+    def test_fsynced_bytes_survive(self, tmp_path):
+        fs = CrashFS(FaultPlan())
+        target = tmp_path / "f"
+        fs.write_bytes(target, b"hello")
+        fs.fsync_path(target)
+        fs.write_bytes(tmp_path / "g", b"gone")
+        fs.lose_volatile()
+        assert target.read_bytes() == b"hello"
+        assert (tmp_path / "g").read_bytes() == b""
+
+    def test_preexisting_content_counts_as_durable(self, tmp_path):
+        target = tmp_path / "f"
+        target.write_bytes(b"old")
+        fs = CrashFS(FaultPlan())
+        with open(target, "ab") as handle:
+            fs.file_write(handle, b"new")
+        fs.lose_volatile()
+        assert target.read_bytes() == b"old"
+
+    def test_handle_fsync_promotes(self, tmp_path):
+        target = tmp_path / "f"
+        fs = CrashFS(FaultPlan())
+        with open(target, "ab") as handle:
+            fs.file_write(handle, b"abc")
+            fs.file_fsync(handle)
+            fs.file_write(handle, b"def")
+        fs.lose_volatile()
+        assert target.read_bytes() == b"abc"
+
+    def test_drop_fsync_models_a_lying_disk(self, tmp_path):
+        fs = CrashFS(FaultPlan(drop_fsync=True))
+        target = tmp_path / "f"
+        fs.write_bytes(target, b"hello")
+        fs.fsync_path(target)  # returns success, promotes nothing
+        fs.lose_volatile()
+        assert target.read_bytes() == b""
+
+    def test_rename_moves_tracking(self, tmp_path):
+        fs = CrashFS(FaultPlan())
+        src = tmp_path / "stage"
+        src.mkdir()
+        fs.write_bytes(src / "f", b"hello")
+        fs.fsync_path(src / "f")
+        fs.write_bytes(src / "g", b"volatile")
+        fs.replace(src, tmp_path / "final")
+        fs.lose_volatile()
+        assert (tmp_path / "final" / "f").read_bytes() == b"hello"
+        assert (tmp_path / "final" / "g").read_bytes() == b""
+
+    def test_completed_truncate_is_durable(self, tmp_path):
+        target = tmp_path / "f"
+        target.write_bytes(b"0123456789")
+        fs = CrashFS(FaultPlan())
+        fs.truncate_file(target, 4)
+        fs.lose_volatile()
+        assert target.read_bytes() == b"0123"
+
+    def test_random_keep_stays_in_admissible_band(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        fs = CrashFS(FaultPlan(), rng=np.random.default_rng(3))
+        target = tmp_path / "f"
+        with open(target, "ab") as handle:
+            fs.file_write(handle, b"abcd")
+            fs.file_fsync(handle)
+            fs.file_write(handle, b"efgh")
+        fs.lose_volatile(worst_case=False)
+        kept = target.read_bytes()
+        assert kept.startswith(b"abcd") and len(kept) <= 8
+
+
+class TestInjection:
+    def test_crash_fires_at_exact_index(self, tmp_path):
+        fs = CrashFS(FaultPlan(crash_at=1))
+        fs.write_bytes(tmp_path / "a", b"x")  # op 0
+        with pytest.raises(SimulatedCrash):
+            fs.write_bytes(tmp_path / "b", b"y")  # op 1
+        assert fs.ops[1].startswith("write_bytes:")
+
+    def test_crash_is_not_an_exception(self):
+        # Production `except Exception` boundaries must never swallow a
+        # simulated death — otherwise crash points inside such blocks
+        # would silently test nothing.
+        assert not issubclass(SimulatedCrash, Exception)
+
+    def test_errno_injection_is_a_survivable_oserror(self, tmp_path):
+        fs = CrashFS(FaultPlan(errno_at=0))
+        with pytest.raises(OSError) as info:
+            fs.fsync_dir(tmp_path)
+        assert info.value.errno == errno.ENOSPC
+        fs.fsync_dir(tmp_path)  # the next op proceeds normally
+
+    def test_torn_write_leaves_a_prefix(self, tmp_path):
+        fs = CrashFS(FaultPlan(crash_at=0, partial_writes=True))
+        target = tmp_path / "f"
+        with open(target, "ab") as handle:
+            with pytest.raises(SimulatedCrash):
+                fs.file_write(handle, b"0123456789")
+        torn = target.read_bytes()
+        assert 0 < len(torn) < 10
+        assert b"0123456789".startswith(torn)
+
+
+class TestHarnessWouldCatchMissingFsync:
+    """Negative control: the dropped-fsync detection the ISSUE demands.
+
+    The snapshot writer fsyncs every staged file before the rename.  On
+    a lying disk (``drop_fsync``) those fsyncs are no-ops, so after
+    power loss the staged payloads are empty — and recovery must *not*
+    silently return an empty population: the pointer flip is durable
+    (directory metadata) while the payload is gone, which the loader
+    reports as corruption.  This proves the harness distinguishes
+    "fsync issued" from "fsync effective" — the pre-fix writer (which
+    issued no payload fsyncs at all) fails the dropped-fsync run and the
+    honest-disk run identically.
+    """
+
+    def test_lying_disk_snapshot_detected(self, tmp_path):
+        fs = CrashFS(FaultPlan(drop_fsync=True))
+        store = DurableRepositoryStore(tmp_path, fsync=True, fs=fs)
+        repo = base_repository()
+        store.initialize(repo)
+        store.release_after_fork()
+        fs.lose_volatile()
+        with pytest.raises(StorageError, match="profiles|manifest"):
+            DurableRepositoryStore(tmp_path, fsync=False)
+
+    def test_honest_disk_snapshot_survives(self, tmp_path):
+        fs = CrashFS(FaultPlan())
+        store = DurableRepositoryStore(tmp_path, fsync=True, fs=fs)
+        repo = base_repository()
+        store.initialize(repo)
+        store.release_after_fork()
+        fs.lose_volatile()
+        recovered = DurableRepositoryStore(tmp_path, fsync=False)
+        assert same_repository(recovered.repository, repo)
+        recovered.close()
+
+    def test_lying_disk_wal_append_lost(self, tmp_path):
+        wal_path = tmp_path / "wal.log"
+        fs = CrashFS(FaultPlan(drop_fsync=True))
+        wal = WriteAheadLog(wal_path, fsync=True, fs=fs)
+        wal.append({"kind": "delta", "delta": {}})
+        fs.lose_volatile()
+        assert scan_wal(wal_path).last_seq == 0

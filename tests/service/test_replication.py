@@ -1,0 +1,294 @@
+"""WAL shipping: follower bootstrap, streaming, lag metrics, promote.
+
+The follower here runs against a *real* HTTP primary (an ephemeral-port
+threaded server), exercising the exact `GET /admin/wal` / `GET
+/admin/state` wire path the CLI standby uses — not an in-process
+shortcut.  Selection parity between primary and follower is the
+acceptance bar: a standby that replays the shipped WAL through the
+incremental path must answer ``/select`` byte-identically.
+"""
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.core.updates import ProfileDelta
+from repro.core.profiles import UserProfile
+from repro.datasets.synth import generate_profile_repository
+from repro.service import (
+    PodiumService,
+    WalFollower,
+    make_http_server,
+)
+from repro.storage import DurableRepositoryStore
+
+BUDGET = 3
+
+
+def _repo(seed=17):
+    return generate_profile_repository(
+        n_users=20, n_properties=8, mean_profile_size=5.0, seed=seed
+    )
+
+
+def _delta(n):
+    return ProfileDelta(
+        upserts=(
+            UserProfile(f"rep{n:03d}", {"p0": 0.2 + 0.005 * n, "p1": 0.5}),
+        ),
+        removals=frozenset(),
+    )
+
+
+def _wait_until(predicate, timeout=10.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+@pytest.fixture()
+def primary(tmp_path_factory):
+    """A live HTTP primary with a durable store; yields (service, url)."""
+    store = DurableRepositoryStore(
+        tmp_path_factory.mktemp("primary"), fsync=False
+    )
+    service = PodiumService(store=store)
+    service.load_repository(_repo())
+    httpd = make_http_server(service, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+    try:
+        yield service, f"http://{host}:{port}"
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        store.close()
+
+
+def _follower_service(tmp_path_factory, with_store=True):
+    store = (
+        DurableRepositoryStore(
+            tmp_path_factory.mktemp("follower"), fsync=False
+        )
+        if with_store
+        else None
+    )
+    service = PodiumService(store=store)
+    service.read_only = True
+    return service
+
+
+def _get_json(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return json.loads(resp.read().decode())
+
+
+class TestWalRoute:
+    def test_admin_wal_ships_tail(self, primary):
+        service, url = primary
+        service.apply_profile_delta(_delta(0))
+        service.apply_profile_delta(_delta(1))
+        doc = _get_json(f"{url}/admin/wal?from_seq=0")
+        assert doc["last_seq"] == 2
+        assert doc["resync"] is False
+        assert [r["seq"] for r in doc["records"]] == [1, 2]
+        assert doc["records"][0]["payload"]["kind"] == "delta"
+
+    def test_admin_wal_respects_cursor_and_limit(self, primary):
+        service, url = primary
+        for n in range(4):
+            service.apply_profile_delta(_delta(n))
+        doc = _get_json(f"{url}/admin/wal?from_seq=2&limit=1")
+        assert [r["seq"] for r in doc["records"]] == [3]
+
+    def test_admin_wal_flags_resync_after_compaction(self, primary):
+        service, url = primary
+        service.apply_profile_delta(_delta(0))
+        service.compact_store()  # records 1.. are gone from the log
+        service.apply_profile_delta(_delta(1))
+        doc = _get_json(f"{url}/admin/wal?from_seq=0")
+        assert doc["resync"] is True
+        assert doc["records"] == []
+
+    def test_admin_state_carries_wal_position(self, primary):
+        service, url = primary
+        service.apply_profile_delta(_delta(0))
+        doc = _get_json(f"{url}/admin/state")
+        assert doc["wal_seq"] == 1
+        assert doc["profiles"]
+        assert any(
+            c["name"] == "default" for c in doc["configurations"]
+        )
+
+
+class TestFollower:
+    def test_bootstrap_and_stream(self, primary, tmp_path_factory):
+        service, url = primary
+        service.apply_profile_delta(_delta(0))
+        follower_svc = _follower_service(tmp_path_factory)
+        follower = WalFollower(follower_svc, url, poll_interval=0.05)
+        follower_svc.follower = follower
+        follower.start()
+        try:
+            assert follower.applied_seq == 1  # bootstrap caught the delta
+            for n in range(1, 4):
+                service.apply_profile_delta(_delta(n))
+            _wait_until(
+                lambda: follower.applied_seq == 4,
+                message="follower to reach seq 4",
+            )
+            # Byte-identical serving state.
+            want = service.select("default", budget=BUDGET, explain=False)
+            got = follower_svc.select(
+                "default", budget=BUDGET, explain=False
+            )
+            assert got == want
+            # The follower's own WAL adopted the primary's numbering.
+            assert follower_svc.store.last_seq == 4
+            stats = follower.stats()
+            assert stats["lag_seq"] == 0
+            assert stats["lag_seconds"] == 0.0
+            assert stats["applied_records"] == 3
+            metrics = follower_svc.metrics_snapshot()
+            assert metrics["replication"]["state"] == "streaming"
+        finally:
+            follower.stop()
+
+    def test_stateless_follower_streams_in_memory(
+        self, primary, tmp_path_factory
+    ):
+        service, url = primary
+        follower_svc = _follower_service(
+            tmp_path_factory, with_store=False
+        )
+        follower = WalFollower(follower_svc, url, poll_interval=0.05)
+        follower.start()
+        try:
+            service.apply_profile_delta(_delta(0))
+            _wait_until(
+                lambda: follower.applied_seq == 1,
+                message="stateless follower to reach seq 1",
+            )
+            assert "rep000" in follower_svc.repository
+        finally:
+            follower.stop()
+
+    def test_follower_resyncs_after_compaction_gap(
+        self, primary, tmp_path_factory
+    ):
+        service, url = primary
+        follower_svc = _follower_service(tmp_path_factory)
+        follower = WalFollower(follower_svc, url, poll_interval=0.05)
+        follower.start()
+        try:
+            resyncs_before = follower.resyncs
+            service.apply_profile_delta(_delta(0))
+            service.compact_store()  # ships nothing: the record is folded
+            service.apply_profile_delta(_delta(1))
+            _wait_until(
+                lambda: follower.applied_seq == 2,
+                message="follower to converge past the compaction",
+            )
+            assert follower.resyncs > resyncs_before
+            assert "rep000" in follower_svc.repository
+            assert "rep001" in follower_svc.repository
+        finally:
+            follower.stop()
+
+    def test_follower_detects_epoch_reset(self, primary, tmp_path_factory):
+        service, url = primary
+        follower_svc = _follower_service(tmp_path_factory)
+        follower = WalFollower(follower_svc, url, poll_interval=0.05)
+        follower.start()
+        try:
+            replacement = _repo(seed=23)
+            service.load_repository(replacement)  # epoch change, seq kept
+            _wait_until(
+                lambda: sorted(follower_svc.repository.user_ids)
+                == sorted(replacement.user_ids),
+                message="follower to adopt the new epoch",
+            )
+        finally:
+            follower.stop()
+
+    def test_read_only_follower_rejects_writes_with_503(
+        self, primary, tmp_path_factory
+    ):
+        import urllib.error
+
+        service, url = primary
+        follower_svc = _follower_service(tmp_path_factory)
+        follower = WalFollower(follower_svc, url, poll_interval=0.05)
+        follower_svc.follower = follower
+        follower.start()
+        httpd = make_http_server(follower_svc, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        fhost, fport = httpd.server_address[:2]
+        try:
+            request = urllib.request.Request(
+                f"http://{fhost}:{fport}/profiles/delta",
+                data=json.dumps(
+                    {"upserts": {"x": {"p0": 0.5}}}
+                ).encode(),
+                method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(request, timeout=5)
+            assert info.value.code == 503
+            assert "read-only" in json.loads(
+                info.value.read().decode()
+            )["error"]
+            # Reads still serve.
+            health = _get_json(f"http://{fhost}:{fport}/health")
+            assert health["status"] == "ok"
+        finally:
+            follower.stop()
+            httpd.shutdown()
+            httpd.server_close()
+
+
+class TestPromote:
+    def test_promote_enables_writes_and_keeps_acks(
+        self, primary, tmp_path_factory
+    ):
+        service, url = primary
+        for n in range(3):
+            service.apply_profile_delta(_delta(n))
+        follower_svc = _follower_service(tmp_path_factory)
+        follower = WalFollower(follower_svc, url, poll_interval=0.05)
+        follower_svc.follower = follower
+        follower.start()
+        _wait_until(
+            lambda: follower.applied_seq == 3,
+            message="follower to catch up before promotion",
+        )
+        document = follower_svc.promote()
+        assert document["read_only"] is False
+        assert document["promoted"] is True
+        assert document["wal_seq"] == 3
+        # Every replicated ack survived the takeover...
+        for n in range(3):
+            assert f"rep{n:03d}" in follower_svc.repository
+        # ...and the new primary accepts writes, continuing the
+        # primary's global sequence numbering.
+        response = follower_svc.apply_profile_delta(_delta(99))
+        assert response["wal_seq"] == 4
+        assert follower.stats()["role"] == "primary"
+
+    def test_promote_without_follower_is_idempotent(self, primary):
+        service, _ = primary
+        document = service.promote()
+        assert document == {
+            "read_only": False,
+            "promoted": False,
+            "wal_seq": service.store.last_seq,
+        }

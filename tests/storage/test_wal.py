@@ -6,6 +6,7 @@ return exactly the intact prefix — never an error, never a partial
 record.  We exercise every single truncation point of the last record.
 """
 
+import errno
 import json
 import struct
 import zlib
@@ -13,7 +14,7 @@ import zlib
 import pytest
 
 from repro.core.errors import StorageError
-from repro.storage import WriteAheadLog, scan_wal
+from repro.storage import CrashFS, FaultPlan, WriteAheadLog, scan_wal
 
 _HEADER = struct.Struct(">II")
 
@@ -155,3 +156,83 @@ class TestSequenceDiscipline:
                 wal.advance_seq(50)
             wal.advance_seq(3)  # no-op: lower than current
             assert wal.last_seq == 8
+
+
+class TestDiskFull:
+    """``ENOSPC`` mid-append via the fault shim (satellite of ISSUE 9).
+
+    A failed append must be invisible: ``last_seq`` does not advance,
+    the on-disk tail stays on a record boundary (no garbage burying
+    later appends), and the next append — after space frees up —
+    succeeds with the sequence number the failed one would have taken.
+    """
+
+    def _full_disk_wal(self, tmp_path, errno_at, partial=True):
+        # Two clean appends first (ops 0-3: write+fsync each), then the
+        # injected failure lands inside the third.
+        fs = CrashFS(
+            FaultPlan(errno_at=errno_at, partial_writes=partial)
+        )
+        wal = WriteAheadLog(tmp_path / "wal.log", fsync=True, fs=fs)
+        wal.append({"kind": "delta", "value": 0})
+        wal.append({"kind": "delta", "value": 1})
+        return wal
+
+    def test_enospc_mid_write_rolls_back_cleanly(self, tmp_path):
+        wal = self._full_disk_wal(tmp_path, errno_at=4)  # 3rd write op
+        boundary = wal.size_bytes
+        with pytest.raises(OSError) as info:
+            wal.append({"kind": "delta", "value": 2})
+        assert info.value.errno == errno.ENOSPC
+        # Logical state unchanged: the ack never happened.
+        assert wal.last_seq == 2
+        assert wal.size_bytes == boundary
+        # Physical state healed: the torn partial record is gone, the
+        # file ends exactly on the last acknowledged boundary.
+        assert (tmp_path / "wal.log").stat().st_size == boundary
+        scan = scan_wal(tmp_path / "wal.log")
+        assert [r.seq for r in scan.records] == [1, 2]
+        assert scan.torn_bytes == 0
+        # Space freed: the retry takes the seq the failed append missed.
+        assert wal.append({"kind": "delta", "value": 2}) == 3
+        wal.close()
+        assert [r.seq for r in scan_wal(tmp_path / "wal.log").records] == [
+            1,
+            2,
+            3,
+        ]
+
+    def test_enospc_at_fsync_rolls_the_record_back(self, tmp_path):
+        # The record's bytes reached the page cache but the durability
+        # barrier failed: it was never acknowledged, so it must be
+        # removed — otherwise the retry would append a duplicate seq
+        # behind it and recovery would refuse the whole log.
+        wal = self._full_disk_wal(tmp_path, errno_at=5)  # 3rd fsync op
+        with pytest.raises(OSError):
+            wal.append({"kind": "delta", "value": 2})
+        assert wal.last_seq == 2
+        assert wal.append({"kind": "delta", "value": 2}) == 3
+        wal.close()
+        scan = scan_wal(tmp_path / "wal.log")
+        assert [r.seq for r in scan.records] == [1, 2, 3]
+        assert scan.torn_bytes == 0
+
+    def test_reopen_after_unhealed_enospc_tail(self, tmp_path):
+        # Even if the process dies before the in-process heal (or the
+        # heal itself hit the full disk), the torn record is just tail
+        # damage: reopening truncates it and appends continue cleanly.
+        wal = self._full_disk_wal(tmp_path, errno_at=4)
+        data_before = (tmp_path / "wal.log").read_bytes()
+        with pytest.raises(OSError):
+            wal.append({"kind": "delta", "value": 2})
+        wal.release_fd()  # died without healing
+        # Simulate the heal never happening: restore the torn image.
+        torn = tmp_path / "torn.log"
+        torn.write_bytes(
+            data_before + b"\x00\x00\x01\x00garbage-partial-record"
+        )
+        reopened = WriteAheadLog(torn, fsync=False)
+        assert reopened.truncated_bytes > 0
+        assert reopened.last_seq == 2
+        assert reopened.append({"kind": "delta"}) == 3
+        reopened.close()
