@@ -62,6 +62,12 @@ from .core import (
     select_sharded_streaming,
     subset_score,
 )
+from .constraints import (
+    ClusterSpec,
+    ConstrainedSelectionResult,
+    ConstraintSpec,
+    constrained_select,
+)
 from .datasets.synth import generate_profile_columns
 from .storage import (
     DurableRepositoryStore,
@@ -73,7 +79,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Bucket",
+    "ClusterSpec",
     "ColumnarInstance",
+    "ConstrainedSelectionResult",
+    "ConstraintSpec",
     "ColumnarProfiles",
     "CoverageState",
     "CustomizationFeedback",
@@ -102,6 +111,7 @@ __all__ = [
     "build_index_external",
     "build_instance",
     "build_simple_groups",
+    "constrained_select",
     "covered_groups",
     "custom_select",
     "explain_selection",

@@ -253,7 +253,44 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _bench_ingest(args)
     if args.suite == "serve":
         return _bench_serve(args)
+    if args.suite == "constraints":
+        return _bench_constraints(args)
     return _bench_selection(args)
+
+
+def _bench_constraints(args: argparse.Namespace) -> int:
+    from .experiments.constraints import (
+        ConstraintsSetup,
+        benchmark_constraints,
+        constraints_report_failures,
+    )
+
+    defaults = ConstraintsSetup()
+    setup = ConstraintsSetup(
+        users=args.users,
+        budget=(
+            args.budget if args.budget is not None else defaults.budget
+        ),
+        seed=args.seed,
+        jobs=args.jobs if args.jobs is not None else defaults.jobs,
+    )
+    report = benchmark_constraints(setup)
+    out = args.out or "BENCH_constraints.json"
+    Path(out).write_text(json.dumps(report, indent=1) + "\n")
+    for row in report["rows"]:
+        rate = row["floor_satisfaction_rate"]
+        rate_note = f", floors {rate:.0%}" if rate is not None else ""
+        print(
+            f"{row['scenario']}: score {row['constrained_score']:.0f} "
+            f"({row['price_of_fairness']:.3f}x of unconstrained"
+            f"{rate_note}) in {row['constrained_seconds']:.3f}s "
+            f"(exact {row['exact_seconds']:.3f}s)"
+        )
+    failures = constraints_report_failures(report)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print(f"wrote {out}")
+    return 0 if not failures else 1
 
 
 def _bench_serve(args: argparse.Namespace) -> int:
@@ -704,12 +741,22 @@ def build_parser() -> argparse.ArgumentParser:
         "quality vs fresh greedy (BENCH_ingest.json); 'serve' load-tests "
         "the HTTP service across worker counts with a mixed "
         "/select + delta workload and gates on throughput and read "
-        "scaling (BENCH_serve.json)",
+        "scaling (BENCH_serve.json); 'constraints' measures the price "
+        "of fairness of floor/ceiling and cluster-budgeted selection "
+        "vs the unconstrained greedy and gates on a quality-ratio "
+        "floor (BENCH_constraints.json)",
     )
     bench.add_argument(
         "--suite",
         default="selection",
-        choices=("selection", "experiments", "scale", "ingest", "serve"),
+        choices=(
+            "selection",
+            "experiments",
+            "scale",
+            "ingest",
+            "serve",
+            "constraints",
+        ),
     )
     bench.add_argument(
         "--sizes", default=None,
@@ -724,7 +771,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=3)
     bench.add_argument(
         "--users", type=int, default=2000,
-        help="[experiments/ingest] population size",
+        help="[experiments/ingest/constraints] population size",
     )
     bench.add_argument(
         "--deltas", type=int, default=300,
@@ -736,8 +783,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--jobs", type=int, default=None,
-        help="[experiments/scale] worker processes (engine cells / "
-        "shard solves; default: 4; scale suite: 1)",
+        help="[experiments/scale/constraints] worker processes (engine "
+        "cells / shard solves; default: 4; scale/constraints suites: 1)",
     )
     bench.add_argument(
         "--shards", type=int, default=4,

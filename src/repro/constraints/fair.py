@@ -1,0 +1,397 @@
+"""Fair greedy: coverage maximization under floors and ceilings.
+
+The solver runs the paper's eager greedy recurrence (Algorithm 1) with
+a matroid-style feasibility check in front of every pick, in the spirit
+of "Diverse Data Selection under Fairness Constraints" (Moumoulidou et
+al.):
+
+* **ceilings** — a candidate whose pick would push any constrained
+  group past its ceiling is infeasible (``ceiling = 0`` groups are
+  excluded outright, exactly customization's must-not rule).
+* **floor reserve** — remaining budget is reserved for unmet floors.
+  Floors are accounted per property: buckets of one property are
+  disjoint (a user carries one bucket per property), so a property
+  ``p`` with total unmet deficit ``need_p`` requires ``need_p``
+  *distinct* future picks — but one pick can serve a bucket of *every*
+  property simultaneously, so the reserve is enforced per property, not
+  summed across properties.  A candidate ``u`` is feasible iff, for
+  every property ``p``,
+  ``need_p − reduction_p(u) ≤ budget − |S| − 1``
+  where ``reduction_p(u)`` counts the unmet floor groups of ``p``
+  containing ``u``.
+
+The feasible-max-gain pick keeps the greedy exchange argument intact
+within the feasible region; floors across *different* properties can in
+adversarial overlap structures still dead-end, in which case the solver
+raises :class:`InfeasibleConstraintError` naming the largest unmet
+floor rather than returning a violating selection (heuristic
+feasibility, diagnosed — never silent).  When every floor is met and no
+candidate remains feasible (e.g. ceilings sum below the budget), the
+solver stops early like an exhausted pool.
+
+Every array decision mirrors :func:`repro.core.greedy._rows_loop`
+(int64 gain vector, masked argmax with the first-max = minimal-user-id
+tie-break, ``np.subtract.at`` exhausted-group propagation), so the
+pure-Python oracle :func:`fair_select_oracle` matches it pick for pick.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import InfeasibleConstraintError
+from ..core.groups import GroupKey
+from ..core.index import InstanceIndex
+from ..core.instance import DiversificationInstance
+from ..core.scoring import CoverageState
+from ..core.weights import Weight
+from .feasibility import eligibility_mask, keys_by_property
+from .spec import ConstraintSpec
+
+
+class _FairArrays:
+    """Dense-id view of a spec's floors/ceilings against one index."""
+
+    __slots__ = (
+        "floor_gids",
+        "floor_req",
+        "floor_prop",
+        "n_props",
+        "ceil_gids",
+        "ceil_req",
+        "ceil_limit",
+    )
+
+    def __init__(self, index: InstanceIndex, spec: ConstraintSpec) -> None:
+        floors = spec.floors
+        self.floor_gids = np.fromiter(
+            (index.group_pos[k] for k, _c in floors),
+            dtype=np.int64,
+            count=len(floors),
+        )
+        self.floor_req = np.fromiter(
+            (c for _k, c in floors), dtype=np.int64, count=len(floors)
+        )
+        properties = sorted({k.property_label for k, _c in floors})
+        prop_pos = {p: i for i, p in enumerate(properties)}
+        self.floor_prop = np.fromiter(
+            (prop_pos[k.property_label] for k, _c in floors),
+            dtype=np.int64,
+            count=len(floors),
+        )
+        self.n_props = len(properties)
+        ceilings = spec.ceilings
+        self.ceil_gids = np.fromiter(
+            (index.group_pos[k] for k, _c in ceilings),
+            dtype=np.int64,
+            count=len(ceilings),
+        )
+        self.ceil_req = np.fromiter(
+            (c for _k, c in ceilings), dtype=np.int64, count=len(ceilings)
+        )
+        # Per-group ceiling lookup; unconstrained groups get a limit no
+        # selection can reach.
+        self.ceil_limit = np.full(index.n_groups, np.iinfo(np.int64).max)
+        self.ceil_limit[self.ceil_gids] = self.ceil_req
+
+
+def diagnose_floors(
+    index: InstanceIndex,
+    spec: ConstraintSpec,
+    budget: int,
+    rows: np.ndarray | None = None,
+) -> None:
+    """Raise a named :class:`InfeasibleConstraintError` for doomed floors.
+
+    Upfront checks with actionable messages: a floor larger than the
+    group's membership inside the candidate pool (covers empty groups),
+    and one property's floors summing past the budget (its buckets are
+    disjoint, so each unmet floor needs distinct picks).  Cross-property
+    dead-ends that survive these checks are diagnosed at runtime by the
+    solver itself.
+    """
+    pool_mask: np.ndarray | None = None
+    if rows is not None:
+        pool_mask = np.zeros(index.n_users, dtype=bool)
+        pool_mask[rows] = True
+    per_property: dict[str, int] = {}
+    for key, required in spec.floors:
+        gid = index.group_pos[key]
+        members = index.members_of_rows(np.asarray([gid], dtype=np.int64))
+        available = (
+            len(members)
+            if pool_mask is None
+            else int(np.count_nonzero(pool_mask[members]))
+        )
+        if required > available:
+            raise InfeasibleConstraintError(
+                f"floor {required} for group {key} exceeds its "
+                f"{available} candidate member(s)"
+            )
+        label = key.property_label
+        per_property[label] = per_property.get(label, 0) + required
+    for label, total in per_property.items():
+        if total > budget:
+            raise InfeasibleConstraintError(
+                f"floors on property {label!r} sum to {total}, more than "
+                f"the budget {budget} (its buckets are disjoint)"
+            )
+
+
+def _infeasible_deficit(
+    index: InstanceIndex, fa: _FairArrays, floor_def: np.ndarray
+) -> InfeasibleConstraintError:
+    """Name the unmet floor with the largest remaining deficit."""
+    worst = int(np.argmax(floor_def))
+    key = index.group_keys[int(fa.floor_gids[worst])]
+    return InfeasibleConstraintError(
+        f"no feasible candidate remains while floor for group {key} is "
+        f"short by {int(floor_def[worst])} member(s); relax the floors, "
+        f"raise conflicting ceilings or increase the budget"
+    )
+
+
+def fair_select_rows(
+    index: InstanceIndex,
+    spec: ConstraintSpec,
+    budget: int,
+    rows: np.ndarray | None = None,
+    rng: np.random.Generator | None = None,
+    sample_size: int | None = None,
+    sample_rng: np.random.Generator | None = None,
+) -> tuple[list[int], list[Weight], int]:
+    """Fair greedy over dense rows; returns ``(rows, gains, score)``.
+
+    The constrained twin of :func:`repro.core.greedy._rows_loop`: same
+    recurrence, same tie-break, with the per-pick argmax restricted to
+    feasible candidates.  ``rows`` defaults to every row and must be
+    strictly ascending.  ``sample_size`` restricts each step to a
+    uniform sample of the *feasible* candidates (stochastic greedy over
+    the feasible region); a sample covering them all degenerates to the
+    exact argmax, so ``sample_ratio=1.0`` reproduces the deterministic
+    fair selections for any ``sample_rng``.
+    """
+    assert index.wei is not None and index.initial_gains is not None
+    if rows is None:
+        rows = np.arange(index.n_users, dtype=np.int64)
+    else:
+        rows = np.asarray(rows, dtype=np.int64)
+    fa = _FairArrays(index, spec)
+    diagnose_floors(index, spec, budget, rows)
+    n = rows.size
+    gain = np.asarray(index.initial_gains[rows]).astype(np.int64)
+    dense_to_row = np.full(index.n_users, -1, dtype=np.int64)
+    dense_to_row[rows] = np.arange(n, dtype=np.int64)
+    remaining = np.array(index.cov, dtype=np.int64)
+    counts = np.zeros(index.n_groups, dtype=np.int64)
+    active = np.ones(n, dtype=bool)
+    # Ceiling-0 groups are plain exclusions — the shared eligibility
+    # helper customization's must-not rule also runs on.
+    zero_keys = [
+        index.group_keys[int(g)]
+        for g in fa.ceil_gids[fa.ceil_req == 0]
+    ]
+    if zero_keys:
+        eligible = eligibility_mask(index, forbidden=zero_keys)
+        active &= eligible[rows]
+    picked: list[int] = []
+    gains: list[Weight] = []
+    score = 0
+    for _ in range(budget):
+        floor_def = np.maximum(fa.floor_req - counts[fa.floor_gids], 0)
+        feasible = active
+        if fa.n_props:
+            prop_def = np.bincount(
+                fa.floor_prop, weights=floor_def, minlength=fa.n_props
+            ).astype(np.int64)
+            slots_after = budget - len(picked) - 1
+            tight = np.flatnonzero(prop_def > slots_after)
+            if tight.size:
+                feasible = feasible.copy()
+                for p in tight:
+                    unmet = fa.floor_gids[
+                        (fa.floor_prop == p) & (floor_def > 0)
+                    ]
+                    reduction = np.zeros(n, dtype=np.int64)
+                    member_rows = dense_to_row[index.members_of_rows(unmet)]
+                    member_rows = member_rows[member_rows >= 0]
+                    np.add.at(reduction, member_rows, 1)
+                    feasible &= reduction >= (
+                        int(prop_def[p]) - slots_after
+                    )
+        if not feasible.any():
+            if int(floor_def.sum()) > 0:
+                raise _infeasible_deficit(index, fa, floor_def)
+            break  # every floor met, no pick allowed: stop early
+        if sample_size is not None:
+            candidates = np.flatnonzero(feasible)
+            if sample_size < candidates.size:
+                assert sample_rng is not None
+                pick = sample_rng.choice(
+                    candidates.size, size=sample_size, replace=False
+                )
+                # Sorted sample keeps argmax ties on the minimal user id.
+                candidates = candidates[np.sort(pick)]
+            row = int(candidates[int(np.argmax(gain[candidates]))])
+            realized = int(gain[row])
+        elif rng is None:
+            masked = np.where(feasible, gain, np.int64(-1))
+            row = int(np.argmax(masked))
+            realized = int(masked[row])
+        else:
+            masked = np.where(feasible, gain, np.int64(-1))
+            tied = np.flatnonzero(masked == masked.max())
+            row = int(tied[int(rng.integers(tied.size))])
+            realized = int(masked[row])
+        active[row] = False
+        dense = int(rows[row])
+        picked.append(dense)
+        gains.append(realized)
+        score += realized
+
+        touched = np.asarray(index.groups_of_row(dense), dtype=np.int64)
+        counts[touched] += 1
+        newly_full = touched[counts[touched] == fa.ceil_limit[touched]]
+        if newly_full.size:
+            blocked = dense_to_row[index.members_of_rows(newly_full)]
+            blocked = blocked[blocked >= 0]
+            active[blocked] = False
+        hit = touched[remaining[touched] > 0]
+        remaining[hit] -= 1
+        exhausted = hit[remaining[hit] == 0]
+        if exhausted.size:
+            members = np.asarray(
+                index.members_of_rows(exhausted), dtype=np.int64
+            )
+            weights = np.repeat(
+                index.wei[exhausted], index.row_sizes(exhausted)
+            )
+            candidate = dense_to_row[members]
+            keep = candidate >= 0
+            np.subtract.at(gain, candidate[keep], weights[keep])
+
+    floor_def = np.maximum(fa.floor_req - counts[fa.floor_gids], 0)
+    if int(floor_def.sum()) > 0:
+        # Budget exhausted with floors unmet can only happen through a
+        # reserve-accounting gap (overlapping floor groups inside one
+        # property); diagnose rather than return a violating selection.
+        raise _infeasible_deficit(index, fa, floor_def)
+    return picked, gains, score
+
+
+def fair_select_oracle(
+    instance: DiversificationInstance,
+    spec: ConstraintSpec,
+    budget: int,
+    candidates: list[str] | None = None,
+) -> tuple[list[str], list[Weight], Weight]:
+    """Pure-Python fair greedy over the dict-based instance.
+
+    The exact-parity twin of :func:`fair_select_rows`: same feasibility
+    rules evaluated per user with set arithmetic, same max-gain pick
+    with the minimal-user-id tie-break, same diagnosed infeasibility.
+    Deliberately does no array work — it is the oracle the parity sweep
+    trusts, in the style of the eager/matrix backend pairing.
+    """
+    groups = instance.groups
+    pool = sorted(
+        candidates
+        if candidates is not None
+        else {u for g in groups for u in g.members}
+    )
+    floors = spec.floor_map
+    ceilings = spec.ceiling_map
+    members_of = {
+        key: groups.group(key).members for key in {*floors, *ceilings}
+    }
+    pool_set = set(pool)
+    per_property: dict[str, int] = {}
+    for key, required in floors.items():
+        available = len(members_of[key] & pool_set)
+        if required > available:
+            raise InfeasibleConstraintError(
+                f"floor {required} for group {key} exceeds its "
+                f"{available} candidate member(s)"
+            )
+        label = key.property_label
+        per_property[label] = per_property.get(label, 0) + required
+    for label, total in per_property.items():
+        if total > budget:
+            raise InfeasibleConstraintError(
+                f"floors on property {label!r} sum to {total}, more than "
+                f"the budget {budget} (its buckets are disjoint)"
+            )
+    floor_families = keys_by_property(sorted(floors, key=str))
+
+    state = CoverageState(instance)
+    marg: dict[str, Weight] = {u: state.marginal_gain(u) for u in pool}
+    remaining = set(pool)
+    counts: dict[GroupKey, int] = {key: 0 for key in {*floors, *ceilings}}
+    selected: list[str] = []
+    gains: list[Weight] = []
+
+    def deficit(key: GroupKey) -> int:
+        return max(0, floors[key] - counts[key])
+
+    for _ in range(budget):
+        prop_deficit = {
+            label: sum(deficit(k) for k in keys)
+            for label, keys in floor_families.items()
+        }
+        slots_after = budget - len(selected) - 1
+        feasible: list[str] = []
+        for user in remaining:
+            blocked = any(
+                counts[key] >= limit and user in members_of[key]
+                for key, limit in ceilings.items()
+            )
+            if blocked:
+                continue
+            reserve_ok = True
+            for label, keys in floor_families.items():
+                if prop_deficit[label] <= slots_after:
+                    continue
+                reduction = sum(
+                    1
+                    for k in keys
+                    if deficit(k) > 0 and user in members_of[k]
+                )
+                if prop_deficit[label] - reduction > slots_after:
+                    reserve_ok = False
+                    break
+            if reserve_ok:
+                feasible.append(user)
+        if not feasible:
+            unmet = [k for k in floors if deficit(k) > 0]
+            if unmet:
+                worst = max(unmet, key=lambda k: (deficit(k), str(k)))
+                raise InfeasibleConstraintError(
+                    f"no feasible candidate remains while floor for group "
+                    f"{worst} is short by {deficit(worst)} member(s); "
+                    f"relax the floors, raise conflicting ceilings or "
+                    f"increase the budget"
+                )
+            break
+        best = max(marg[u] for u in feasible)
+        chosen = min(u for u in feasible if marg[u] == best)
+        remaining.discard(chosen)
+        gains.append(state.add(chosen))
+        for key in counts:
+            if chosen in members_of[key]:
+                counts[key] += 1
+        for key in state.last_exhausted():
+            weight = instance.wei[key]
+            for member in groups.group(key).members:
+                if member in remaining:
+                    marg[member] -= weight
+        selected.append(chosen)
+
+    unmet = [k for k in floors if deficit(k) > 0]
+    if unmet:
+        worst = max(unmet, key=lambda k: (deficit(k), str(k)))
+        raise InfeasibleConstraintError(
+            f"no feasible candidate remains while floor for group {worst} "
+            f"is short by {deficit(worst)} member(s); relax the floors, "
+            f"raise conflicting ceilings or increase the budget"
+        )
+    return selected, gains, state.score

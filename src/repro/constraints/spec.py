@@ -1,0 +1,289 @@
+"""Constraint specifications for constrained selection.
+
+A :class:`ConstraintSpec` declares what a selection must look like on
+top of the coverage objective:
+
+* **floors** — hard lower bounds per group: the selection must contain
+  at least ``floor(G)`` members of ``G``.  Generalizes the must-have
+  constraint ``G₊`` of customization feedback (Def. 6.1), which is the
+  degenerate ``floor = 1`` case.
+* **ceilings** — hard upper bounds per group: the selection may contain
+  at most ``ceiling(G)`` members of ``G``.  ``ceiling = 0`` is exactly
+  the must-not constraint ``G₋``.
+* **clusters** — a :class:`ClusterSpec` switching the solver to
+  cluster-budgeted mode: partition the users, apportion the budget per
+  cluster by largest remainder, run coverage greedy per cluster
+  ("Maximizing diversity over clustered data", Zhang & Gionis).
+
+Floors/ceilings and cluster mode are mutually exclusive in this
+version — combining demographic quotas with cluster budgets needs a
+per-cluster quota model that is out of scope here and rejected with a
+clear error instead of silently ignored.
+
+Specs are frozen and hashable: the spec object *is* the cache identity
+the service uses to memoize derived artifacts (cluster partitions), the
+same way configurations key the artifact cache.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.errors import InvalidConstraintError
+from ..core.groups import GroupKey
+from ..core.index import InstanceIndex
+
+#: Partition methods :func:`repro.constraints.clustered.partition_rows`
+#: understands.
+CLUSTER_METHODS = ("stratified", "kmeans")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """How to partition users and split the budget across clusters.
+
+    ``method="stratified"`` partitions on the buckets of the
+    highest-membership property (plus a remainder cluster for users in
+    none of them) — computable straight off the CSR index.
+    ``method="kmeans"`` clusters the dense user × group membership
+    matrix with the baselines package's k-means under a fixed ``seed``,
+    into ``k`` clusters.
+    """
+
+    method: str = "stratified"
+    k: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.method not in CLUSTER_METHODS:
+            raise InvalidConstraintError(
+                f"unknown cluster method {self.method!r}; "
+                f"use one of {CLUSTER_METHODS}"
+            )
+        if self.k < 1:
+            raise InvalidConstraintError(
+                f"cluster count k must be >= 1, got {self.k}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"method": self.method, "k": self.k, "seed": self.seed}
+
+
+@dataclass(frozen=True)
+class ConstraintSpec:
+    """Frozen, hashable constraint declaration for one selection.
+
+    ``floors`` and ``ceilings`` are canonically sorted ``(key, count)``
+    tuples so two specs describing the same constraints compare (and
+    hash) equal regardless of construction order — the property the
+    service's per-spec artifact cache relies on.  Use :meth:`build` to
+    construct from mappings.
+    """
+
+    floors: tuple[tuple[GroupKey, int], ...] = ()
+    ceilings: tuple[tuple[GroupKey, int], ...] = ()
+    clusters: ClusterSpec | None = None
+
+    def __post_init__(self) -> None:
+        for name, entries in (
+            ("floor", self.floors),
+            ("ceiling", self.ceilings),
+        ):
+            seen: set[GroupKey] = set()
+            for key, count in entries:
+                if key in seen:
+                    raise InvalidConstraintError(
+                        f"duplicate {name} for group {key}"
+                    )
+                seen.add(key)
+                if count < 0:
+                    raise InvalidConstraintError(
+                        f"{name} for group {key} must be >= 0, got {count}"
+                    )
+        floor_map = dict(self.floors)
+        for key, limit in self.ceilings:
+            required = floor_map.get(key, 0)
+            if limit < required:
+                raise InvalidConstraintError(
+                    f"ceiling {limit} for group {key} is below its "
+                    f"floor {required}"
+                )
+        if self.clusters is not None and (self.floors or self.ceilings):
+            raise InvalidConstraintError(
+                "cluster mode cannot be combined with floors/ceilings in "
+                "this version; submit them as separate selections"
+            )
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        floors: Mapping[GroupKey, int] | None = None,
+        ceilings: Mapping[GroupKey, int] | None = None,
+        clusters: ClusterSpec | None = None,
+    ) -> "ConstraintSpec":
+        """Canonicalize mappings into a sorted, hashable spec."""
+        return cls(
+            floors=tuple(
+                sorted(
+                    (floors or {}).items(),
+                    key=lambda e: (e[0].property_label, e[0].bucket_label),
+                )
+            ),
+            ceilings=tuple(
+                sorted(
+                    (ceilings or {}).items(),
+                    key=lambda e: (e[0].property_label, e[0].bucket_label),
+                )
+            ),
+            clusters=clusters,
+        )
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "ConstraintSpec":
+        """Parse the JSON shape the service's ``constraints`` block uses.
+
+        ``{"floors": [[property, bucket, count], ...],
+           "ceilings": [[property, bucket, count], ...],
+           "clusters": {"method": ..., "k": ..., "seed": ...}}``
+        """
+        if not isinstance(document, Mapping):
+            raise InvalidConstraintError(
+                "constraints must be a JSON object with optional "
+                "'floors', 'ceilings' and 'clusters' fields"
+            )
+        unknown = set(document) - {"floors", "ceilings", "clusters"}
+        if unknown:
+            raise InvalidConstraintError(
+                f"unknown constraints fields: {sorted(unknown)}"
+            )
+        clusters = None
+        raw_clusters = document.get("clusters")
+        if raw_clusters is not None:
+            if not isinstance(raw_clusters, Mapping):
+                raise InvalidConstraintError(
+                    "clusters must be an object like "
+                    "{'method': 'stratified'|'kmeans', 'k': int, 'seed': int}"
+                )
+            extra = set(raw_clusters) - {"method", "k", "seed"}
+            if extra:
+                raise InvalidConstraintError(
+                    f"unknown clusters fields: {sorted(extra)}"
+                )
+            try:
+                clusters = ClusterSpec(
+                    method=str(raw_clusters.get("method", "stratified")),
+                    k=int(raw_clusters.get("k", 4)),
+                    seed=int(raw_clusters.get("seed", 0)),
+                )
+            except (TypeError, ValueError) as exc:
+                if isinstance(exc, InvalidConstraintError):
+                    raise
+                raise InvalidConstraintError(
+                    f"malformed clusters block: {exc}"
+                ) from exc
+        return cls.build(
+            floors=_parse_bounds(document.get("floors"), "floors"),
+            ceilings=_parse_bounds(document.get("ceilings"), "ceilings"),
+            clusters=clusters,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize back to the :meth:`from_dict` JSON shape."""
+        document: dict[str, Any] = {}
+        if self.floors:
+            document["floors"] = [
+                [k.property_label, k.bucket_label, count]
+                for k, count in self.floors
+            ]
+        if self.ceilings:
+            document["ceilings"] = [
+                [k.property_label, k.bucket_label, count]
+                for k, count in self.ceilings
+            ]
+        if self.clusters is not None:
+            document["clusters"] = self.clusters.to_dict()
+        return document
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        """``"clustered"`` or ``"fair"`` (floors/ceilings, possibly empty)."""
+        return "clustered" if self.clusters is not None else "fair"
+
+    @property
+    def floor_map(self) -> dict[GroupKey, int]:
+        return dict(self.floors)
+
+    @property
+    def ceiling_map(self) -> dict[GroupKey, int]:
+        return dict(self.ceilings)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the spec constrains nothing at all."""
+        return not self.floors and not self.ceilings and self.clusters is None
+
+    # -- validation against an index ---------------------------------------
+
+    def validate_for_index(
+        self, index: InstanceIndex, budget: int | None = None
+    ) -> None:
+        """Check every referenced group exists (and floors can be met).
+
+        Raises :class:`InvalidConstraintError` for unknown groups and —
+        when ``budget`` is given — :class:`InfeasibleConstraintError`
+        (via :func:`~repro.constraints.fair.diagnose_floors`) for floors
+        no selection of that budget could satisfy.  Cluster-mode specs
+        only need the group-existence check.
+        """
+        known = index.group_pos
+        for name, entries in (
+            ("floors", self.floors),
+            ("ceilings", self.ceilings),
+        ):
+            missing = [key for key, _count in entries if key not in known]
+            if missing:
+                raise InvalidConstraintError(
+                    f"{name} reference unknown groups: "
+                    f"{[str(k) for k in missing[:3]]}"
+                )
+        if budget is not None and self.floors:
+            from .fair import diagnose_floors
+
+            diagnose_floors(index, self, budget)
+
+
+def _parse_bounds(
+    raw: Any, name: str
+) -> dict[GroupKey, int]:
+    """Parse a ``[[property, bucket, count], ...]`` JSON list."""
+    if raw is None:
+        return {}
+    if not isinstance(raw, list):
+        raise InvalidConstraintError(
+            f"{name} must be a list of [property, bucket, count] triples"
+        )
+    bounds: dict[GroupKey, int] = {}
+    for entry in raw:
+        if (
+            not isinstance(entry, (list, tuple))
+            or len(entry) != 3
+            or not isinstance(entry[0], str)
+            or not isinstance(entry[1], str)
+            or isinstance(entry[2], bool)
+            or not isinstance(entry[2], int)
+        ):
+            raise InvalidConstraintError(
+                f"{name} must be a list of [property, bucket, count] "
+                f"triples, got entry {entry!r}"
+            )
+        key = GroupKey(entry[0], entry[1])
+        if key in bounds:
+            raise InvalidConstraintError(f"duplicate {name} entry for {key}")
+        bounds[key] = entry[2]
+    return bounds

@@ -95,25 +95,29 @@ def refine_users(
     For every property with at least one must-have bucket, a user must
     belong to *some* must-have bucket of that property (the paper's
     contradiction-avoidance rule); and a user must belong to no must-not
-    group.
+    group.  The rule itself lives in
+    :mod:`repro.constraints.feasibility`, shared with the fair solver's
+    floor/ceiling eligibility checks.
     """
-    feedback.validate(groups)
-    must_have_by_property: dict[str, set[GroupKey]] = {}
-    for key in feedback.must_have:
-        must_have_by_property.setdefault(key.property_label, set()).add(key)
+    from ..constraints.feasibility import (
+        eligible_user_filter,
+        keys_by_property,
+    )
 
-    eligible: list[str] = []
-    for user_id in repository.user_ids:
-        memberships = groups.groups_of(user_id)
-        if memberships & feedback.must_not:
-            continue
-        satisfied = all(
-            memberships & bucket_keys
-            for bucket_keys in must_have_by_property.values()
+    feedback.validate(groups)
+    must_have_by_property = {
+        label: set(keys)
+        for label, keys in keys_by_property(feedback.must_have).items()
+    }
+    return [
+        user_id
+        for user_id in repository.user_ids
+        if eligible_user_filter(
+            groups.groups_of(user_id),
+            feedback.must_not,
+            must_have_by_property,
         )
-        if satisfied:
-            eligible.append(user_id)
-    return eligible
+    ]
 
 
 def _refine_mask_index(
@@ -125,27 +129,17 @@ def _refine_mask_index(
     must-have property sets an "in some must-have bucket" mask the same
     way and AND-s it in.  Pure array work: no id string is decoded, so
     a memory-mapped index refines without touching its lazy id
-    sequence.
+    sequence.  Delegates to the shared
+    :func:`repro.constraints.feasibility.eligibility_mask`, the same
+    helper the fair solver's hard exclusions run on.
     """
-    eligible = np.ones(index.n_users, dtype=bool)
-    if feedback.must_not:
-        forbidden = np.fromiter(
-            (index.group_pos[k] for k in feedback.must_not),
-            dtype=np.int64,
-            count=len(feedback.must_not),
-        )
-        eligible[index.members_of_rows(forbidden)] = False
-    must_have_by_property: dict[str, list[GroupKey]] = {}
-    for key in feedback.must_have:
-        must_have_by_property.setdefault(key.property_label, []).append(key)
-    for keys in must_have_by_property.values():
-        wanted = np.fromiter(
-            (index.group_pos[k] for k in keys), dtype=np.int64, count=len(keys)
-        )
-        in_some_bucket = np.zeros(index.n_users, dtype=bool)
-        in_some_bucket[index.members_of_rows(wanted)] = True
-        eligible &= in_some_bucket
-    return eligible
+    from ..constraints.feasibility import eligibility_mask, keys_by_property
+
+    return eligibility_mask(
+        index,
+        forbidden=feedback.must_not,
+        required_by_property=keys_by_property(feedback.must_have),
+    )
 
 
 def _refine_users_index(

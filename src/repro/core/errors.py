@@ -76,6 +76,18 @@ class InfeasibleSelectionError(PodiumError, ValueError):
     """Customization filters left no eligible user to select from."""
 
 
+class InvalidConstraintError(PodiumError, ValueError):
+    """A constraint specification is malformed or references unknown groups."""
+
+
+class InfeasibleConstraintError(InfeasibleSelectionError):
+    """No selection of the given budget can satisfy the constraint floors.
+
+    The message names the violated floor (or property), so callers can
+    surface an actionable diagnosis instead of a generic failure.
+    """
+
+
 class DatasetError(PodiumError, ValueError):
     """A dataset file or generator configuration is invalid."""
 

@@ -699,6 +699,7 @@ def select_from_index(
     epsilon: float = 0.1,
     sample_ratio: float | None = None,
     instance: DiversificationInstance | None = None,
+    constraints=None,
 ) -> SelectionResult:
     """Run a vectorized backend straight on an :class:`InstanceIndex`.
 
@@ -714,6 +715,14 @@ def select_from_index(
 
     ``candidates`` defaults to every indexed user; ids the index does not
     know are ignored (they sit in no group, so they can never contribute).
+
+    ``constraints`` accepts a
+    :class:`~repro.constraints.ConstraintSpec`; a non-empty spec routes
+    the call through :func:`~repro.constraints.constrained_select` (the
+    fair or clustered solver, composed with the requested ``method``)
+    and returns its underlying :class:`SelectionResult` — callers that
+    need the per-bound satisfaction report call ``constrained_select``
+    directly.
     """
     if budget < 1:
         raise InvalidBudgetError(f"budget must be >= 1, got {budget}")
@@ -722,6 +731,31 @@ def select_from_index(
             "select_from_index requires a vectorizable index; big-int or "
             "non-integer weights need the dict-based greedy_select paths"
         )
+    if constraints is not None and not constraints.is_empty:
+        from ..constraints import constrained_select
+
+        constrained = constrained_select(
+            index,
+            constraints,
+            budget,
+            method=method,
+            candidates=candidates,
+            rng=rng,
+            shards=shards,
+            jobs=jobs,
+            shard_seed=shard_seed,
+            epsilon=epsilon,
+            sample_ratio=sample_ratio,
+        )
+        result = constrained.result
+        if instance is not None:
+            result = SelectionResult(
+                selected=result.selected,
+                score=result.score,
+                gains=result.gains,
+                instance=instance,
+            )
+        return result
     if candidates is None and method in ("matrix", "stochastic"):
         # Full-pool fast path: run over dense rows directly and resolve
         # only the winners' ids.  On a memory-mapped index this is what

@@ -19,6 +19,7 @@ unicode arrays, so a saved index selects byte-identically after reload.
 
 from __future__ import annotations
 
+import io
 import json
 import struct
 import warnings
@@ -26,9 +27,12 @@ import zipfile
 import zlib
 from collections.abc import Mapping, Sequence
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
+
+if TYPE_CHECKING:  # circular at runtime: storage builds on core
+    from ..storage.faults import FilesystemShim
 
 from .buckets import Bucket
 from .errors import DatasetError
@@ -256,7 +260,10 @@ def _index_checksum(arrays: dict[str, np.ndarray]) -> int:
 
 
 def save_index_npz(
-    index: InstanceIndex, path: str | Path, compressed: bool = False
+    index: InstanceIndex,
+    path: str | Path,
+    compressed: bool = False,
+    fs: "FilesystemShim | None" = None,
 ) -> None:
     """Write an :class:`InstanceIndex` checkpoint as one ``.npz`` file.
 
@@ -282,6 +289,14 @@ def save_index_npz(
        :func:`load_index_npz`; only :func:`open_index_npz` requires
        stored members.  Re-save once with the new default to make an
        old checkpoint mappable.
+
+    ``fs`` routes the final write through an injectable filesystem shim
+    (:class:`~repro.storage.faults.FilesystemShim`): the archive is
+    assembled in memory and lands on disk via one ``fs.write_bytes``
+    call, so the chaos harness can tear or crash an index write exactly
+    like any other durable-tier file.  ``None`` (the default, and the
+    right choice for out-of-core checkpoints) streams straight to
+    ``path`` with no in-memory copy of the archive.
     """
     if not index.vectorizable:
         raise DatasetError(
@@ -307,13 +322,22 @@ def save_index_npz(
         "initial_gains": index.initial_gains,
     }
     writer = np.savez if not compressed else np.savez_compressed
-    writer(
-        Path(path),
-        format=np.asarray(_INDEX_FORMAT),
-        format_version=np.asarray(CHECKPOINT_VERSION, dtype=np.int64),
-        payload_crc32=np.asarray(_index_checksum(arrays), dtype=np.uint32),
-        **arrays,
-    )
+    envelope = {
+        "format": np.asarray(_INDEX_FORMAT),
+        "format_version": np.asarray(CHECKPOINT_VERSION, dtype=np.int64),
+        "payload_crc32": np.asarray(
+            _index_checksum(arrays), dtype=np.uint32
+        ),
+    }
+    if fs is None:
+        writer(Path(path), **envelope, **arrays)
+        return
+    # np.savez accepts any file-like with write(): build the archive in
+    # memory, then let the shim make the single write (and its faults)
+    # visible to the chaos harness.
+    buffer = io.BytesIO()
+    writer(buffer, **envelope, **arrays)
+    fs.write_bytes(Path(path), buffer.getvalue())
 
 
 #: Array members of an index ``.npz`` that are worth memory-mapping: the

@@ -11,6 +11,13 @@ from .engine import (
     run_intrinsic_experiment,
     run_procurement_experiment,
 )
+from .constraints import (
+    ConstraintsSetup,
+    benchmark_constraints,
+    constraints_report_failures,
+    constraints_table,
+    run_constraints_experiment,
+)
 from .fig3 import Fig3Setup, default_selectors, fig3a, fig3b, fig3c, fig3d
 from .fig4 import FIG4_METRICS, Fig4Setup, fig4
 from .harness import (
@@ -54,6 +61,11 @@ __all__ = [
     "run_cells",
     "run_intrinsic_experiment",
     "run_procurement_experiment",
+    "ConstraintsSetup",
+    "benchmark_constraints",
+    "constraints_report_failures",
+    "constraints_table",
+    "run_constraints_experiment",
     "Fig3Setup",
     "default_selectors",
     "fig3a",

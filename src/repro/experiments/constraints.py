@@ -1,0 +1,277 @@
+"""Constrained-selection experiment: the price of fairness.
+
+Extension beyond the paper's §8 suite: hard per-group floors/ceilings
+and cluster-budgeted diversity (`repro.constraints`) generalize the
+customization constraints ``G₊``/``G₋`` of Def. 6.1, so the natural
+question is what they *cost* — how much coverage a constrained panel
+gives up versus the unconstrained greedy optimum on the same instance.
+
+One experiment cell = one constraint scenario on one instance:
+
+* the **fair** scenario places a floor on the largest group of each of
+  the ``floors`` highest-membership properties and a ceiling on the
+  next ``ceilings`` of them — the sortition shape (demographic quotas
+  plus an over-representation cap);
+* each **clustered** scenario runs cluster-budgeted selection for one
+  ``(method, k)`` combination.
+
+Every cell reports the *price of fairness* — the constrained/
+unconstrained coverage ratio — and the floor-satisfaction rate.  Both
+solvers are deterministic (matrix method, fixed partition seeds), so
+cells carry no rng and any ``jobs`` value yields identical rows.
+
+``repro bench --suite constraints`` wraps the same cells with
+wall-clock timings and writes ``BENCH_constraints.json``, gating on a
+quality-ratio floor: constraints must bend the panel, not break it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constraints import ClusterSpec, ConstraintSpec, constrained_select
+from ..core.greedy import select_from_index
+from ..core.groups import GroupKey
+from ..core.index import InstanceIndex, instance_index
+
+#: Minimum acceptable constrained/unconstrained coverage ratio — the
+#: floor the acceptance tests and the CLI gate enforce.  Constraints
+#: trade coverage for guarantees; below this the trade is broken.
+QUALITY_FLOOR = 0.85
+
+
+@dataclass(frozen=True)
+class ConstraintsSetup:
+    """Knobs of the constrained-selection experiment and benchmark."""
+
+    users: int = 2000
+    n_properties: int = 60
+    mean_profile_size: float = 10.0
+    budget: int = 12
+    seed: int = 3
+    #: Floor ``floor_bound`` on the largest group of this many
+    #: highest-membership properties.
+    floors: int = 3
+    floor_bound: int = 2
+    #: Ceiling ``ceiling_bound`` on the largest group of the next this
+    #: many properties.
+    ceilings: int = 2
+    ceiling_bound: int = 1
+    cluster_methods: tuple[str, ...] = ("stratified", "kmeans")
+    cluster_ks: tuple[int, ...] = (2, 4, 8)
+    cluster_seed: int = 0
+    jobs: int | None = 1
+    quality_floor: float = QUALITY_FLOOR
+
+
+def fair_bound_spec(
+    index: InstanceIndex,
+    floors: int,
+    floor_bound: int,
+    ceilings: int,
+    ceiling_bound: int,
+) -> ConstraintSpec:
+    """Sortition-shaped bounds derived from the index's group sizes.
+
+    Ranks properties by their largest group's membership (ties broken
+    on the group key string, so the spec is deterministic), then floors
+    the top ``floors`` properties' largest groups and caps the next
+    ``ceilings``.  Distinct properties keep per-property floor sums
+    trivially feasible.
+    """
+    sizes = np.diff(index.g_indptr)
+    best: dict[str, tuple[int, GroupKey]] = {}
+    for position, key in enumerate(index.group_keys):
+        size = int(sizes[position])
+        current = best.get(key.property_label)
+        if (
+            current is None
+            or size > current[0]
+            or (size == current[0] and str(key) < str(current[1]))
+        ):
+            best[key.property_label] = (size, key)
+    ranked = sorted(best.values(), key=lambda entry: (-entry[0], str(entry[1])))
+    floor_keys = [key for _, key in ranked[:floors]]
+    ceiling_keys = [key for _, key in ranked[floors:floors + ceilings]]
+    return ConstraintSpec.build(
+        floors={key: floor_bound for key in floor_keys},
+        ceilings={key: ceiling_bound for key in ceiling_keys},
+    )
+
+
+def run_constraint_cell(spec, params: tuple) -> dict:
+    """One scenario: unconstrained exact vs constrained, on one index.
+
+    ``params`` is ``("fair", floors, floor_bound, ceilings,
+    ceiling_bound)`` or ``("clustered", method, k, cluster_seed)``.
+    Registered with the engine as the ``"constraints"`` cell runner.
+    """
+    from .engine import materialize_cached
+
+    built = materialize_cached(spec)
+    index = instance_index(built.instance)
+
+    start = time.perf_counter()
+    exact = select_from_index(index, spec.budget, method="matrix")
+    exact_seconds = time.perf_counter() - start
+
+    scenario = params[0]
+    if scenario == "fair":
+        constraint = fair_bound_spec(index, *params[1:])
+        label = (
+            f"fair floors={len(constraint.floors)}x{params[2]} "
+            f"ceilings={len(constraint.ceilings)}x{params[4]}"
+        )
+    else:
+        method, k, cluster_seed = params[1:]
+        constraint = ConstraintSpec.build(
+            clusters=ClusterSpec(method=method, k=k, seed=cluster_seed)
+        )
+        label = f"clustered {method} k={k}"
+
+    start = time.perf_counter()
+    outcome = constrained_select(index, constraint, spec.budget)
+    constrained_seconds = time.perf_counter() - start
+
+    exact_score = float(exact.score)
+    report = outcome.to_dict()
+    floor_rows = report.get("floors") or []
+    return {
+        "scenario": label,
+        "mode": constraint.mode,
+        "users": spec.n_users,
+        "budget": spec.budget,
+        "exact_score": exact_score,
+        "constrained_score": float(outcome.result.score),
+        "price_of_fairness": (
+            float(outcome.result.score) / exact_score
+            if exact_score
+            else 1.0
+        ),
+        "satisfied": outcome.satisfied,
+        "floor_satisfaction_rate": (
+            sum(1 for row in floor_rows if row["satisfied"])
+            / len(floor_rows)
+            if floor_rows
+            else None
+        ),
+        "selected_size": len(outcome.selected),
+        "exact_seconds": exact_seconds,
+        "constrained_seconds": constrained_seconds,
+    }
+
+
+def constraints_cells(setup: ConstraintsSetup) -> list:
+    """Enumerate the scenario cells in canonical (reported) order."""
+    from .engine import ExperimentCell, InstanceSpec
+
+    spec = InstanceSpec(
+        kind="profiles",
+        n_users=setup.users,
+        n_properties=setup.n_properties,
+        mean_profile_size=setup.mean_profile_size,
+        dataset_seed=setup.seed,
+        budget=setup.budget,
+    )
+    scenarios: list[tuple] = [
+        (
+            "fair",
+            setup.floors,
+            setup.floor_bound,
+            setup.ceilings,
+            setup.ceiling_bound,
+        )
+    ]
+    for method in setup.cluster_methods:
+        for k in setup.cluster_ks:
+            scenarios.append(("clustered", method, k, setup.cluster_seed))
+    return [
+        ExperimentCell(runner="constraints", spec=spec, params=params)
+        for params in scenarios
+    ]
+
+
+def run_constraints_experiment(
+    setup: ConstraintsSetup | None = None, jobs: int | None = None
+) -> list[dict]:
+    """Run every scenario; returns one row dict per scenario."""
+    from .engine import run_cells
+
+    setup = setup or ConstraintsSetup()
+    if jobs is None:
+        jobs = setup.jobs
+    return run_cells(constraints_cells(setup), jobs=jobs)
+
+
+def constraints_table(rows: list[dict]) -> str:
+    """Markdown table of the per-scenario fairness/coverage trade."""
+    lines = [
+        "| scenario | coverage | vs unconstrained | floors met | "
+        "satisfied |",
+        "|---|---|---|---|---|",
+    ]
+    for row in rows:
+        rate = row["floor_satisfaction_rate"]
+        lines.append(
+            "| {scenario} | {score:.0f} | {price:.3f} | {rate} | "
+            "{satisfied} |".format(
+                scenario=row["scenario"],
+                score=row["constrained_score"],
+                price=row["price_of_fairness"],
+                rate="-" if rate is None else f"{rate:.0%}",
+                satisfied="yes" if row["satisfied"] else "NO",
+            )
+        )
+    return "\n".join(lines)
+
+
+def benchmark_constraints(setup: ConstraintsSetup | None = None) -> dict:
+    """Run the suite and return the ``BENCH_constraints.json`` payload."""
+    setup = setup or ConstraintsSetup()
+    rows = run_constraints_experiment(setup)
+    return {
+        "experiment": "constrained_selection",
+        "users": setup.users,
+        "budget": setup.budget,
+        "n_properties": setup.n_properties,
+        "mean_profile_size": setup.mean_profile_size,
+        "seed": setup.seed,
+        "floors": setup.floors,
+        "floor_bound": setup.floor_bound,
+        "ceilings": setup.ceilings,
+        "ceiling_bound": setup.ceiling_bound,
+        "cluster_methods": list(setup.cluster_methods),
+        "cluster_ks": list(setup.cluster_ks),
+        "quality_floor": setup.quality_floor,
+        "rows": rows,
+    }
+
+
+def constraints_report_failures(report: dict) -> list[str]:
+    """Acceptance checks over a constraints report; empty = all green.
+
+    Enforced: every scenario's bounds are satisfied (fair scenarios at
+    100% floor satisfaction), and the price of fairness stays at or
+    above the quality floor — a constrained panel must keep most of the
+    unconstrained coverage.
+    """
+    failures: list[str] = []
+    floor = report["quality_floor"]
+    for row in report["rows"]:
+        scenario = row["scenario"]
+        if not row["satisfied"]:
+            failures.append(f"{scenario}: bounds not satisfied")
+        rate = row["floor_satisfaction_rate"]
+        if rate is not None and rate < 1.0:
+            failures.append(
+                f"{scenario}: floor satisfaction {rate:.0%} < 100%"
+            )
+        if row["price_of_fairness"] < floor:
+            failures.append(
+                f"{scenario}: price of fairness "
+                f"{row['price_of_fairness']:.4f} < {floor}"
+            )
+    return failures

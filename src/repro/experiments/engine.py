@@ -428,6 +428,16 @@ def _timing_cell(
     return time.perf_counter() - start
 
 
+@_runner("constraints")
+def _constraints_cell(
+    spec: InstanceSpec, params: tuple, rng: np.random.Generator | None
+) -> dict:
+    """One constrained-selection scenario vs the unconstrained greedy."""
+    from .constraints import run_constraint_cell
+
+    return run_constraint_cell(spec, params)
+
+
 @_runner("ratio")
 def _ratio_cell(
     spec: InstanceSpec, params: tuple, rng: np.random.Generator | None

@@ -5,6 +5,7 @@ from .app import (
     ThreadingWSGIServer,
     make_http_server,
     make_wsgi_app,
+    parse_constraints,
     parse_feedback,
     parse_profile_delta,
     serve,
@@ -44,6 +45,7 @@ __all__ = [
     "ThreadingWSGIServer",
     "make_http_server",
     "make_wsgi_app",
+    "parse_constraints",
     "parse_feedback",
     "parse_profile_delta",
     "serve",

@@ -51,6 +51,14 @@ A selection request body::
                   "must_not": [], "priority": [], "standard": null},
      "distribution_properties": ["avgRating Mexican"]}
 
+A constrained selection body (mutually exclusive with ``feedback`` and
+``maintained``; floors/ceilings are hard per-group bounds, ``clusters``
+switches to cluster-budgeted mode)::
+
+    {"configuration": "default", "budget": 12,
+     "constraints": {"floors": [["gender", "f", 5]],
+                     "ceilings": [["region", "north", 3]]}}
+
 A profile delta body::
 
     {"upserts": {"Alice": {"avgRating Mexican": 0.9}},
@@ -68,8 +76,19 @@ from socketserver import ThreadingMixIn
 from typing import Any, Callable
 from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
+from ..constraints import (
+    ClusterSpec,
+    ConstraintSpec,
+    constrained_select,
+    partition_rows,
+)
 from ..core.customization import CustomizationFeedback, custom_select
-from ..core.errors import InvalidBudgetError, PodiumError, ServiceError
+from ..core.errors import (
+    InfeasibleConstraintError,
+    InvalidBudgetError,
+    PodiumError,
+    ServiceError,
+)
 from ..core.explanations import explain_selection
 from ..core.greedy import SelectionResult, greedy_select, select_from_index
 from ..core.groups import GroupKey, GroupSet, build_simple_groups
@@ -131,6 +150,20 @@ def parse_feedback(data: dict[str, Any] | None) -> CustomizationFeedback:
     )
 
 
+def parse_constraints(data: Any) -> ConstraintSpec | None:
+    """Parse the ``/select`` body's ``constraints`` block at the JSON edge.
+
+    ``None``/absent means unconstrained.  Malformed blocks raise
+    :class:`~repro.core.errors.InvalidConstraintError`, which the WSGI
+    boundary maps to a 400 like every other :class:`PodiumError` — a
+    bad constraint never reaches the solver.
+    """
+    if data is None:
+        return None
+    spec = ConstraintSpec.from_dict(data)
+    return None if spec.is_empty else spec
+
+
 def parse_profile_delta(document: dict[str, Any]) -> ProfileDelta:
     """Parse the ``/profiles/delta`` JSON body into a :class:`ProfileDelta`."""
     upserts_raw = document.get("upserts") or {}
@@ -172,6 +205,13 @@ class _ConfigArtifacts:
     groups: GroupSet
     groups_version: int
     instances: dict[int, DiversificationInstance] = field(
+        default_factory=dict
+    )
+    #: Cluster partitions memoized per (budget, ClusterSpec) — the spec
+    #: object is hashable by value, so two requests declaring the same
+    #: clustering share one partition computation.  Entry lifetime is
+    #: the cache entry's own (generation / config / groups-version).
+    partitions: dict[tuple[int, ClusterSpec], list] = field(
         default_factory=dict
     )
 
@@ -822,6 +862,7 @@ class PodiumService:
         explain: bool = True,
         timer: StageTimer | None = None,
         maintained: bool = False,
+        constraints: ConstraintSpec | None = None,
     ) -> dict[str, Any]:
         """Run a selection request and return the response document."""
         timer = timer if timer is not None else StageTimer()
@@ -834,6 +875,7 @@ class PodiumService:
                 explain,
                 timer,
                 maintained,
+                constraints,
             )
 
     def _maintainer(
@@ -860,6 +902,67 @@ class PodiumService:
             self._maintainers[key] = maintainer
             return maintainer
 
+    def _partition(
+        self,
+        entry: _ConfigArtifacts,
+        budget: int,
+        index: InstanceIndex,
+        cluster_spec: ClusterSpec,
+        timer: StageTimer,
+    ) -> list:
+        """Fetch (or compute) the memoized partition for a cluster spec."""
+        key = (budget, cluster_spec)
+        partition = entry.partitions.get(key)
+        if partition is not None:
+            return partition
+        with self._build_lock:
+            partition = entry.partitions.get(key)
+            if partition is not None:
+                return partition
+            with timer.stage("partition"):
+                partition = partition_rows(index, cluster_spec)
+            entry.partitions[key] = partition
+            return partition
+
+    def _constrained_select(
+        self,
+        entry: _ConfigArtifacts,
+        instance: DiversificationInstance,
+        budget: int,
+        spec: ConstraintSpec,
+        timer: StageTimer,
+    ) -> tuple[SelectionResult, dict[str, Any]]:
+        """Run the constrained solver; returns (result, report section)."""
+        repository = self._repository_or_raise()
+        with timer.stage("selection"):
+            index: InstanceIndex = instance_index(instance)
+            if not index.vectorizable or index.n_users != len(repository):
+                raise ServiceError(
+                    "constrained selection requires a vectorizable "
+                    "instance covering every user; this configuration's "
+                    "weights do not fit the sparse index"
+                )
+            partition = None
+            if spec.clusters is not None:
+                partition = self._partition(
+                    entry, budget, index, spec.clusters, timer
+                )
+            try:
+                outcome = constrained_select(
+                    index, spec, budget, partition=partition
+                )
+            except InfeasibleConstraintError:
+                self.metrics.observe_constraints(spec.mode, None)
+                raise
+        self.metrics.observe_constraints(spec.mode, outcome.satisfied)
+        result = SelectionResult(
+            selected=outcome.selected,
+            score=outcome.result.score,
+            gains=outcome.result.gains,
+            instance=instance,
+        )
+        return result, outcome.to_dict()
+
     def _select(
         self,
         config_name: str,
@@ -869,9 +972,23 @@ class PodiumService:
         explain: bool,
         timer: StageTimer,
         maintained: bool = False,
+        constraints: ConstraintSpec | None = None,
     ) -> dict[str, Any]:
         entry = self._artifacts(config_name, timer)
         effective = self._effective_budget(entry.config, budget)
+        if constraints is not None and maintained:
+            raise ServiceError(
+                "constrained selections are solved fresh per request; "
+                "omit 'maintained' or 'constraints'"
+            )
+        if constraints is not None and feedback is not None and (
+            feedback != CustomizationFeedback.none()
+        ):
+            raise ServiceError(
+                "constraints cannot be combined with customization "
+                "feedback in one request; express must-have/must-not as "
+                "floors/ceilings instead"
+            )
         if maintained:
             # Maintained selections serve the streaming-repaired subset
             # (swap/fill/re-solve rules, quality within the bench-pinned
@@ -895,7 +1012,17 @@ class PodiumService:
                     "maintainer": maintainer.stats(),
                 }
         instance = self._instance(entry, effective, timer)
-        if feedback is None or feedback == CustomizationFeedback.none():
+        if constraints is not None:
+            result, report = self._constrained_select(
+                entry, instance, effective, constraints, timer
+            )
+            response = {
+                "configuration": config_name,
+                "selected": list(result.selected),
+                "score": float(result.score),
+                "constraints": report,
+            }
+        elif feedback is None or feedback == CustomizationFeedback.none():
             result = self._plain_select(instance, effective, timer)
             response: dict[str, Any] = {
                 "configuration": config_name,
@@ -1145,6 +1272,7 @@ def _dispatch(
             explain=bool(body.get("explain", True)),
             timer=timer,
             maintained=bool(body.get("maintained", False)),
+            constraints=parse_constraints(body.get("constraints")),
         )
         return 200, response, _JSON
     return 404, {"error": f"no route {method} {path}"}, _JSON

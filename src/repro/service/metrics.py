@@ -79,6 +79,13 @@ class ServiceMetrics:
             "max_seconds": 0.0,
             "wal_seconds": 0.0,
         }
+        self._constraints = {
+            "fair": 0,
+            "clustered": 0,
+            "satisfied": 0,
+            "violated": 0,
+            "infeasible": 0,
+        }
         self._started = time.time()
 
     # -- observation -------------------------------------------------------
@@ -124,6 +131,25 @@ class ServiceMetrics:
                 self._ingest["max_seconds"], seconds
             )
             self._ingest["wal_seconds"] += wal_seconds
+
+    def observe_constraints(
+        self, mode: str, satisfied: bool | None
+    ) -> None:
+        """Record one constrained selection request.
+
+        ``mode`` is ``"fair"`` or ``"clustered"``; ``satisfied`` is the
+        result's bound-satisfaction verdict, or ``None`` when the
+        request was diagnosed infeasible (no selection produced).
+        """
+        with self._lock:
+            if mode in self._constraints:
+                self._constraints[mode] += 1
+            if satisfied is None:
+                self._constraints["infeasible"] += 1
+            elif satisfied:
+                self._constraints["satisfied"] += 1
+            else:
+                self._constraints["violated"] += 1
 
     def observe_cache(self, hit: bool) -> None:
         """Record an artifact-cache lookup outcome."""
@@ -203,6 +229,7 @@ class ServiceMetrics:
                     else 0.0,
                     "wal_seconds": round(self._ingest["wal_seconds"], 6),
                 },
+                "constraints": dict(self._constraints),
                 "stages": stages,
             }
 

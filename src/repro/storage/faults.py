@@ -32,9 +32,12 @@ turns the syscall stream into a deterministic fault surface:
 The model is deliberately pragmatic: content durability is tracked as a
 byte length per file (exact for the append-only WAL and write-once
 snapshot files this layer produces), and renames are assumed durable
-once issued.  Files written *outside* the shim (e.g. numpy index
-archives) are treated as durable — the harness documents that blind
-spot instead of pretending to cover it.
+once issued.  Numpy index archives staged into a snapshot used to be
+the one write that bypassed the shim; :func:`~repro.core.persistence.
+save_index_npz` now accepts ``fs=`` and snapshot writes route the
+assembled archive through :meth:`FilesystemShim.write_bytes`, so index
+files crash, tear and lose volatile bytes under the same model as every
+other durable-tier file.
 """
 
 from __future__ import annotations

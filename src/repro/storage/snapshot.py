@@ -213,11 +213,15 @@ def write_snapshot(
         if artifact.index is not None and artifact.index.vectorizable:
             # Stored (uncompressed) members so recovery can memory-map
             # the CSR payload straight out of the archive; forked
-            # serving workers then share one page-cache copy.
+            # serving workers then share one page-cache copy.  The
+            # write goes through the fault shim like every other staged
+            # file (direct streaming only in production, where the shim
+            # is REAL_FS and an in-memory archive copy buys nothing).
             save_index_npz(
                 artifact.index,
                 stage / f"index-{cfg_name}.npz",
                 compressed=False,
+                fs=None if fs is REAL_FS else fs,
             )
             has_index = True
         configs[cfg_name] = {

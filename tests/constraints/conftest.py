@@ -1,0 +1,52 @@
+"""Shared helpers for the constrained-selection test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    GroupingConfig,
+    build_instance,
+    build_simple_groups,
+    instance_index,
+)
+from repro.constraints import ConstraintSpec
+from repro.datasets.synth import generate_profile_repository
+
+
+def sweep_case(weight_cls, coverage_cls, seed, n_users=60, budget=6):
+    """One (repo, instance, index) triple in the backend-parity style."""
+    repo = generate_profile_repository(
+        n_users=n_users, n_properties=30, mean_profile_size=10.0, seed=seed
+    )
+    groups = build_simple_groups(repo, GroupingConfig())
+    instance = build_instance(
+        repo,
+        budget=budget,
+        groups=groups,
+        weight_scheme=weight_cls(),
+        coverage_scheme=coverage_cls(),
+    )
+    return repo, instance, instance_index(instance)
+
+
+def fair_spec_for(index):
+    """A deterministic, satisfiable floors+ceilings spec for ``index``.
+
+    Floors of 2 on the two largest groups (they always have >= 2
+    members), a ceiling of 1 on the next-largest group and a ceiling of
+    0 on the one after — enough structure to bend the greedy away from
+    the unconstrained pick order without ever being infeasible at the
+    sweep budgets.
+    """
+    counts = np.diff(index.g_indptr)
+    order = sorted(
+        range(index.n_groups),
+        key=lambda g: (-int(counts[g]), str(index.group_keys[g])),
+    )
+    floors = {index.group_keys[order[0]]: 2, index.group_keys[order[1]]: 2}
+    ceilings = {
+        index.group_keys[order[2]]: 1,
+        index.group_keys[order[3]]: 0,
+    }
+    return ConstraintSpec.build(floors=floors, ceilings=ceilings)

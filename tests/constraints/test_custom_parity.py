@@ -1,0 +1,175 @@
+"""Customization ↔ constraints cross-parity (satellite of the subsystem).
+
+The paper's G₊/G₋ feedback (Def. 6.1) is the degenerate corner of the
+constraint model: a must-not group is exactly a ceiling of 0, and a
+must-have bucket is exactly "ceiling 0 on every sibling bucket" over the
+users that carry the property.  Both halves now share one feasibility
+rule (:mod:`repro.constraints.feasibility`), and these tests pin the
+equivalence as exact sequence identity, not just equal scores.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CustomizationFeedback,
+    custom_select,
+    greedy_select,
+)
+from repro.core.weights import IdenWeights, LBSWeights, SingleCoverage
+from repro.constraints import (
+    ConstraintSpec,
+    constrained_select,
+    eligible_user_filter,
+    keys_by_property,
+)
+
+from .conftest import sweep_case
+
+BUDGET = 6
+
+
+def _sized_keys(index):
+    counts = np.diff(index.g_indptr)
+    order = sorted(
+        range(index.n_groups),
+        key=lambda g: (-int(counts[g]), str(index.group_keys[g])),
+    )
+    return [index.group_keys[g] for g in order]
+
+
+class TestMustNotIsZeroCeiling:
+    @pytest.mark.parametrize("weight_cls", (IdenWeights, LBSWeights))
+    @pytest.mark.parametrize("seed", (0, 1))
+    def test_exact_sequence_identity(self, weight_cls, seed):
+        repo, instance, index = sweep_case(weight_cls, SingleCoverage, seed)
+        banned = _sized_keys(index)[0]
+        custom = custom_select(
+            repo,
+            instance,
+            CustomizationFeedback(must_not=frozenset({banned})),
+            BUDGET,
+        )
+        constrained = constrained_select(
+            index, ConstraintSpec.build(ceilings={banned: 0}), BUDGET
+        )
+        assert constrained.selected == custom.selected
+        assert constrained.result.score == custom.standard_score
+
+
+class TestMustHaveIsSiblingZeroCeilings:
+    def test_exact_sequence_identity_over_carriers(self):
+        """must_have = {bucket b of P} ≡ ceiling 0 on P's other buckets,
+        restricted to the users that carry property P at all."""
+        repo, instance, index = sweep_case(LBSWeights, SingleCoverage, 0)
+        by_property = {}
+        for g, key in enumerate(index.group_keys):
+            by_property.setdefault(key.property_label, []).append(g)
+        counts = np.diff(index.g_indptr)
+        label, gids = next(
+            (label, gids)
+            for label, gids in sorted(by_property.items())
+            if len(gids) >= 2 and all(counts[g] >= 2 for g in gids)
+        )
+        kept = index.group_keys[gids[0]]
+        siblings = [index.group_keys[g] for g in gids[1:]]
+        carriers = sorted(
+            {
+                str(index.users[int(r)])
+                for r in index.members_of_rows(
+                    np.asarray(gids, dtype=np.int64)
+                )
+            }
+        )
+        custom = custom_select(
+            repo,
+            instance,
+            CustomizationFeedback(must_have=frozenset({kept})),
+            BUDGET,
+        )
+        constrained = constrained_select(
+            index,
+            ConstraintSpec.build(ceilings={k: 0 for k in siblings}),
+            BUDGET,
+            candidates=carriers,
+        )
+        assert constrained.selected == custom.selected
+        assert constrained.result.score == custom.standard_score
+
+
+class TestFloorOneSanity:
+    def test_floor_one_noop_when_greedy_already_covers(self):
+        """When plain greedy already picks a member of G, floor(G)=1 must
+        not change anything — the constrained run is the same run."""
+        repo, instance, index = sweep_case(IdenWeights, SingleCoverage, 0)
+        plain = greedy_select(repo, instance, method="matrix")
+        hit = next(
+            key
+            for key in _sized_keys(index)
+            if {
+                str(index.users[int(r)])
+                for r in index.members_of_rows(
+                    np.asarray([index.group_pos[key]], dtype=np.int64)
+                )
+            }
+            & set(plain.selected)
+        )
+        constrained = constrained_select(
+            index, ConstraintSpec.build(floors={hit: 1}), BUDGET
+        )
+        assert constrained.selected == plain.selected
+        assert constrained.result.score == plain.score
+
+    def test_floor_one_forces_membership(self):
+        repo, instance, index = sweep_case(IdenWeights, SingleCoverage, 1)
+        plain = greedy_select(repo, instance, method="matrix")
+        missed = next(
+            key
+            for key in reversed(_sized_keys(index))
+            if not {
+                str(index.users[int(r)])
+                for r in index.members_of_rows(
+                    np.asarray([index.group_pos[key]], dtype=np.int64)
+                )
+            }
+            & set(plain.selected)
+        )
+        constrained = constrained_select(
+            index, ConstraintSpec.build(floors={missed: 1}), BUDGET
+        )
+        members = {
+            str(index.users[int(r)])
+            for r in index.members_of_rows(
+                np.asarray([index.group_pos[missed]], dtype=np.int64)
+            )
+        }
+        assert members & set(constrained.selected)
+        assert constrained.satisfied
+
+
+class TestSharedFeasibilityRule:
+    """Both consumers of the shared helper agree on every user."""
+
+    def test_filter_matches_mask(self):
+        _repo, _instance, index = sweep_case(LBSWeights, SingleCoverage, 0)
+        from repro.constraints import eligibility_mask
+
+        keys = _sized_keys(index)
+        forbidden = frozenset({keys[0]})
+        required = keys_by_property(sorted(
+            {keys[1], keys[2]},
+            key=lambda k: (k.property_label, k.bucket_label),
+        ))
+        required_sets = {
+            label: set(bucket_keys) for label, bucket_keys in required.items()
+        }
+        mask = eligibility_mask(
+            index, forbidden=forbidden, required_by_property=required
+        )
+        for row in range(index.n_users):
+            memberships = {
+                index.group_keys[int(g)] for g in index.groups_of_row(row)
+            }
+            assert mask[row] == eligible_user_filter(
+                memberships, forbidden, required_sets
+            ), f"row {row}"

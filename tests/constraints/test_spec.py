@@ -1,0 +1,130 @@
+"""ConstraintSpec model: validation, JSON boundary, cache identity."""
+
+import pytest
+
+from repro.core import GroupKey
+from repro.core.errors import InvalidConstraintError
+from repro.constraints import CLUSTER_METHODS, ClusterSpec, ConstraintSpec
+
+AGE_Y = GroupKey("age", "young")
+AGE_O = GroupKey("age", "old")
+GEN_F = GroupKey("gender", "f")
+
+
+class TestSpecValidation:
+    def test_empty_spec(self):
+        spec = ConstraintSpec.build()
+        assert spec.is_empty
+        assert spec.mode == "fair"
+
+    def test_negative_floor_rejected(self):
+        with pytest.raises(InvalidConstraintError, match="must be >= 0"):
+            ConstraintSpec.build(floors={AGE_Y: -1})
+
+    def test_duplicate_floor_rejected(self):
+        with pytest.raises(InvalidConstraintError, match="duplicate floor"):
+            ConstraintSpec(floors=((AGE_Y, 1), (AGE_Y, 2)))
+
+    def test_ceiling_below_floor_rejected(self):
+        with pytest.raises(InvalidConstraintError, match="below its floor"):
+            ConstraintSpec.build(floors={AGE_Y: 2}, ceilings={AGE_Y: 1})
+
+    def test_ceiling_equal_floor_allowed(self):
+        spec = ConstraintSpec.build(floors={AGE_Y: 2}, ceilings={AGE_Y: 2})
+        assert spec.floor_map[AGE_Y] == 2
+        assert spec.ceiling_map[AGE_Y] == 2
+
+    def test_clusters_exclusive_with_bounds(self):
+        with pytest.raises(InvalidConstraintError, match="cluster mode"):
+            ConstraintSpec.build(
+                floors={AGE_Y: 1}, clusters=ClusterSpec()
+            )
+
+    def test_unknown_cluster_method(self):
+        with pytest.raises(InvalidConstraintError, match="unknown cluster"):
+            ClusterSpec(method="dbscan")
+
+    def test_bad_cluster_count(self):
+        with pytest.raises(InvalidConstraintError, match="k must be >= 1"):
+            ClusterSpec(k=0)
+
+    def test_cluster_methods_registry(self):
+        assert set(CLUSTER_METHODS) == {"stratified", "kmeans"}
+
+
+class TestSpecIdentity:
+    """Construction order must not matter: specs are cache keys."""
+
+    def test_build_canonicalizes_order(self):
+        a = ConstraintSpec.build(floors={AGE_Y: 1, GEN_F: 2, AGE_O: 1})
+        b = ConstraintSpec.build(floors={GEN_F: 2, AGE_O: 1, AGE_Y: 1})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_distinct_specs_differ(self):
+        a = ConstraintSpec.build(floors={AGE_Y: 1})
+        b = ConstraintSpec.build(floors={AGE_Y: 2})
+        c = ConstraintSpec.build(ceilings={AGE_Y: 1})
+        assert len({a, b, c}) == 3
+
+    def test_cluster_identity(self):
+        a = ConstraintSpec.build(clusters=ClusterSpec("kmeans", 3, 7))
+        b = ConstraintSpec.build(clusters=ClusterSpec("kmeans", 3, 7))
+        assert a == b and hash(a) == hash(b)
+        assert a.mode == "clustered"
+
+
+class TestJsonBoundary:
+    def test_roundtrip_fair(self):
+        spec = ConstraintSpec.build(
+            floors={AGE_Y: 2, GEN_F: 1}, ceilings={AGE_O: 0}
+        )
+        again = ConstraintSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+    def test_roundtrip_clustered(self):
+        spec = ConstraintSpec.build(
+            clusters=ClusterSpec(method="kmeans", k=5, seed=3)
+        )
+        again = ConstraintSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+    def test_from_dict_shape(self):
+        spec = ConstraintSpec.from_dict(
+            {"floors": [["age", "young", 2]], "ceilings": [["age", "old", 1]]}
+        )
+        assert spec.floor_map == {AGE_Y: 2}
+        assert spec.ceiling_map == {AGE_O: 1}
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(InvalidConstraintError, match="unknown constraints"):
+            ConstraintSpec.from_dict({"floor": [["age", "young", 1]]})
+
+    def test_malformed_triple_rejected(self):
+        for bad in (
+            [["age", "young"]],
+            [["age", "young", "2"]],
+            [["age", "young", True]],
+            ["age"],
+            "age",
+        ):
+            with pytest.raises(InvalidConstraintError):
+                ConstraintSpec.from_dict({"floors": bad})
+
+    def test_duplicate_json_entry_rejected(self):
+        with pytest.raises(InvalidConstraintError, match="duplicate"):
+            ConstraintSpec.from_dict(
+                {"floors": [["age", "young", 1], ["age", "young", 2]]}
+            )
+
+    def test_malformed_clusters_rejected(self):
+        with pytest.raises(InvalidConstraintError, match="clusters"):
+            ConstraintSpec.from_dict({"clusters": "kmeans"})
+        with pytest.raises(InvalidConstraintError, match="unknown clusters"):
+            ConstraintSpec.from_dict({"clusters": {"method": "kmeans", "n": 3}})
+        with pytest.raises(InvalidConstraintError, match="malformed clusters"):
+            ConstraintSpec.from_dict({"clusters": {"k": "many"}})
+
+    def test_not_a_mapping_rejected(self):
+        with pytest.raises(InvalidConstraintError, match="JSON object"):
+            ConstraintSpec.from_dict([["age", "young", 1]])

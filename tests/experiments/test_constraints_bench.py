@@ -1,0 +1,116 @@
+"""Constrained-selection experiment: rows, gates, determinism.
+
+Small-population runs of the price-of-fairness suite: every scenario
+produces a satisfied row whose constrained score is a sane fraction of
+the unconstrained one, the acceptance gate flags doctored reports, and
+the engine contract holds — jobs=1 and jobs=N emit identical rows.
+"""
+
+import pytest
+
+from repro.experiments.constraints import (
+    ConstraintsSetup,
+    benchmark_constraints,
+    constraints_report_failures,
+    constraints_table,
+    fair_bound_spec,
+    run_constraints_experiment,
+)
+from repro.experiments.engine import materialize_cached
+
+SETUP = ConstraintsSetup(
+    users=250,
+    n_properties=30,
+    budget=8,
+    seed=1,
+    floors=2,
+    ceilings=1,
+    cluster_ks=(2, 3),
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_constraints_experiment(SETUP)
+
+
+def _stable(rows):
+    """Rows minus wall-clock noise."""
+    return [
+        {k: v for k, v in row.items() if not k.endswith("seconds")}
+        for row in rows
+    ]
+
+
+class TestRows:
+    def test_one_row_per_scenario(self, rows):
+        assert len(rows) == 1 + len(SETUP.cluster_methods) * len(
+            SETUP.cluster_ks
+        )
+        assert rows[0]["mode"] == "fair"
+        assert all(r["mode"] == "clustered" for r in rows[1:])
+
+    def test_every_scenario_satisfied(self, rows):
+        assert all(r["satisfied"] for r in rows)
+        assert rows[0]["floor_satisfaction_rate"] == 1.0
+        assert all(
+            r["floor_satisfaction_rate"] is None for r in rows[1:]
+        )
+
+    def test_price_of_fairness_is_a_ratio(self, rows):
+        for row in rows:
+            assert 0.0 < row["price_of_fairness"] <= 1.0
+            assert row["constrained_score"] <= row["exact_score"]
+            assert row["selected_size"] == SETUP.budget
+
+    def test_rows_identical_across_jobs(self, rows):
+        parallel = run_constraints_experiment(SETUP, jobs=3)
+        assert _stable(parallel) == _stable(rows)
+
+    def test_table_renders_every_row(self, rows):
+        table = constraints_table(rows)
+        for row in rows:
+            assert row["scenario"] in table
+
+
+class TestBenchGate:
+    def test_green_report_has_no_failures(self, rows):
+        report = benchmark_constraints(SETUP)
+        assert _stable(report["rows"]) == _stable(rows)
+        assert constraints_report_failures(report) == []
+
+    def test_gate_flags_quality_and_violations(self, rows):
+        report = benchmark_constraints(SETUP)
+        doctored = dict(report, rows=[dict(r) for r in report["rows"]])
+        doctored["rows"][0]["price_of_fairness"] = 0.2
+        doctored["rows"][0]["floor_satisfaction_rate"] = 0.5
+        doctored["rows"][1]["satisfied"] = False
+        failures = constraints_report_failures(doctored)
+        assert len(failures) == 3
+        assert any("price of fairness" in f for f in failures)
+        assert any("floor satisfaction" in f for f in failures)
+        assert any("not satisfied" in f for f in failures)
+
+
+class TestFairBoundSpec:
+    def test_bounds_target_distinct_properties(self):
+        from repro.core.index import instance_index
+        from repro.experiments.engine import InstanceSpec
+
+        spec = InstanceSpec(
+            kind="profiles",
+            n_users=SETUP.users,
+            n_properties=SETUP.n_properties,
+            mean_profile_size=SETUP.mean_profile_size,
+            dataset_seed=SETUP.seed,
+            budget=SETUP.budget,
+        )
+        index = instance_index(materialize_cached(spec).instance)
+        constraint = fair_bound_spec(index, 3, 2, 2, 1)
+        properties = [
+            key.property_label
+            for key, _ in constraint.floors + constraint.ceilings
+        ]
+        assert len(properties) == len(set(properties)) == 5
+        assert all(count == 2 for _, count in constraint.floors)
+        assert all(count == 1 for _, count in constraint.ceilings)

@@ -19,6 +19,7 @@ EXAMPLES = [
     ("restaurant_survey.py", "all selected panelists", 240),
     ("rotating_panels.py", "Rotation pool", 240),
     ("service_demo.py", "Service stopped.", 240),
+    ("sortition.py", "Every quota satisfied.", 240),
     ("opinion_procurement.py", "Opinion diversity", 420),
 ]
 
